@@ -1,0 +1,70 @@
+// Command tincabench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	tincabench -fig 7            # one experiment (see -list)
+//	tincabench -all              # every experiment, in paper order
+//	tincabench -fig 8 -scale 0.2 # quicker, smaller run
+//
+// Numbers come from the simulated clock and the shared metrics recorder;
+// absolute values are not comparable to the paper's testbed, the *shape*
+// (who wins, by what factor) is. See EXPERIMENTS.md for the comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"tinca/internal/exp"
+)
+
+func main() {
+	fig := flag.String("fig", "", "experiment to run (see -list)")
+	all := flag.Bool("all", false, "run every experiment")
+	list := flag.Bool("list", false, "list experiments")
+	scale := flag.Float64("scale", 1.0, "workload scale factor")
+	seed := flag.Int64("seed", 42, "random seed")
+	format := flag.String("format", "table", "output format: table | csv")
+	flag.Parse()
+	outputCSV = *format == "csv"
+
+	switch {
+	case *list:
+		fmt.Println("experiments:", strings.Join(exp.Names(), " "))
+		return
+	case *all:
+		for _, name := range exp.Names() {
+			runOne(name, exp.Options{Scale: *scale, Seed: *seed})
+		}
+		return
+	case *fig != "":
+		runOne(*fig, exp.Options{Scale: *scale, Seed: *seed})
+		return
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+var outputCSV bool
+
+func runOne(name string, o exp.Options) {
+	start := time.Now()
+	t, err := exp.Run(name, o)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tincabench: %s: %v\n", name, err)
+		if t != nil {
+			fmt.Print(t)
+		}
+		os.Exit(1)
+	}
+	if outputCSV {
+		fmt.Printf("# %s\n%s\n", t.Title, t.CSV())
+		return
+	}
+	fmt.Print(t)
+	fmt.Printf("(%s in %.1fs wall)\n\n", name, time.Since(start).Seconds())
+}

@@ -1,0 +1,68 @@
+// OLTP: a TPC-C database (the paper's MySQL/HammerDB experiment, Section
+// 5.2.2) on Tinca vs Classic. Each TPC-C transaction ends in one fsync —
+// one storage-stack transaction — and the example prints the throughput
+// (TPM) and the per-transaction clflush / disk-block costs of Figure 8.
+//
+// Run with: go run ./examples/oltp
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tinca"
+)
+
+func main() {
+	const users = 20
+	const txns = 1500
+	fmt.Printf("TPC-C: 4 warehouses, %d users, %d transactions (45/43/4/4/4 mix)\n\n", users, txns)
+	fmt.Printf("%-10s %12s %14s %14s\n", "system", "TPM(sim)", "clflush/txn", "disk blks/txn")
+
+	kinds := []struct {
+		name string
+		kind tinca.StackConfig
+	}{
+		{"Tinca", tinca.StackConfig{Kind: tinca.KindTinca}},
+		{"Classic", tinca.StackConfig{Kind: tinca.KindClassic}},
+	}
+	var tpms []float64
+	for _, k := range kinds {
+		cfg := k.kind
+		cfg.NVMBytes = 8 << 20
+		cfg.FSBlocks = 24576
+		cfg.GroupCommitBlocks = 1 << 20 // commit on fsync: one stack txn per TPC-C txn
+		cfg.JournalBlocks = 512
+		sys, err := tinca.NewStack(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		engine, err := tinca.LoadTPCC(sys.FS, tinca.TPCCConfig{
+			Warehouses: 4, CustomersPerDistrict: 300, Items: 1500, MaxOrders: 128,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Warm the cache into steady state, then measure.
+		if _, err := engine.Run(sys.Clock, users, 400, 99); err != nil {
+			log.Fatal(err)
+		}
+		start := sys.Rec.Snapshot()
+		res, err := engine.Run(sys.Clock, users, txns, 7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		d := sys.Rec.Snapshot().Sub(start)
+		fmt.Printf("%-10s %12.0f %14.1f %14.2f\n", k.name, res.TPM,
+			float64(d.Get(tinca.CounterCLFlush))/float64(res.Committed),
+			float64(d.Get(tinca.CounterDiskBlocksWrite))/float64(res.Committed))
+		tpms = append(tpms, res.TPM)
+
+		if err := sys.FS.Check(); err != nil {
+			log.Fatal("fsck: ", err)
+		}
+	}
+	fmt.Printf("\nTinca speedup: %.2fx (paper reports 1.7-1.8x; shape, not absolute numbers)\n",
+		tpms[0]/tpms[1])
+}

@@ -1,0 +1,88 @@
+// Quickstart: the smallest complete use of the public API.
+//
+// It shows the two levels you can program against:
+//
+//  1. The assembled stack: a file system whose every operation is made
+//     crash consistent by Tinca's transactional primitives.
+//  2. The raw cache: Begin/Write/Commit transactions over 4KB blocks,
+//     exactly the tinca_init_txn / tinca_commit / tinca_abort primitives
+//     of the paper (Section 4.1).
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tinca"
+)
+
+func main() {
+	// ---- level 1: the assembled stack ------------------------------------
+	sys, err := tinca.NewStack(tinca.StackConfig{
+		Kind:     tinca.KindTinca,
+		NVMBytes: 16 << 20, // 16MB NVM cache (PCM timing by default)
+		FSBlocks: 8192,     // 32MB file system on an SSD-backed disk
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if err := sys.FS.MkdirAll("/projects/tinca"); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.FS.WriteFile("/projects/tinca/README", []byte("committed without double writes")); err != nil {
+		log.Fatal(err)
+	}
+	data, err := sys.FS.ReadFile("/projects/tinca/README")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("read back: %q\n", data)
+
+	// Power-fail the machine and recover (Section 4.5). Committed data
+	// survives; the file system and cache check out clean.
+	sys.Crash(nil, 0)
+	if err := sys.Remount(); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.FS.Check(); err != nil {
+		log.Fatal("fsck after crash: ", err)
+	}
+	data, _ = sys.FS.ReadFile("/projects/tinca/README")
+	fmt.Printf("after power failure: %q\n", data)
+
+	fmt.Printf("clflush issued so far: %d, disk blocks written: %d, simulated time: %v\n\n",
+		sys.Rec.Get(tinca.CounterCLFlush), sys.Rec.Get(tinca.CounterDiskBlocksWrite), sys.Clock.Now())
+
+	// ---- level 2: raw transactional cache --------------------------------
+	clock := tinca.NewClock()
+	rec := tinca.NewRecorder()
+	mem := tinca.NewNVM(8<<20, tinca.PCM, clock, rec)
+	disk := tinca.NewDisk(1<<16, tinca.SSD, clock, rec)
+	cache, err := tinca.OpenCache(mem, disk, tinca.CacheOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One atomic multi-block transaction: either all three blocks become
+	// visible, or none (all-or-nothing across crashes).
+	txn := cache.Begin()
+	for blk := uint64(100); blk < 103; blk++ {
+		payload := make([]byte, tinca.BlockSize)
+		copy(payload, fmt.Sprintf("block %d, one write, no journal", blk))
+		txn.Write(blk, payload)
+	}
+	if err := txn.Commit(); err != nil {
+		log.Fatal(err)
+	}
+
+	buf := make([]byte, tinca.BlockSize)
+	if err := cache.Read(101, buf); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cache read: %q\n", buf[:34])
+	fmt.Printf("commit cost: %d clflush for 3 blocks (Classic journalling would roughly double it)\n",
+		rec.Get(tinca.CounterCLFlush))
+}

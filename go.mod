@@ -1,0 +1,3 @@
+module tinca
+
+go 1.22

@@ -1,0 +1,103 @@
+package blockdev
+
+import (
+	"bytes"
+	"testing"
+
+	"tinca/internal/metrics"
+	"tinca/internal/sim"
+)
+
+func newDev(t *testing.T, n uint64, p Profile) (*Device, *metrics.Recorder, *sim.Clock) {
+	t.Helper()
+	clock := sim.NewClock()
+	rec := metrics.NewRecorder()
+	return New(n, p, clock, rec), rec, clock
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	d, rec, _ := newDev(t, 100, Null)
+	want := bytes.Repeat([]byte{0xEE}, BlockSize)
+	d.WriteBlock(42, want)
+	got := make([]byte, BlockSize)
+	d.ReadBlock(42, got)
+	if !bytes.Equal(got, want) {
+		t.Fatal("round trip mismatch")
+	}
+	if rec.Get(metrics.DiskBlocksWrite) != 1 || rec.Get(metrics.DiskBlocksRead) != 1 {
+		t.Fatal("block counters wrong")
+	}
+}
+
+func TestUnwrittenBlocksReadZero(t *testing.T) {
+	d, _, _ := newDev(t, 10, Null)
+	p := bytes.Repeat([]byte{0xFF}, BlockSize)
+	d.ReadBlock(3, p)
+	for _, b := range p {
+		if b != 0 {
+			t.Fatal("unwritten block not zero")
+		}
+	}
+}
+
+func TestWriteBlockCopiesBuffer(t *testing.T) {
+	d, _, _ := newDev(t, 10, Null)
+	p := make([]byte, BlockSize)
+	p[0] = 1
+	d.WriteBlock(0, p)
+	p[0] = 99 // caller reuse must not alias device contents
+	q := make([]byte, BlockSize)
+	d.ReadBlock(0, q)
+	if q[0] != 1 {
+		t.Fatal("device aliased caller buffer")
+	}
+}
+
+func TestServiceTimesOrdered(t *testing.T) {
+	elapsed := func(p Profile) int64 {
+		d, _, clock := newDev(t, 10, p)
+		buf := make([]byte, BlockSize)
+		d.WriteBlock(0, buf)
+		d.ReadBlock(0, buf)
+		return int64(clock.Now())
+	}
+	null, ssd, hdd := elapsed(Null), elapsed(SSD), elapsed(HDD)
+	if !(null < ssd && ssd < hdd) {
+		t.Fatalf("service times not ordered: null=%d ssd=%d hdd=%d", null, ssd, hdd)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	d, _, _ := newDev(t, 10, Null)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	d.WriteBlock(10, make([]byte, BlockSize))
+}
+
+func TestShortBufferPanics(t *testing.T) {
+	d, _, _ := newDev(t, 10, Null)
+	for _, fn := range []func(){
+		func() { d.WriteBlock(0, make([]byte, 100)) },
+		func() { d.ReadBlock(0, make([]byte, 100)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("short buffer accepted")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestWrittenBlocksSparse(t *testing.T) {
+	d, _, _ := newDev(t, 1<<30, Null) // huge device, sparse storage
+	d.WriteBlock(1<<29, make([]byte, BlockSize))
+	if d.WrittenBlocks() != 1 {
+		t.Fatalf("written = %d", d.WrittenBlocks())
+	}
+}

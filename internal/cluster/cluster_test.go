@@ -1,0 +1,377 @@
+package cluster_test
+
+import (
+	"bytes"
+	"testing"
+
+	"tinca/internal/blockdev"
+	"tinca/internal/cluster"
+	"tinca/internal/metrics"
+	"tinca/internal/pmem"
+	"tinca/internal/stack"
+	"tinca/internal/workload"
+)
+
+func newCluster(t *testing.T, kind stack.Kind, replicas int) *cluster.Cluster {
+	t.Helper()
+	c, err := cluster.New(cluster.Config{
+		Nodes:    4,
+		Replicas: replicas,
+		Node: stack.Config{
+			Kind:        kind,
+			NVMBytes:    8 << 20,
+			NVMProfile:  pmem.NVDIMM,
+			DiskProfile: blockdev.Null,
+			FSBlocks:    8192,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestHDFSAppendRead(t *testing.T) {
+	c := newCluster(t, stack.Tinca, 2)
+	h := cluster.NewHDFS(c, cluster.HDFSOptions{ChunkBytes: 64 << 10})
+	if err := h.Create("/f"); err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("hdfs-chunk-data."), 10000) // 160KB, 3 chunks
+	if err := h.Append("/f", payload); err != nil {
+		t.Fatal(err)
+	}
+	info, err := h.Stat("/f")
+	if err != nil || info.Size != uint64(len(payload)) {
+		t.Fatalf("stat: %+v %v", info, err)
+	}
+	got := make([]byte, len(payload))
+	n, err := h.ReadAt("/f", 0, got)
+	if err != nil || n != len(payload) {
+		t.Fatalf("read: n=%d err=%v", n, err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("read-back mismatch across chunks")
+	}
+	// Cross-chunk boundary read.
+	small := make([]byte, 100)
+	if _, err := h.ReadAt("/f", 64<<10-50, small); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(small, payload[64<<10-50:64<<10+50]) {
+		t.Fatal("boundary read mismatch")
+	}
+}
+
+func TestHDFSReplicationMultipliesWrites(t *testing.T) {
+	writeVolume := func(replicas int) int64 {
+		c := newCluster(t, stack.Tinca, replicas)
+		h := cluster.NewHDFS(c, cluster.HDFSOptions{ChunkBytes: 64 << 10})
+		if _, err := workload.RunTeraGen(h, workload.TeraGenConfig{Rows: 3000, Seed: 1}); err != nil {
+			t.Fatal(err)
+		}
+		return c.Snapshot().Get(metrics.NVMCLFlush)
+	}
+	r1, r3 := writeVolume(1), writeVolume(3)
+	if r3 < r1*2 {
+		t.Fatalf("3 replicas should flush ≳3x of 1 replica: %d vs %d", r1, r3)
+	}
+}
+
+func TestHDFSWallClockUsesMaxReplica(t *testing.T) {
+	c := newCluster(t, stack.Tinca, 3)
+	h := cluster.NewHDFS(c, cluster.HDFSOptions{ChunkBytes: 64 << 10})
+	h.Create("/t")
+	if err := h.Append("/t", bytes.Repeat([]byte{1}, 32<<10)); err != nil {
+		t.Fatal(err)
+	}
+	var sum, max int64
+	for _, n := range c.Nodes {
+		d := int64(n.Stack.Clock.Now())
+		sum += d
+		if d > max {
+			max = d
+		}
+	}
+	wall := int64(c.Wall.Now())
+	if wall >= sum {
+		t.Fatalf("wall %d should be < sum of node work %d (parallel replicas)", wall, sum)
+	}
+	if wall < max {
+		t.Fatalf("wall %d < slowest node %d", wall, max)
+	}
+}
+
+func TestHDFSRemove(t *testing.T) {
+	c := newCluster(t, stack.Tinca, 2)
+	h := cluster.NewHDFS(c, cluster.HDFSOptions{ChunkBytes: 64 << 10})
+	h.Create("/rm")
+	h.Append("/rm", make([]byte, 100<<10))
+	if err := h.Remove("/rm"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Stat("/rm"); err == nil {
+		t.Fatal("stat after remove succeeded")
+	}
+}
+
+func TestVolumeReplicatesAndReads(t *testing.T) {
+	c := newCluster(t, stack.Tinca, 2)
+	v := cluster.NewVolume(c)
+	if err := v.Mkdir("/data"); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Create("/data/f"); err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{7}, 20000)
+	if err := v.WriteAt("/data/f", 0, payload); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(payload))
+	if _, err := v.ReadAt("/data/f", 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("volume read mismatch")
+	}
+	// The file must exist on exactly Replicas bricks.
+	n := 0
+	for _, node := range c.Nodes {
+		if node.Stack.FS.Exists("/data/f") {
+			n++
+		}
+	}
+	if n != 2 {
+		t.Fatalf("file on %d bricks, want 2", n)
+	}
+}
+
+func TestVolumeRunsFilebench(t *testing.T) {
+	c := newCluster(t, stack.Tinca, 2)
+	v := cluster.NewVolume(c)
+	cnt, err := workload.RunFilebench(v, workload.FilebenchConfig{
+		Profile: workload.Varmail, Files: 16, FileBytes: 8 << 10, Ops: 120, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cnt.FileOps != 120 {
+		t.Fatalf("ops = %d", cnt.FileOps)
+	}
+	// Every brick's local FS must stay consistent.
+	for i, n := range c.Nodes {
+		if err := n.Stack.FS.Check(); err != nil {
+			t.Fatalf("brick %d: %v", i, err)
+		}
+	}
+}
+
+func TestClusterNodeCrashRecovery(t *testing.T) {
+	c := newCluster(t, stack.Tinca, 2)
+	v := cluster.NewVolume(c)
+	v.Mkdir("/d")
+	v.Create("/d/f")
+	v.WriteAt("/d/f", 0, bytes.Repeat([]byte{9}, 8192))
+	// Power-fail one node; its local recovery must succeed and keep
+	// committed data.
+	n := c.Nodes[0]
+	n.Stack.Crash(nil, 0)
+	if err := n.Stack.Remount(); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Stack.FS.Check(); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 8192)
+	if _, err := v.ReadAt("/d/f", 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 9 {
+		t.Fatal("data lost after node recovery")
+	}
+}
+
+func TestReplicaSetValidation(t *testing.T) {
+	_, err := cluster.New(cluster.Config{Nodes: 2, Replicas: 3})
+	if err == nil {
+		t.Fatal("accepted replicas > nodes")
+	}
+}
+
+func TestReadFailover(t *testing.T) {
+	c := newCluster(t, stack.Tinca, 2)
+	v := cluster.NewVolume(c)
+	if err := v.Create("/fo"); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.WriteAt("/fo", 0, bytes.Repeat([]byte{5}, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	// Find the primary brick for this file and fail it.
+	primary := -1
+	for i, n := range c.Nodes {
+		if n.Stack.FS.Exists("/fo") {
+			primary = i
+			break
+		}
+	}
+	if primary < 0 {
+		t.Fatal("file not found on any brick")
+	}
+	if err := c.SetNodeDown(primary, true); err != nil {
+		t.Fatal(err)
+	}
+	// Reads fail over to the surviving replica.
+	p := make([]byte, 4096)
+	if _, err := v.ReadAt("/fo", 0, p); err != nil {
+		t.Fatalf("read after failover: %v", err)
+	}
+	if p[0] != 5 {
+		t.Fatal("failover read returned wrong data")
+	}
+	// Writes refuse (no self-heal in this substrate).
+	if err := v.WriteAt("/fo", 0, p); err != cluster.ErrNodeDown {
+		t.Fatalf("write to degraded set: %v", err)
+	}
+	// Restore the node: its local recovery runs and writes work again.
+	if err := c.SetNodeDown(primary, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.WriteAt("/fo", 0, bytes.Repeat([]byte{6}, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.ReadAt("/fo", 0, p); err != nil || p[0] != 6 {
+		t.Fatalf("after restore: %v %d", err, p[0])
+	}
+}
+
+func TestHDFSReadFailover(t *testing.T) {
+	c := newCluster(t, stack.Tinca, 3)
+	h := cluster.NewHDFS(c, cluster.HDFSOptions{ChunkBytes: 64 << 10})
+	h.Create("/r")
+	payload := bytes.Repeat([]byte{9}, 32<<10)
+	if err := h.Append("/r", payload); err != nil {
+		t.Fatal(err)
+	}
+	// Fail the first replica of the chunk: reads must still succeed.
+	if err := c.SetNodeDown(0, true); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(payload))
+	if _, err := h.ReadAt("/r", 0, got); err != nil {
+		t.Fatalf("read with node 0 down: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("failover read mismatch")
+	}
+}
+
+func TestHDFSWriteAtWithinFile(t *testing.T) {
+	c := newCluster(t, stack.Tinca, 2)
+	h := cluster.NewHDFS(c, cluster.HDFSOptions{ChunkBytes: 64 << 10})
+	h.Create("/wa")
+	if err := h.Append("/wa", bytes.Repeat([]byte{1}, 100<<10)); err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite a range crossing the chunk boundary.
+	patch := bytes.Repeat([]byte{2}, 4096)
+	if err := h.WriteAt("/wa", 64<<10-2048, patch); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 4096)
+	if _, err := h.ReadAt("/wa", 64<<10-2048, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, patch) {
+		t.Fatal("cross-chunk rewrite mismatch")
+	}
+	// WriteAt at EOF appends; beyond EOF errors.
+	if err := h.WriteAt("/wa", 100<<10, []byte("tail")); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.WriteAt("/wa", 200<<10, []byte("x")); err == nil {
+		t.Fatal("write beyond EOF accepted")
+	}
+}
+
+func TestHDFSErrorsAndFsync(t *testing.T) {
+	c := newCluster(t, stack.Tinca, 2)
+	h := cluster.NewHDFS(c, cluster.HDFSOptions{})
+	if err := h.Append("/missing", []byte("x")); err == nil {
+		t.Fatal("append to missing file")
+	}
+	if _, err := h.ReadAt("/missing", 0, make([]byte, 4)); err == nil {
+		t.Fatal("read missing file")
+	}
+	if err := h.Remove("/missing"); err == nil {
+		t.Fatal("remove missing file")
+	}
+	if err := h.Fsync("/missing"); err == nil {
+		t.Fatal("fsync missing file")
+	}
+	h.Create("/e")
+	if err := h.Create("/e"); err == nil {
+		t.Fatal("duplicate create")
+	}
+	if err := h.Fsync("/e"); err != nil { // no chunks yet: no-op
+		t.Fatal(err)
+	}
+	if err := h.Mkdir("/dir"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Mkdir("/dir"); err == nil {
+		t.Fatal("duplicate mkdir")
+	}
+	info, err := h.Stat("/dir")
+	if err != nil || !info.IsDir {
+		t.Fatalf("dir stat: %+v %v", info, err)
+	}
+	if err := h.Remove("/dir"); err != nil {
+		t.Fatal(err)
+	}
+	// Read past EOF.
+	h.Append("/e", []byte("ab"))
+	if _, err := h.ReadAt("/e", 10, make([]byte, 4)); err == nil {
+		t.Fatal("read past EOF accepted")
+	}
+}
+
+func TestVolumeRemoveAndFsync(t *testing.T) {
+	c := newCluster(t, stack.Tinca, 2)
+	v := cluster.NewVolume(c)
+	v.Create("/rf")
+	v.Append("/rf", []byte("data"))
+	if err := v.Fsync("/rf"); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Remove("/rf"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Stat("/rf"); err == nil {
+		t.Fatal("stat removed file")
+	}
+	// Every brick that held it agrees.
+	for _, n := range c.Nodes {
+		if n.Stack.FS.Exists("/rf") {
+			t.Fatal("brick still holds removed file")
+		}
+	}
+}
+
+func TestClusterSnapshotAggregates(t *testing.T) {
+	c := newCluster(t, stack.Tinca, 2)
+	v := cluster.NewVolume(c)
+	v.Create("/agg")
+	v.WriteAt("/agg", 0, make([]byte, 8192))
+	snap := c.Snapshot()
+	if snap.Get(metrics.NVMCLFlush) == 0 {
+		t.Fatal("snapshot missing node counters")
+	}
+	if snap.Get(metrics.NetBytes) == 0 {
+		t.Fatal("snapshot missing network counters")
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

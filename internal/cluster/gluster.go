@@ -1,0 +1,106 @@
+package cluster
+
+import (
+	"tinca/internal/fs"
+)
+
+// Volume is a GlusterFS-like distribute+replicate volume: each file is
+// hashed onto one replica set of Replicas bricks (a brick = one data
+// node's local file system), and the *client* performs the replication —
+// every write is shipped to each brick in the set, as GlusterFS AFR does.
+// Reads are served by the first brick of the set.
+//
+// Volume implements workload.FileAPI, so the Filebench personalities of
+// Section 5.3.2 drive it unchanged.
+type Volume struct {
+	c *Cluster
+}
+
+// NewVolume creates a replicated volume view over the cluster.
+func NewVolume(c *Cluster) *Volume { return &Volume{c: c} }
+
+func (v *Volume) bricks(path string) []*Node {
+	return v.c.replicaSet(fnv1a(path), v.c.Cfg.Replicas)
+}
+
+// dirBricks: directories exist on every brick (GlusterFS creates the
+// directory structure cluster-wide).
+func (v *Volume) allBricks() []*Node { return v.c.Nodes }
+
+// Mkdir creates the directory on every brick.
+func (v *Volume) Mkdir(path string) error {
+	v.c.netCost(64, v.c.Cfg.Nodes)
+	return v.c.applyReplicated(v.allBricks(), func(n *Node) error {
+		err := n.Stack.FS.Mkdir(path)
+		if err == fs.ErrExist {
+			return nil
+		}
+		return err
+	})
+}
+
+// Create creates the file on its replica set.
+func (v *Volume) Create(path string) error {
+	v.c.netCost(64, v.c.Cfg.Replicas)
+	return v.c.applyReplicated(v.bricks(path), func(n *Node) error {
+		return n.Stack.FS.Create(path)
+	})
+}
+
+// Remove unlinks the file from its replica set.
+func (v *Volume) Remove(path string) error {
+	v.c.netCost(64, v.c.Cfg.Replicas)
+	return v.c.applyReplicated(v.bricks(path), func(n *Node) error {
+		return n.Stack.FS.Remove(path)
+	})
+}
+
+// WriteAt replicates the write to every brick in the set (client-side
+// replication: the payload crosses the network once per replica).
+func (v *Volume) WriteAt(path string, off uint64, data []byte) error {
+	v.c.netCost(int64(len(data)), v.c.Cfg.Replicas)
+	return v.c.applyReplicated(v.bricks(path), func(n *Node) error {
+		return n.Stack.FS.WriteAt(path, off, data)
+	})
+}
+
+// Append replicates an append.
+func (v *Volume) Append(path string, data []byte) error {
+	v.c.netCost(int64(len(data)), v.c.Cfg.Replicas)
+	return v.c.applyReplicated(v.bricks(path), func(n *Node) error {
+		return n.Stack.FS.Append(path, data)
+	})
+}
+
+// ReadAt reads from the first healthy brick of the set (failover: a down
+// brick is skipped, as GlusterFS AFR serves reads from any live replica).
+func (v *Volume) ReadAt(path string, off uint64, p []byte) (int, error) {
+	var nread int
+	err := v.c.applyFirstUp(v.bricks(path), func(n *Node) error {
+		var e error
+		nread, e = n.Stack.FS.ReadAt(path, off, p)
+		return e
+	})
+	v.c.netCost(int64(nread), 1)
+	return nread, err
+}
+
+// Stat queries the first healthy brick.
+func (v *Volume) Stat(path string) (fs.FileInfo, error) {
+	var info fs.FileInfo
+	err := v.c.applyFirstUp(v.bricks(path), func(n *Node) error {
+		var e error
+		info, e = n.Stack.FS.Stat(path)
+		return e
+	})
+	v.c.netCost(64, 1)
+	return info, err
+}
+
+// Fsync syncs every replica.
+func (v *Volume) Fsync(path string) error {
+	v.c.netCost(64, v.c.Cfg.Replicas)
+	return v.c.applyReplicated(v.bricks(path), func(n *Node) error {
+		return n.Stack.FS.Fsync(path)
+	})
+}

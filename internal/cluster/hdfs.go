@@ -1,0 +1,289 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"tinca/internal/fs"
+)
+
+// HDFS is an HDFS-like distributed file system: a NameNode (in-memory
+// metadata: file → chunk list → replica nodes) over the cluster's data
+// nodes. Files are striped into fixed-size chunks; each chunk is written
+// to Replicas nodes through a replication pipeline (the client ships the
+// bytes once; data nodes forward along the pipeline, so the payload
+// crosses one network hop per replica while the replica disks work in
+// parallel).
+//
+// HDFS implements workload.FileAPI so TeraGen (and any other generator)
+// can drive it unchanged.
+type HDFS struct {
+	mu sync.Mutex
+	c  *Cluster
+
+	chunkBytes uint64
+	files      map[string]*dfsFile
+	dirs       map[string]bool
+	nextChunk  uint64
+	rrNext     int // round-robin start for chunk placement
+}
+
+type dfsFile struct {
+	size   uint64
+	chunks []dfsChunk
+}
+
+type dfsChunk struct {
+	id    uint64
+	nodes []*Node
+	size  uint64 // bytes currently in this chunk
+}
+
+// HDFSOptions tune the DFS.
+type HDFSOptions struct {
+	ChunkBytes uint64 // default 2MB (scaled from HDFS's 128MB)
+}
+
+// NewHDFS creates the name-node state over an existing cluster.
+func NewHDFS(c *Cluster, opts HDFSOptions) *HDFS {
+	if opts.ChunkBytes == 0 {
+		opts.ChunkBytes = 2 << 20
+	}
+	return &HDFS{
+		c:          c,
+		chunkBytes: opts.ChunkBytes,
+		files:      make(map[string]*dfsFile),
+		dirs:       map[string]bool{"/": true},
+	}
+}
+
+func chunkPath(id uint64) string { return fmt.Sprintf("/chunks/c%08d", id) }
+
+// Mkdir records a directory in the NameNode (pure metadata).
+func (h *HDFS) Mkdir(path string) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.dirs[path] {
+		return fs.ErrExist
+	}
+	h.dirs[path] = true
+	h.c.netCost(64, 1) // RPC to the name node
+	return nil
+}
+
+// Create registers an empty file.
+func (h *HDFS) Create(path string) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.files[path]; ok {
+		return fs.ErrExist
+	}
+	h.files[path] = &dfsFile{}
+	h.c.netCost(64, 1)
+	return nil
+}
+
+// allocChunk places a new chunk on Replicas nodes round-robin and creates
+// the backing local files.
+func (h *HDFS) allocChunk() (dfsChunk, error) {
+	r := h.c.Cfg.Replicas
+	nodes := make([]*Node, 0, r)
+	for i := 0; i < r; i++ {
+		nodes = append(nodes, h.c.Nodes[(h.rrNext+i)%h.c.Cfg.Nodes])
+	}
+	h.rrNext = (h.rrNext + 1) % h.c.Cfg.Nodes
+	ch := dfsChunk{id: h.nextChunk, nodes: nodes}
+	h.nextChunk++
+	p := chunkPath(ch.id)
+	err := h.c.applyReplicated(nodes, func(n *Node) error {
+		if !n.Stack.FS.Exists("/chunks") {
+			if err := n.Stack.FS.Mkdir("/chunks"); err != nil && err != fs.ErrExist {
+				return err
+			}
+		}
+		return n.Stack.FS.Create(p)
+	})
+	h.c.netCost(64, r) // pipeline setup RPCs
+	return ch, err
+}
+
+// Append streams data onto the end of the file, crossing chunk boundaries
+// as needed. The payload crosses the network once per replica hop; the
+// replica writes proceed in parallel.
+func (h *HDFS) Append(path string, data []byte) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	f, ok := h.files[path]
+	if !ok {
+		return fs.ErrNotExist
+	}
+	remaining := data
+	for len(remaining) > 0 {
+		if len(f.chunks) == 0 || f.chunks[len(f.chunks)-1].size >= h.chunkBytes {
+			ch, err := h.allocChunk()
+			if err != nil {
+				return err
+			}
+			f.chunks = append(f.chunks, ch)
+		}
+		cur := &f.chunks[len(f.chunks)-1]
+		n := h.chunkBytes - cur.size
+		if n > uint64(len(remaining)) {
+			n = uint64(len(remaining))
+		}
+		part := remaining[:n]
+		h.c.netCost(int64(n), h.c.Cfg.Replicas)
+		err := h.c.applyReplicated(cur.nodes, func(node *Node) error {
+			return node.Stack.FS.Append(chunkPath(cur.id), part)
+		})
+		if err != nil {
+			return err
+		}
+		cur.size += n
+		f.size += n
+		remaining = remaining[n:]
+	}
+	return nil
+}
+
+// WriteAt writes within the already-materialized span of the file
+// (HDFS itself is append-only; this supports rewrites inside existing
+// chunks for generality).
+func (h *HDFS) WriteAt(path string, off uint64, data []byte) error {
+	h.mu.Lock()
+	f, ok := h.files[path]
+	h.mu.Unlock()
+	if !ok {
+		return fs.ErrNotExist
+	}
+	if off == f.size {
+		return h.Append(path, data)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if off+uint64(len(data)) > f.size {
+		return fmt.Errorf("cluster: HDFS WriteAt beyond EOF (append-only semantics)")
+	}
+	remaining := data
+	pos := off
+	for len(remaining) > 0 {
+		ci := int(pos / h.chunkBytes)
+		co := pos % h.chunkBytes
+		ch := &f.chunks[ci]
+		n := ch.size - co
+		if n > uint64(len(remaining)) {
+			n = uint64(len(remaining))
+		}
+		part := remaining[:n]
+		h.c.netCost(int64(n), h.c.Cfg.Replicas)
+		err := h.c.applyReplicated(ch.nodes, func(node *Node) error {
+			return node.Stack.FS.WriteAt(chunkPath(ch.id), co, part)
+		})
+		if err != nil {
+			return err
+		}
+		pos += n
+		remaining = remaining[n:]
+	}
+	return nil
+}
+
+// ReadAt reads from the first replica of each covered chunk.
+func (h *HDFS) ReadAt(path string, off uint64, p []byte) (int, error) {
+	h.mu.Lock()
+	f, ok := h.files[path]
+	h.mu.Unlock()
+	if !ok {
+		return 0, fs.ErrNotExist
+	}
+	if off >= f.size {
+		return 0, fs.ErrReadRange
+	}
+	want := uint64(len(p))
+	if off+want > f.size {
+		want = f.size - off
+	}
+	read := uint64(0)
+	for read < want {
+		pos := off + read
+		ci := int(pos / h.chunkBytes)
+		co := pos % h.chunkBytes
+		ch := &f.chunks[ci]
+		n := ch.size - co
+		if n > want-read {
+			n = want - read
+		}
+		var nread int
+		err := h.c.applyFirstUp(ch.nodes, func(nd *Node) error {
+			var e error
+			nread, e = nd.Stack.FS.ReadAt(chunkPath(ch.id), co, p[read:read+n])
+			return e
+		})
+		if err != nil {
+			return int(read), err
+		}
+		h.c.netCost(int64(nread), 1)
+		read += uint64(nread)
+		if uint64(nread) < n {
+			break
+		}
+	}
+	return int(read), nil
+}
+
+// Stat reports file metadata from the NameNode.
+func (h *HDFS) Stat(path string) (fs.FileInfo, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.dirs[path] {
+		return fs.FileInfo{IsDir: true}, nil
+	}
+	f, ok := h.files[path]
+	if !ok {
+		return fs.FileInfo{}, fs.ErrNotExist
+	}
+	return fs.FileInfo{Size: f.size, Nlink: 1}, nil
+}
+
+// Remove deletes a file and its chunks on every replica.
+func (h *HDFS) Remove(path string) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.dirs[path] {
+		delete(h.dirs, path)
+		return nil
+	}
+	f, ok := h.files[path]
+	if !ok {
+		return fs.ErrNotExist
+	}
+	for i := range f.chunks {
+		ch := &f.chunks[i]
+		err := h.c.applyReplicated(ch.nodes, func(n *Node) error {
+			return n.Stack.FS.Remove(chunkPath(ch.id))
+		})
+		if err != nil {
+			return err
+		}
+	}
+	h.c.netCost(64, 1)
+	delete(h.files, path)
+	return nil
+}
+
+// Fsync flushes the file's chunks on every replica.
+func (h *HDFS) Fsync(path string) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	f, ok := h.files[path]
+	if !ok {
+		return fs.ErrNotExist
+	}
+	if len(f.chunks) == 0 {
+		return nil
+	}
+	ch := &f.chunks[len(f.chunks)-1]
+	return h.c.applyReplicated(ch.nodes, func(n *Node) error {
+		return n.Stack.FS.Fsync(chunkPath(ch.id))
+	})
+}

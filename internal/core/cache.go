@@ -1,0 +1,379 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"tinca/internal/blockdev"
+	"tinca/internal/metrics"
+	"tinca/internal/pmem"
+)
+
+// Ablation selects the commit mechanism, for the design-choice benches in
+// DESIGN.md §6. The paper's Tinca is AblationNone.
+type Ablation int
+
+const (
+	// AblationNone is the paper's design: role switch + COW, no double
+	// writes.
+	AblationNone Ablation = iota
+	// AblationDoubleWrite disables role switch: every committed block is
+	// written twice into NVM (once as a log copy, once to its cache
+	// location), mimicking journaling inside the cache.
+	AblationDoubleWrite
+	// AblationUBJ mimics UBJ's commit-in-place (Section 5.4.4): a write
+	// hit on a frozen block pays an extra in-NVM memcpy on the critical
+	// path instead of Tinca's pointer-flip COW.
+	AblationUBJ
+)
+
+// Options configure a Cache.
+type Options struct {
+	// RingBytes is the ring buffer size; the paper's default (1MB) when 0.
+	RingBytes int
+	// Ablation selects the commit mechanism (default: the paper's design).
+	Ablation Ablation
+	// DisableTxnPin turns off replacement rule 2 (Section 4.6): blocks of
+	// the committing transaction become evictable. Only meaningful for the
+	// ablation bench; unsafe for crash consistency.
+	DisableTxnPin bool
+	// WriteThrough propagates every committed block to disk at commit
+	// time and keeps cached copies clean (the paper's default is
+	// write-back; write-through trades throughput for a disk that is
+	// always current).
+	WriteThrough bool
+	// RotatePointers spreads Head/Tail pointer updates across
+	// DefaultPtrSlots cache lines instead of one fixed line each,
+	// dividing the hottest-line wear accordingly (an endurance extension
+	// motivated by the wear profile the endurance experiment exposes; see
+	// EXPERIMENTS.md).
+	RotatePointers bool
+}
+
+// Common errors.
+var (
+	// ErrTxnTooLarge is returned when a transaction has more blocks than
+	// the ring buffer has slots.
+	ErrTxnTooLarge = errors.New("core: transaction exceeds ring buffer capacity")
+	// ErrNoSpace is returned when no block can be evicted to make room
+	// (every resident block is pinned by the committing transaction).
+	ErrNoSpace = errors.New("core: cache full of pinned blocks")
+	// ErrClosed is returned by operations on a closed cache.
+	ErrClosed = errors.New("core: cache closed")
+)
+
+// Cache is a transactional NVM disk cache (Tinca). It caches 4KB blocks of
+// the underlying disk in NVM with a write-back policy and exports the
+// transactional primitives Begin/Commit/Abort to the layer above.
+//
+// All public methods are safe for concurrent use; commits are serialized
+// internally (one committing transaction at a time, Section 4.4), while
+// running transactions build up concurrently in DRAM.
+type Cache struct {
+	mu   sync.Mutex
+	mem  *pmem.Device
+	disk *blockdev.Device
+	lay  Layout
+	rec  *metrics.Recorder
+	opts Options
+
+	// DRAM auxiliary structures (Section 4.6); rebuilt on startup.
+	hash       map[uint64]int32 // disk block -> entry slot
+	lru        *lruList
+	freeBlocks []uint32 // free NVM data blocks (free block monitor)
+	freeSlots  []int32  // free entry-table slots
+
+	head, tail uint64 // cached copies of the persistent pointers
+
+	// pinnedSlot protects the previous version of the block currently
+	// being COW-committed: its entry still carries the buffer role while
+	// the new copy is allocated, but replacement rule 2 (Section 4.6)
+	// forbids evicting either copy of a block in the committing
+	// transaction. lruNil when nothing is pinned.
+	pinnedSlot int32
+	closed     bool
+}
+
+// Open formats or recovers a Tinca cache on the given NVM device, backed
+// by the given disk. If the device already holds a Tinca layout (matching
+// magic and geometry), crash recovery runs (Section 4.5); otherwise the
+// device is formatted fresh.
+func Open(mem *pmem.Device, disk *blockdev.Device, opts Options) (*Cache, error) {
+	ptrSlots := 1
+	if opts.RotatePointers {
+		ptrSlots = DefaultPtrSlots
+	}
+	lay, err := ComputeLayout(mem.Size(), opts.RingBytes, ptrSlots)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cache{
+		mem:        mem,
+		disk:       disk,
+		lay:        lay,
+		rec:        mem.Recorder(),
+		opts:       opts,
+		hash:       make(map[uint64]int32),
+		lru:        newLRU(lay.Capacity),
+		pinnedSlot: lruNil,
+	}
+	if c.isFormatted() {
+		if err := c.recover(); err != nil {
+			return nil, err
+		}
+	} else {
+		c.format()
+	}
+	return c, nil
+}
+
+func (c *Cache) isFormatted() bool {
+	return c.mem.Load8(c.lay.HeaderOff+hdrMagic) == layoutMagic &&
+		c.mem.Load8(c.lay.HeaderOff+hdrVersion) == layoutVersion &&
+		c.mem.Load8(c.lay.HeaderOff+hdrCapacity) == uint64(c.lay.Capacity) &&
+		c.mem.Load8(c.lay.HeaderOff+hdrRingSlot) == uint64(c.lay.RingSlots) &&
+		c.mem.Load8(c.lay.HeaderOff+hdrPtrSlots) == uint64(c.lay.PtrSlots)
+}
+
+// loadPointer reads a possibly-rotated pointer: the latest persisted
+// value is the maximum across the rotation slots (values are monotonic
+// and each store is atomic).
+func (c *Cache) loadPointer(base int) uint64 {
+	if c.lay.PtrSlots <= 1 {
+		return c.mem.Load8(base)
+	}
+	var max uint64
+	for i := 0; i < c.lay.PtrSlots; i++ {
+		if v := c.mem.Load8(base + i*pmem.LineSize); v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+func (c *Cache) format() {
+	// A fresh pmem device is zeroed, so the entry table (all-invalid) and
+	// the Head/Tail pointers (both zero) need no explicit pass. Persist
+	// the header last so a crash mid-format is just an unformatted device.
+	c.mem.Persist8(c.lay.HeadOff, 0)
+	c.mem.Persist8(c.lay.TailOff, 0)
+	c.mem.Store8(c.lay.HeaderOff+hdrVersion, layoutVersion)
+	c.mem.Store8(c.lay.HeaderOff+hdrCapacity, uint64(c.lay.Capacity))
+	c.mem.Store8(c.lay.HeaderOff+hdrRingSlot, uint64(c.lay.RingSlots))
+	c.mem.Store8(c.lay.HeaderOff+hdrPtrSlots, uint64(c.lay.PtrSlots))
+	c.mem.CLFlush(c.lay.HeaderOff, pmem.LineSize)
+	c.mem.SFence()
+	c.mem.Persist8(c.lay.HeaderOff+hdrMagic, layoutMagic)
+	c.head, c.tail = 0, 0
+	for b := c.lay.Capacity - 1; b >= 0; b-- {
+		c.freeBlocks = append(c.freeBlocks, uint32(b))
+		c.freeSlots = append(c.freeSlots, int32(b))
+	}
+}
+
+// Layout exposes the computed NVM layout (for tests and tooling).
+func (c *Cache) Layout() Layout { return c.lay }
+
+// Capacity returns the number of cacheable 4KB blocks.
+func (c *Cache) Capacity() int { return c.lay.Capacity }
+
+// FreeBlocks reports how many NVM data blocks are currently unused.
+func (c *Cache) FreeBlocks() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.freeBlocks)
+}
+
+// readEntry loads and decodes entry slot i from NVM.
+func (c *Cache) readEntry(i int32) entry {
+	return decodeEntry(c.mem.Load16(c.lay.entryOff(int(i))))
+}
+
+// writeEntry persists entry slot i with one atomic 16B store + flush +
+// fence (the cmpxchg16b path of Section 4.2).
+func (c *Cache) writeEntry(i int32, e entry) {
+	c.mem.Persist16(c.lay.entryOff(int(i)), encodeEntry(e))
+}
+
+// clearEntry atomically invalidates entry slot i.
+func (c *Cache) clearEntry(i int32) {
+	c.mem.Persist16(c.lay.entryOff(int(i)), [16]byte{})
+}
+
+// allocBlock returns a free NVM data block, evicting if necessary.
+// Caller holds c.mu.
+func (c *Cache) allocBlock() (uint32, error) {
+	if n := len(c.freeBlocks); n > 0 {
+		b := c.freeBlocks[n-1]
+		c.freeBlocks = c.freeBlocks[:n-1]
+		return b, nil
+	}
+	if err := c.evictOne(); err != nil {
+		return 0, err
+	}
+	n := len(c.freeBlocks)
+	b := c.freeBlocks[n-1]
+	c.freeBlocks = c.freeBlocks[:n-1]
+	return b, nil
+}
+
+// allocSlot returns a free entry-table slot. The entry table has exactly
+// one slot per data block and every cached block consumes at least one
+// data block, so a successful allocBlock guarantees a slot exists.
+func (c *Cache) allocSlot() int32 {
+	n := len(c.freeSlots)
+	if n == 0 {
+		panic("core: entry table exhausted before data area")
+	}
+	s := c.freeSlots[n-1]
+	c.freeSlots = c.freeSlots[:n-1]
+	return s
+}
+
+// evictOne selects the LRU victim that is not pinned by the committing
+// transaction (replacement rules of Section 4.6) and evicts it, writing it
+// back to disk first when dirty. Caller holds c.mu.
+func (c *Cache) evictOne() error {
+	for i := c.lru.tail; i != lruNil; i = c.lru.prev[i] {
+		e := c.readEntry(i)
+		if !e.valid {
+			panic(fmt.Sprintf("core: invalid entry %d on LRU list", i))
+		}
+		if e.role == RoleLog && !c.opts.DisableTxnPin {
+			// Rule 2: blocks of the committing transaction (and their
+			// previous versions, which this entry still references) stay.
+			continue
+		}
+		if i == c.pinnedSlot && !c.opts.DisableTxnPin {
+			// The entry still reads as a buffer block, but it is the hit
+			// target of the in-flight COW commit: rule 2 protects both of
+			// its copies until the log-role entry is persisted.
+			continue
+		}
+		c.evictEntry(i, e)
+		return nil
+	}
+	return ErrNoSpace
+}
+
+// evictEntry removes entry i from the cache. Caller holds c.mu.
+func (c *Cache) evictEntry(i int32, e entry) {
+	if e.modified {
+		buf := make([]byte, BlockSize)
+		c.mem.Load(c.lay.blockOff(e.cur), buf)
+		c.disk.WriteBlock(e.disk, buf)
+		c.rec.Inc(metrics.CacheEvictDirty)
+	}
+	c.rec.Inc(metrics.CacheEvict)
+	// Crash ordering: the disk write above is durable before the entry is
+	// invalidated, so a crash in between only leaves a redundant dirty
+	// entry, never a lost block.
+	c.clearEntry(i)
+	c.lru.remove(i)
+	delete(c.hash, e.disk)
+	c.freeSlots = append(c.freeSlots, i)
+	c.freeBlocks = append(c.freeBlocks, e.cur)
+	if e.prev != Fresh {
+		// Only possible when txn pinning is disabled (ablation mode).
+		c.freeBlocks = append(c.freeBlocks, e.prev)
+	}
+}
+
+// Read copies the current committed contents of disk block no into p
+// (BlockSize bytes). A miss populates the cache from disk (the cache
+// serves reads as well as writes, Section 4.6).
+func (c *Cache) Read(no uint64, p []byte) error {
+	if len(p) != BlockSize {
+		return fmt.Errorf("core: Read buffer must be %d bytes", BlockSize)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	if i, ok := c.hash[no]; ok {
+		e := c.readEntry(i)
+		c.mem.Load(c.lay.blockOff(e.cur), p)
+		c.lru.touch(i)
+		c.rec.Inc(metrics.CacheReadHit)
+		return nil
+	}
+	c.rec.Inc(metrics.CacheReadMiss)
+	return c.fillFromDisk(no, p)
+}
+
+// fillFromDisk reads block no from disk, installs it clean in the cache
+// and copies it to p if non-nil. Caller holds c.mu.
+func (c *Cache) fillFromDisk(no uint64, p []byte) error {
+	buf := make([]byte, BlockSize)
+	c.disk.ReadBlock(no, buf)
+	if p != nil {
+		copy(p, buf)
+	}
+	b, err := c.allocBlock()
+	if err != nil {
+		return err
+	}
+	// Persist the data before the entry that points at it; otherwise a
+	// crash could leave a clean-looking entry over garbage.
+	c.mem.PersistRange(c.lay.blockOff(b), buf)
+	i := c.allocSlot()
+	c.writeEntry(i, entry{valid: true, role: RoleBuffer, modified: false, disk: no, prev: Fresh, cur: b})
+	c.hash[no] = i
+	c.lru.pushFront(i)
+	return nil
+}
+
+// Contains reports whether disk block no is resident (for tests).
+func (c *Cache) Contains(no uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.hash[no]
+	return ok
+}
+
+// FlushAll writes every dirty cached block back to disk and marks it
+// clean. It is the orderly-shutdown / drain path; crash consistency never
+// depends on it.
+func (c *Cache) FlushAll() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	buf := make([]byte, BlockSize)
+	for no, i := range c.hash {
+		e := c.readEntry(i)
+		if !e.modified {
+			continue
+		}
+		c.mem.Load(c.lay.blockOff(e.cur), buf)
+		c.disk.WriteBlock(no, buf)
+		e.modified = false
+		c.writeEntry(i, e)
+	}
+	return nil
+}
+
+// Close flushes dirty data and rejects further use.
+func (c *Cache) Close() error {
+	if err := c.FlushAll(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	return nil
+}
+
+// WriteHitRate returns cache write hits / (hits+misses) over the lifetime
+// of the shared recorder (Figure 12(c) metric).
+func (c *Cache) WriteHitRate() float64 {
+	h := c.rec.Get(metrics.CacheWriteHit)
+	m := c.rec.Get(metrics.CacheWriteMiss)
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}

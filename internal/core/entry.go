@@ -1,0 +1,93 @@
+package core
+
+import "encoding/binary"
+
+// Role of a cached block (Section 4.3). A block being committed carries
+// the log role; on completion of the whole transaction it is switched to
+// the buffer role. Only buffer blocks may be flushed to disk for
+// replacement.
+type Role byte
+
+const (
+	// RoleBuffer marks a stationary cached block, eligible for replacement.
+	RoleBuffer Role = iota
+	// RoleLog marks a block that belongs to the ongoing committing
+	// transaction; it is pinned in the cache and revoked on crash unless
+	// the transaction completed.
+	RoleLog
+)
+
+func (r Role) String() string {
+	if r == RoleLog {
+		return "log"
+	}
+	return "buffer"
+}
+
+// entry is the decoded form of a 16-byte cache entry:
+//
+//	byte 0      : flags — bit0 valid, bit1 R (role, 1=log), bit2 M (modified)
+//	bytes 1..7  : on-disk block number (7 bytes, little endian)
+//	bytes 8..11 : previous NVM block number (Fresh when none)
+//	bytes 12..15: current NVM block number
+//
+// A zeroed slot is an invalid (unused) entry, so a freshly formatted entry
+// table needs no initialization pass.
+type entry struct {
+	valid    bool
+	role     Role
+	modified bool
+	disk     uint64 // on-disk block number (max 2^56-1)
+	prev     uint32 // previous NVM block, Fresh when none
+	cur      uint32 // current NVM block
+}
+
+const (
+	flagValid    = 1 << 0
+	flagRoleLog  = 1 << 1
+	flagModified = 1 << 2
+)
+
+// maxDiskBlock is the largest representable on-disk block number (7 bytes).
+const maxDiskBlock = 1<<56 - 1
+
+func encodeEntry(e entry) (b [16]byte) {
+	if !e.valid {
+		return b
+	}
+	var f byte = flagValid
+	if e.role == RoleLog {
+		f |= flagRoleLog
+	}
+	if e.modified {
+		f |= flagModified
+	}
+	b[0] = f
+	if e.disk > maxDiskBlock {
+		panic("core: disk block number exceeds 7 bytes")
+	}
+	var d [8]byte
+	binary.LittleEndian.PutUint64(d[:], e.disk)
+	copy(b[1:8], d[:7])
+	binary.LittleEndian.PutUint32(b[8:12], e.prev)
+	binary.LittleEndian.PutUint32(b[12:16], e.cur)
+	return b
+}
+
+func decodeEntry(b [16]byte) entry {
+	var e entry
+	if b[0]&flagValid == 0 {
+		return e
+	}
+	e.valid = true
+	if b[0]&flagRoleLog != 0 {
+		e.role = RoleLog
+	}
+	e.modified = b[0]&flagModified != 0
+	var d [8]byte
+	copy(d[:7], b[1:8])
+	e.disk = binary.LittleEndian.Uint64(d[:])
+	e.prev = binary.LittleEndian.Uint32(b[8:12])
+	e.cur = binary.LittleEndian.Uint32(b[12:16])
+	return e
+}

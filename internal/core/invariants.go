@@ -1,0 +1,87 @@
+package core
+
+import "fmt"
+
+// CheckInvariants verifies the structural invariants of DESIGN.md §5
+// against both the persistent entry table and the DRAM structures. It is
+// used by the crash-consistency test suite after every recovery; any
+// violation is returned as an error naming the broken invariant.
+func (c *Cache) CheckInvariants() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	if c.head != c.tail {
+		return fmt.Errorf("invariant: Head (%d) != Tail (%d) while quiescent", c.head, c.tail)
+	}
+	if h := c.loadPointer(c.lay.HeadOff); h != c.head {
+		return fmt.Errorf("invariant: persistent Head %d != cached %d", h, c.head)
+	}
+	if t := c.loadPointer(c.lay.TailOff); t != c.tail {
+		return fmt.Errorf("invariant: persistent Tail %d != cached %d", t, c.tail)
+	}
+
+	seenDisk := make(map[uint64]int32)
+	usedBlock := make(map[uint32]int32)
+	valid := 0
+	for i := 0; i < c.lay.Capacity; i++ {
+		e := c.readEntry(int32(i))
+		if !e.valid {
+			continue
+		}
+		valid++
+		if e.role == RoleLog {
+			return fmt.Errorf("invariant: entry %d still has log role while quiescent", i)
+		}
+		if e.prev != Fresh {
+			return fmt.Errorf("invariant: entry %d keeps previous version %d while quiescent", i, e.prev)
+		}
+		if j, dup := seenDisk[e.disk]; dup {
+			return fmt.Errorf("invariant: disk block %d mapped by entries %d and %d", e.disk, j, i)
+		}
+		seenDisk[e.disk] = int32(i)
+		if int(e.cur) >= c.lay.Capacity {
+			return fmt.Errorf("invariant: entry %d references NVM block %d beyond capacity %d", i, e.cur, c.lay.Capacity)
+		}
+		if j, dup := usedBlock[e.cur]; dup {
+			return fmt.Errorf("invariant: NVM block %d referenced by entries %d and %d", e.cur, j, i)
+		}
+		usedBlock[e.cur] = int32(i)
+		if got, ok := c.hash[e.disk]; !ok || got != int32(i) {
+			return fmt.Errorf("invariant: hash table out of sync for disk block %d (entry %d)", e.disk, i)
+		}
+	}
+	if len(c.hash) != valid {
+		return fmt.Errorf("invariant: hash has %d mappings, entry table has %d valid entries", len(c.hash), valid)
+	}
+	if c.lru.len() != valid {
+		return fmt.Errorf("invariant: LRU links %d slots, entry table has %d valid entries", c.lru.len(), valid)
+	}
+
+	// Free monitor and referenced blocks must partition the data area.
+	if len(c.freeBlocks)+len(usedBlock) != c.lay.Capacity {
+		return fmt.Errorf("invariant: free (%d) + used (%d) != capacity (%d)",
+			len(c.freeBlocks), len(usedBlock), c.lay.Capacity)
+	}
+	for _, b := range c.freeBlocks {
+		if _, used := usedBlock[b]; used {
+			return fmt.Errorf("invariant: NVM block %d both free and referenced", b)
+		}
+	}
+	if len(c.freeSlots)+valid != c.lay.Capacity {
+		return fmt.Errorf("invariant: free slots (%d) + valid entries (%d) != capacity (%d)",
+			len(c.freeSlots), valid, c.lay.Capacity)
+	}
+	return nil
+}
+
+// ResidentBlocks returns the set of cached disk block numbers with their
+// dirtiness, for test oracles.
+func (c *Cache) ResidentBlocks() map[uint64]bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[uint64]bool, len(c.hash))
+	for no, i := range c.hash {
+		out[no] = c.readEntry(i).modified
+	}
+	return out
+}

@@ -1,0 +1,146 @@
+// Package core implements Tinca, the transactional NVM disk cache that is
+// the paper's primary contribution (Section 4).
+//
+// The NVM space is partitioned exactly as in Figure 5 of the paper:
+//
+//	+-----------+------+------+-------------+---------------+-----------------+
+//	| header    | Head | Tail | ring buffer | cache entries | cached blocks   |
+//	| (64B)     | (64B)| (64B)| (8B slots)  | (16B each)    | (4KB each)      |
+//	+-----------+------+------+-------------+---------------+-----------------+
+//
+// The ring buffer regulates committing transactions (Section 4.4): each
+// slot records the on-disk block number of one committed block; Head and
+// Tail are persistent 8-byte pointers updated with atomic stores. Cache
+// entries are 16 bytes — small enough for one LOCK cmpxchg16b — and carry
+// the block's role (log/buffer), modified bit, on-disk block number, and
+// the previous and current NVM block locations used by COW block writes.
+package core
+
+import (
+	"fmt"
+
+	"tinca/internal/blockdev"
+	"tinca/internal/pmem"
+)
+
+// BlockSize is the caching unit (4KB, Section 4.2).
+const BlockSize = blockdev.BlockSize
+
+// EntrySize is the size of one cache entry (16B, Section 4.2).
+const EntrySize = 16
+
+// RingSlotSize is the size of one ring-buffer element (8B, Section 4.4).
+const RingSlotSize = 8
+
+// DefaultRingBytes is the paper's default ring buffer size (1MB).
+const DefaultRingBytes = 1 << 20
+
+// Fresh is the special tag stored as the previous NVM block number of an
+// entry created by a write miss (Section 4.3): there is no previous
+// version to roll back to.
+const Fresh uint32 = 0xFFFFFFFF
+
+const (
+	layoutMagic   uint64 = 0x61636e6974 // "tinca"
+	layoutVersion uint64 = 1
+)
+
+// Layout describes where each NVM region lives. All offsets are cache-line
+// aligned; the data area is additionally block aligned.
+type Layout struct {
+	HeaderOff int
+	HeadOff   int // persistent Head pointer area (PtrSlots cache lines)
+	TailOff   int // persistent Tail pointer area (PtrSlots cache lines)
+	PtrSlots  int // wear-leveling rotation slots per pointer (1 = fixed)
+	RingOff   int
+	RingSlots int // number of 8B slots
+	EntryOff  int
+	DataOff   int
+	Capacity  int // number of 4KB NVM cache blocks == number of entry slots
+}
+
+// Header fields within the header line.
+const (
+	hdrMagic    = 0  // +0: magic
+	hdrVersion  = 8  // +8: version
+	hdrCapacity = 16 // +16: capacity (blocks)
+	hdrRingSlot = 24 // +24: ring slots
+	hdrPtrSlots = 32 // +32: pointer rotation slots
+)
+
+// DefaultPtrSlots is the rotation factor used when pointer wear leveling
+// is enabled: Head/Tail updates spread over this many cache lines,
+// dividing the hottest-line wear by the same factor.
+const DefaultPtrSlots = 8
+
+func alignUp(x, a int) int { return (x + a - 1) / a * a }
+
+// ComputeLayout fits the Tinca regions into an NVM device of devSize bytes
+// with the requested ring size and pointer-rotation factor (ptrSlots <= 1
+// keeps the paper's fixed Head/Tail lines). It returns an error when the
+// device is too small to hold even a handful of blocks.
+func ComputeLayout(devSize, ringBytes, ptrSlots int) (Layout, error) {
+	if ringBytes <= 0 {
+		ringBytes = DefaultRingBytes
+	}
+	if ptrSlots <= 1 {
+		ptrSlots = 1
+	}
+	ringBytes = alignUp(ringBytes, pmem.LineSize)
+	var l Layout
+	l.HeaderOff = 0
+	l.PtrSlots = ptrSlots
+	l.HeadOff = pmem.LineSize
+	l.TailOff = l.HeadOff + ptrSlots*pmem.LineSize
+	l.RingOff = l.TailOff + ptrSlots*pmem.LineSize
+	l.RingSlots = ringBytes / RingSlotSize
+	l.EntryOff = l.RingOff + ringBytes
+
+	// Capacity: each cached block needs one 16B entry and one 4KB data
+	// block. Solve, then re-check with the 4KB alignment of the data area.
+	avail := devSize - l.EntryOff
+	cap := avail / (BlockSize + EntrySize)
+	for cap > 0 {
+		dataOff := alignUp(l.EntryOff+cap*EntrySize, BlockSize)
+		if dataOff+cap*BlockSize <= devSize {
+			l.DataOff = dataOff
+			break
+		}
+		cap--
+	}
+	if cap < 8 {
+		return Layout{}, fmt.Errorf("core: NVM device too small (%d bytes) for a Tinca layout with a %d-byte ring", devSize, ringBytes)
+	}
+	l.Capacity = cap
+	return l, nil
+}
+
+// entryOff returns the NVM offset of entry slot i.
+func (l Layout) entryOff(i int) int { return l.EntryOff + i*EntrySize }
+
+// blockOff returns the NVM offset of data block b.
+func (l Layout) blockOff(b uint32) int { return l.DataOff + int(b)*BlockSize }
+
+// ringSlotOff returns the NVM offset of the ring slot for monotonic
+// position p (slots are used round-robin).
+func (l Layout) ringSlotOff(p uint64) int {
+	return l.RingOff + int(p%uint64(l.RingSlots))*RingSlotSize
+}
+
+// headSlotOff returns where to store Head value v: with wear leveling the
+// store rotates across PtrSlots cache lines (the value itself selects the
+// slot, so recovery can take the maximum over all slots).
+func (l Layout) headSlotOff(v uint64) int {
+	if l.PtrSlots <= 1 {
+		return l.HeadOff
+	}
+	return l.HeadOff + int(v%uint64(l.PtrSlots))*pmem.LineSize
+}
+
+// tailSlotOff is headSlotOff for the Tail pointer.
+func (l Layout) tailSlotOff(v uint64) int {
+	if l.PtrSlots <= 1 {
+		return l.TailOff
+	}
+	return l.TailOff + int(v%uint64(l.PtrSlots))*pmem.LineSize
+}

@@ -1,0 +1,101 @@
+package core
+
+import "fmt"
+
+// debugLRU keeps cheap O(1) structural assertions on list operations.
+const debugLRU = true
+
+// lruList is an intrusive doubly-linked LRU list over entry-slot indices.
+// It backs the DRAM-resident replacement structure of Section 4.6; it is
+// rebuilt from the persistent entry table on startup, so it is never
+// stored in NVM.
+type lruList struct {
+	prev, next []int32
+	head, tail int32 // head = MRU, tail = LRU
+	size       int
+}
+
+const lruNil = int32(-1)
+
+func newLRU(capacity int) *lruList {
+	l := &lruList{
+		prev: make([]int32, capacity),
+		next: make([]int32, capacity),
+		head: lruNil,
+		tail: lruNil,
+	}
+	for i := range l.prev {
+		l.prev[i] = lruNil
+		l.next[i] = lruNil
+	}
+	return l
+}
+
+// pushFront inserts slot i at the MRU end. i must not be in the list.
+func (l *lruList) pushFront(i int32) {
+	if debugLRU && (l.prev[i] != lruNil || l.next[i] != lruNil || l.head == i) {
+		panic(fmt.Sprintf("lru: pushFront of in-list slot %d", i))
+	}
+	l.prev[i] = lruNil
+	l.next[i] = l.head
+	if l.head != lruNil {
+		l.prev[l.head] = i
+	}
+	l.head = i
+	if l.tail == lruNil {
+		l.tail = i
+	}
+	l.size++
+}
+
+// remove unlinks slot i. i must be in the list.
+func (l *lruList) remove(i int32) {
+	if debugLRU && l.prev[i] == lruNil && l.next[i] == lruNil && l.head != i {
+		panic(fmt.Sprintf("lru: remove of non-list slot %d", i))
+	}
+	p, n := l.prev[i], l.next[i]
+	if p != lruNil {
+		l.next[p] = n
+	} else {
+		l.head = n
+	}
+	if n != lruNil {
+		l.prev[n] = p
+	} else {
+		l.tail = p
+	}
+	l.prev[i] = lruNil
+	l.next[i] = lruNil
+	l.size--
+}
+
+// touch moves slot i to the MRU end.
+func (l *lruList) touch(i int32) {
+	if l.head == i {
+		return
+	}
+	l.remove(i)
+	l.pushFront(i)
+}
+
+// len reports how many slots are linked.
+func (l *lruList) len() int { return l.size }
+
+// validate walks the list and panics on any inconsistency (test helper).
+func (l *lruList) validate(tag string) {
+	n := 0
+	last := lruNil
+	for i := l.tail; i != lruNil; i = l.prev[i] {
+		n++
+		last = i
+		if n > l.size+1 {
+			panic("lru cycle at " + tag)
+		}
+	}
+	if n != l.size {
+		panic(fmt.Sprintf("lru broken at %s: walked %d, size %d (stopped at %d, head %d)", tag, n, l.size, last, l.head))
+	}
+	if last != l.head && l.size > 0 {
+		panic("lru walk did not reach head at " + tag)
+	}
+}

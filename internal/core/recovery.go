@@ -1,0 +1,171 @@
+package core
+
+import "fmt"
+
+// recover implements Tinca's crash recovery (Section 4.5). On entry the
+// device holds whatever the crash left in the persistence domain; on
+// return the cache is consistent:
+//
+//   - Head == Tail (no committing transaction in flight),
+//   - no entry carries the log role,
+//   - every acknowledged transaction is fully visible and every
+//     unacknowledged one fully revoked.
+//
+// The paper's algorithm compares Head with Tail. If they differ, the ring
+// slots between them name the blocks of the interrupted transaction. One
+// case the paper's prose glosses over is a crash *during the role-switch
+// phase*: some entries are already buffer blocks (their previous version
+// is gone) while others are still log blocks. Revoking only the log blocks
+// would tear the transaction. The resolution follows from the protocol's
+// ordering: role switches begin only after every block is written and
+// recorded, so if any entry in the ring range has already switched, the
+// transaction's data is complete and recovery finishes the remaining
+// switches (redo); if none has switched, recovery revokes them all (undo).
+// Both directions restore all-or-nothing semantics.
+func (c *Cache) recover() error {
+	c.head = c.loadPointer(c.lay.HeadOff)
+	c.tail = c.loadPointer(c.lay.TailOff)
+	if c.head < c.tail {
+		return fmt.Errorf("core: recovery found Head %d behind Tail %d", c.head, c.tail)
+	}
+	if c.head-c.tail > uint64(c.lay.RingSlots) {
+		return fmt.Errorf("core: recovery found ring span %d beyond capacity %d", c.head-c.tail, c.lay.RingSlots)
+	}
+
+	// Index the persistent entry table.
+	byDisk := make(map[uint64]int32)
+	for i := 0; i < c.lay.Capacity; i++ {
+		e := c.readEntry(int32(i))
+		if !e.valid {
+			continue
+		}
+		if prev, dup := byDisk[e.disk]; dup {
+			return fmt.Errorf("core: recovery found duplicate entries %d and %d for disk block %d", prev, i, e.disk)
+		}
+		byDisk[e.disk] = int32(i)
+	}
+
+	if c.head != c.tail {
+		// Collect the interrupted transaction's entries.
+		slots := make([]int32, 0, c.head-c.tail)
+		redo := false
+		for p := c.tail; p < c.head; p++ {
+			no := c.mem.Load8(c.lay.ringSlotOff(p))
+			i, ok := byDisk[no]
+			if !ok {
+				// The entry is persisted and flushed before the ring slot,
+				// so a recorded block always has an entry.
+				return fmt.Errorf("core: ring names disk block %d with no cache entry", no)
+			}
+			if c.readEntry(i).role == RoleBuffer {
+				redo = true
+			}
+			slots = append(slots, i)
+		}
+		for _, i := range slots {
+			e := c.readEntry(i)
+			if e.role != RoleLog {
+				continue // already switched before the crash
+			}
+			if redo {
+				c.recoverSwitch(i, e)
+			} else {
+				c.recoverRevoke(i, e, byDisk)
+			}
+		}
+		c.setTail(c.head)
+	}
+
+	// Sweep for a stray log entry: a crash after persisting a block's
+	// entry but before its ring record leaves exactly one entry with the
+	// log role that no ring slot names. (In the redo case the write phase
+	// had finished, so no stray can exist; the sweep is then a no-op.)
+	for i := 0; i < c.lay.Capacity; i++ {
+		e := c.readEntry(int32(i))
+		if e.valid && e.role == RoleLog {
+			c.recoverRevoke(int32(i), e, byDisk)
+		}
+	}
+
+	c.rebuildVolatile()
+	return nil
+}
+
+// recoverSwitch completes a role switch during redo recovery. DRAM
+// structures are rebuilt afterwards, so only the persistent entry is
+// touched here.
+func (c *Cache) recoverSwitch(i int32, e entry) {
+	e.role = RoleBuffer
+	e.prev = Fresh
+	c.writeEntry(i, e)
+}
+
+// recoverRevoke undoes one block of an uncommitted transaction: roll the
+// entry back to the previous NVM block, or delete it entirely when the
+// block was fresh (Section 4.5). The modified bit is set conservatively:
+// the previous version may have been dirtier than disk, and an extra
+// write-back is always safe.
+func (c *Cache) recoverRevoke(i int32, e entry, byDisk map[uint64]int32) {
+	if e.prev == Fresh {
+		c.clearEntry(i)
+		delete(byDisk, e.disk)
+		return
+	}
+	c.writeEntry(i, entry{valid: true, role: RoleBuffer, modified: true, disk: e.disk, prev: Fresh, cur: e.prev})
+}
+
+// revokeRange is the live (mid-commit) revocation used when an allocation
+// fails partway through a commit: exactly recovery's undo, but keeping the
+// DRAM structures in sync. Caller holds c.mu.
+func (c *Cache) revokeRange(from, to uint64) {
+	for p := from; p < to; p++ {
+		no := c.mem.Load8(c.lay.ringSlotOff(p))
+		i, ok := c.hash[no]
+		if !ok {
+			panic(fmt.Sprintf("core: revoke of unmapped disk block %d", no))
+		}
+		e := c.readEntry(i)
+		if e.role != RoleLog {
+			panic("core: revoke of non-log entry")
+		}
+		if e.prev == Fresh {
+			c.clearEntry(i)
+			c.lru.remove(i)
+			delete(c.hash, no)
+			c.freeSlots = append(c.freeSlots, i)
+			c.freeBlocks = append(c.freeBlocks, e.cur)
+			continue
+		}
+		c.writeEntry(i, entry{valid: true, role: RoleBuffer, modified: true, disk: no, prev: Fresh, cur: e.prev})
+		c.freeBlocks = append(c.freeBlocks, e.cur)
+	}
+	c.head = from
+	c.mem.Persist8(c.lay.headSlotOff(c.head), c.head)
+}
+
+// rebuildVolatile reconstructs the DRAM hash table, LRU list, free block
+// monitor and free slot list from the (now consistent) persistent entry
+// table. LRU order after a crash is arbitrary, which only affects future
+// replacement choices, never correctness.
+func (c *Cache) rebuildVolatile() {
+	c.hash = make(map[uint64]int32)
+	c.lru = newLRU(c.lay.Capacity)
+	c.freeBlocks = c.freeBlocks[:0]
+	c.freeSlots = c.freeSlots[:0]
+	used := make([]bool, c.lay.Capacity)
+	for i := 0; i < c.lay.Capacity; i++ {
+		e := c.readEntry(int32(i))
+		if !e.valid {
+			c.freeSlots = append(c.freeSlots, int32(i))
+			continue
+		}
+		c.hash[e.disk] = int32(i)
+		c.lru.pushFront(int32(i))
+		used[e.cur] = true
+	}
+	for b := c.lay.Capacity - 1; b >= 0; b-- {
+		if !used[b] {
+			c.freeBlocks = append(c.freeBlocks, uint32(b))
+		}
+	}
+}

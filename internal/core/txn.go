@@ -1,0 +1,264 @@
+package core
+
+import (
+	"fmt"
+
+	"tinca/internal/metrics"
+)
+
+// Txn is a running transaction (Section 4.4): an ordered set of 4KB block
+// updates staged in DRAM. Txns are built without holding cache locks;
+// Commit converts the running transaction into the (single) committing
+// transaction. A Txn is not safe for concurrent use by multiple
+// goroutines; use one Txn per writer.
+type Txn struct {
+	c      *Cache
+	blocks map[uint64][]byte
+	order  []uint64
+	done   bool
+}
+
+// Begin initiates a running transaction (tinca_init_txn).
+func (c *Cache) Begin() *Txn {
+	return &Txn{c: c, blocks: make(map[uint64][]byte)}
+}
+
+// Write stages the new contents of disk block no. Writing the same block
+// twice in one transaction keeps the latest contents (the file system
+// coalesces updates per transaction, as JBD2 does).
+func (t *Txn) Write(no uint64, data []byte) {
+	if t.done {
+		panic("core: Write on finished transaction")
+	}
+	if len(data) != BlockSize {
+		panic(fmt.Sprintf("core: transaction block must be %d bytes", BlockSize))
+	}
+	if no > maxDiskBlock {
+		panic("core: disk block number exceeds 7 bytes")
+	}
+	buf, ok := t.blocks[no]
+	if !ok {
+		buf = make([]byte, BlockSize)
+		t.blocks[no] = buf
+		t.order = append(t.order, no)
+	}
+	copy(buf, data)
+}
+
+// Len reports how many distinct blocks are staged.
+func (t *Txn) Len() int { return len(t.order) }
+
+// Abort discards the running transaction (tinca_abort). Nothing has been
+// written to NVM for a running transaction, so this is purely a DRAM
+// operation; blocks partially committed by a crashed commit are revoked by
+// recovery instead.
+func (t *Txn) Abort() {
+	if t.done {
+		return
+	}
+	t.done = true
+	t.blocks = nil
+	t.order = nil
+	t.c.rec.Inc(metrics.TxnAbort)
+}
+
+// Commit converts the running transaction into the committing transaction
+// and applies the commit protocol of Section 4.4:
+//
+//  1. for each block: write the data into a newly allocated NVM block
+//     (COW for hits) and persist it; atomically persist the block's cache
+//     entry with the log role and both NVM locations;
+//  2. record the on-disk block number in the ring slot Head points at and
+//     advance Head (both 8B atomic persists);
+//  3. after all blocks: switch every block's role to buffer, releasing
+//     the previous versions;
+//  4. set Tail = Head; this atomic store is the commit point.
+//
+// On success all staged blocks are durable and atomic: after any crash,
+// either every block of this transaction is visible or none is.
+func (t *Txn) Commit() error {
+	if t.done {
+		panic("core: Commit on finished transaction")
+	}
+	c := t.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	if len(t.order) == 0 {
+		t.done = true
+		return nil
+	}
+	if len(t.order) > c.lay.RingSlots {
+		return ErrTxnTooLarge
+	}
+
+	touched := make([]int32, 0, len(t.order))
+	for _, no := range t.order {
+		slot, err := c.commitBlock(no, t.blocks[no])
+		if err != nil {
+			// Allocation failure mid-commit: the blocks committed so far
+			// carry the log role; revoke them exactly as crash recovery
+			// would, leaving the cache at the pre-transaction state.
+			c.revokeRange(c.tail, c.head)
+			c.setTail(c.head)
+			c.rec.Inc(metrics.TxnAbort)
+			t.done = true
+			return err
+		}
+		touched = append(touched, slot)
+	}
+
+	// Step 4 of the protocol: role switches for all involved blocks.
+	for _, slot := range touched {
+		c.roleSwitch(slot)
+	}
+
+	// Write-through mode: propagate the committed blocks to disk now and
+	// mark them clean; the NVM copy remains authoritative for reads.
+	if c.opts.WriteThrough {
+		buf := make([]byte, BlockSize)
+		for _, slot := range touched {
+			e := c.readEntry(slot)
+			if !e.valid {
+				continue
+			}
+			c.mem.Load(c.lay.blockOff(e.cur), buf)
+			c.disk.WriteBlock(e.disk, buf)
+			e.modified = false
+			c.writeEntry(slot, e)
+		}
+	}
+
+	// Step 5: Tail catches up with Head; this ends the transaction.
+	c.setTail(c.head)
+
+	// Committed blocks become the most recently used (Section 4.6 rule 2b).
+	// With pinning disabled (ablation) a touched slot may have been
+	// evicted and even reused mid-commit, so the touch is skipped.
+	if !c.opts.DisableTxnPin {
+		for _, slot := range touched {
+			c.lru.touch(slot)
+		}
+	}
+
+	c.rec.Inc(metrics.TxnCommit)
+	c.rec.Add(metrics.TxnBlocks, int64(len(t.order)))
+	t.done = true
+	return nil
+}
+
+// commitBlock writes one block of the committing transaction (steps 1-3 of
+// the protocol) and returns the entry slot used. Caller holds c.mu.
+func (c *Cache) commitBlock(no uint64, data []byte) (int32, error) {
+	var slot int32
+	if i, ok := c.hash[no]; ok {
+		// Write hit: COW block write (Section 4.3). The updated version
+		// goes to a newly allocated NVM block; the entry records both
+		// locations in one atomic 16B store.
+		c.rec.Inc(metrics.CacheWriteHit)
+		old := c.readEntry(i)
+		if old.role == RoleLog {
+			panic("core: block committed twice in one transaction")
+		}
+		// Rule 2 (Section 4.6): the allocation below may need to evict,
+		// and the hit target's entry still carries the buffer role until
+		// the log entry is persisted — pin it for the duration.
+		c.pinnedSlot = i
+		defer func() { c.pinnedSlot = lruNil }()
+		if c.opts.Ablation == AblationUBJ {
+			// UBJ-style commit-in-place: before overwriting the frozen
+			// block, copy it aside inside NVM (the memcpy on the critical
+			// path the paper criticizes), then update in place.
+			nb, err := c.allocBlock()
+			if err != nil {
+				return 0, err
+			}
+			tmp := make([]byte, BlockSize)
+			c.mem.Load(c.lay.blockOff(old.cur), tmp)
+			c.mem.PersistRange(c.lay.blockOff(nb), tmp) // preserve old version
+			c.mem.PersistRange(c.lay.blockOff(old.cur), data)
+			c.writeEntry(i, entry{valid: true, role: RoleLog, modified: true, disk: no, prev: nb, cur: old.cur})
+			slot = i
+		} else {
+			nb, err := c.allocBlock()
+			if err != nil {
+				return 0, err
+			}
+			c.mem.PersistRange(c.lay.blockOff(nb), data)
+			c.writeEntry(i, entry{valid: true, role: RoleLog, modified: true, disk: no, prev: old.cur, cur: nb})
+			slot = i
+		}
+		c.rec.Inc(metrics.TxnCOWBlocks)
+	} else {
+		// Write miss: no previous version; the entry is created with the
+		// FRESH tag so recovery knows to delete rather than roll back.
+		c.rec.Inc(metrics.CacheWriteMiss)
+		nb, err := c.allocBlock()
+		if err != nil {
+			return 0, err
+		}
+		c.mem.PersistRange(c.lay.blockOff(nb), data)
+		i := c.allocSlot()
+		c.writeEntry(i, entry{valid: true, role: RoleLog, modified: true, disk: no, prev: Fresh, cur: nb})
+		c.hash[no] = i
+		c.lru.pushFront(i)
+		slot = i
+	}
+
+	if c.opts.Ablation == AblationDoubleWrite {
+		// Journaling-style double write inside the NVM cache: persist a
+		// second, redundant copy of the block (the log copy a journal
+		// would keep). The copy is immediately freed; only the cost is
+		// modeled, matching what the role switch saves.
+		if nb, err := c.allocBlock(); err == nil {
+			c.mem.PersistRange(c.lay.blockOff(nb), data)
+			c.freeBlocks = append(c.freeBlocks, nb)
+		}
+	}
+
+	// Record the block number in the ring and move Head (8B atomic writes
+	// each followed by clflush+sfence).
+	c.mem.Persist8(c.lay.ringSlotOff(c.head), no)
+	c.head++
+	c.mem.Persist8(c.lay.headSlotOff(c.head), c.head)
+	return slot, nil
+}
+
+// roleSwitch converts the committed block in slot from log to buffer role
+// and reclaims the previous version (Section 4.3). Caller holds c.mu.
+func (c *Cache) roleSwitch(slot int32) {
+	e := c.readEntry(slot)
+	if !e.valid || e.role != RoleLog {
+		if c.opts.DisableTxnPin {
+			// Replacement rule 2 is disabled (ablation mode): the block
+			// was legally evicted mid-commit and its slot may be reused.
+			return
+		}
+		panic("core: role switch on non-log entry")
+	}
+	prev := e.prev
+	e.role = RoleBuffer
+	e.prev = Fresh
+	c.writeEntry(slot, e)
+	if prev != Fresh {
+		c.freeBlocks = append(c.freeBlocks, prev)
+	}
+}
+
+// setTail persists Tail = p. Caller holds c.mu.
+func (c *Cache) setTail(p uint64) {
+	c.tail = p
+	c.mem.Persist8(c.lay.tailSlotOff(p), p)
+}
+
+// CommitBlocks is a convenience wrapper committing the given blocks as one
+// transaction. The bufs slice parallels nos.
+func (c *Cache) CommitBlocks(nos []uint64, bufs [][]byte) error {
+	t := c.Begin()
+	for i, no := range nos {
+		t.Write(no, bufs[i])
+	}
+	return t.Commit()
+}

@@ -1,0 +1,118 @@
+package crash
+
+import (
+	"fmt"
+	"testing"
+
+	"tinca/internal/sim"
+	"tinca/internal/stack"
+)
+
+// TestModelApplySelfConsistent sanity-checks the shadow model against a
+// live file system with no crashes: after any random op sequence they must
+// agree exactly.
+func TestModelApplySelfConsistent(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		s, err := stack.New(stack.Config{
+			Kind: stack.Tinca, NVMBytes: 4 << 20, FSBlocks: 8192,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := sim.NewRand(seed)
+		gen := NewGenerator(rng)
+		model := NewModel()
+		for i := 0; i < 150; i++ {
+			o := gen.Next(model)
+			if err := Issue(s.FS, o); err != nil {
+				t.Fatalf("seed %d op %v: %v", seed, o, err)
+			}
+			model.Apply(o)
+		}
+		if err := Verify(s.FS, model); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestRandomCrashTrialsTinca is the model-based torture test for the
+// Tinca stack: many seeds, random crash points, random eviction
+// probabilities.
+func TestRandomCrashTrialsTinca(t *testing.T) {
+	runTrials(t, stack.Tinca, 30)
+}
+
+// TestRandomCrashTrialsClassic runs the identical oracle against the
+// journalled Classic stack — the paper claims both provide the same data
+// consistency.
+func TestRandomCrashTrialsClassic(t *testing.T) {
+	runTrials(t, stack.Classic, 20)
+}
+
+func runTrials(t *testing.T, kind stack.Kind, n int) {
+	t.Helper()
+	crashes := 0
+	for seed := int64(1); seed <= int64(n); seed++ {
+		evictP := float64(seed%5) / 4 // 0, .25, .5, .75, 1
+		res, err := Trial(kind, seed*7919, 120, evictP)
+		if err != nil {
+			t.Fatalf("seed %d (evictP=%v, acked=%d, inflight=%s): %v",
+				seed, evictP, res.OpsAcked, res.Inflight, err)
+		}
+		if res.Crashed {
+			crashes++
+		}
+	}
+	if crashes == 0 {
+		t.Fatal("no trial actually crashed; widen the crash window")
+	}
+	t.Logf("%v: %d/%d trials crashed mid-workload, all consistent", kind, crashes, n)
+}
+
+// TestVerifyDetectsDivergence makes sure the oracle itself is not
+// vacuous: a deliberately wrong model must be rejected.
+func TestVerifyDetectsDivergence(t *testing.T) {
+	s, err := stack.New(stack.Config{Kind: stack.Tinca, NVMBytes: 4 << 20, FSBlocks: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FS.WriteFile("/x", []byte("real")); err != nil {
+		t.Fatal(err)
+	}
+	mk := func(pairs map[string]string) Model {
+		m := NewModel()
+		for p, v := range pairs {
+			d := []byte(v)
+			m.files[p] = &d
+		}
+		return m
+	}
+	cases := []Model{
+		mk(map[string]string{"/x": "fake"}),           // wrong contents
+		mk(map[string]string{"/x": "real", "/y": ""}), // missing file
+		mk(nil), // unexpected file
+	}
+	for i, m := range cases {
+		if err := Verify(s.FS, m); err == nil {
+			t.Fatalf("case %d: divergent model accepted", i)
+		}
+	}
+	if err := Verify(s.FS, mk(map[string]string{"/x": "real"})); err != nil {
+		t.Fatalf("correct model rejected: %v", err)
+	}
+}
+
+// TestTrialReportsUsableResult exercises the non-crashing path.
+func TestTrialReportsUsableResult(t *testing.T) {
+	// A tiny op budget with a huge crash window: usually completes.
+	for seed := int64(0); seed < 10; seed++ {
+		res, err := Trial(stack.Tinca, 1000+seed, 10, 0.5)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.Crashed && res.OpsAcked != 10 {
+			t.Fatalf("seed %d: completed run acked %d/10", seed, res.OpsAcked)
+		}
+	}
+	_ = fmt.Sprintf
+}

@@ -1,0 +1,75 @@
+package exp
+
+import (
+	"time"
+
+	"tinca/internal/metrics"
+	"tinca/internal/stack"
+)
+
+// measured is the delta of counters and simulated time over one measured
+// phase (layout/load phases are excluded by snapshotting after them).
+type measured struct {
+	snap metrics.Snapshot
+	wall time.Duration
+}
+
+// measure runs fn on the stack and captures the counter/time delta.
+func measure(s *stack.Stack, fn func() error) (measured, error) {
+	snap0 := s.Rec.Snapshot()
+	t0 := s.Clock.Now()
+	err := fn()
+	return measured{snap: s.Rec.Snapshot().Sub(snap0), wall: s.Clock.Now() - t0}, err
+}
+
+// perSecond converts a count over the measured wall time to a rate.
+func (m measured) perSecond(count int64) float64 {
+	if m.wall <= 0 {
+		return 0
+	}
+	return float64(count) / m.wall.Seconds()
+}
+
+// per divides counter name by ops.
+func (m measured) per(name string, ops int64) float64 {
+	return m.snap.PerOp(name, ops)
+}
+
+// buildStack constructs a stack of the given kind with experiment-default
+// sizing, letting mod override any field.
+func buildStack(kind stack.Kind, mod func(*stack.Config)) (*stack.Stack, error) {
+	cfg := stack.Config{
+		Kind:     kind,
+		NVMBytes: 16 << 20,
+		FSBlocks: 16384, // 64MB file system
+		// Both stacks batch operations into transactions the way JBD2's
+		// 5-second commit window does; without batching the journal's
+		// descriptor/commit overhead dominates Classic unrealistically.
+		GroupCommitBlocks: 32,
+		// A journal small relative to the written volume, as in any
+		// steady-state system (the paper writes 20GB+ against a 128MB
+		// journal): checkpointing — the second write of the double-write
+		// pair — runs continuously.
+		JournalBlocks: 512,
+	}
+	if mod != nil {
+		mod(&cfg)
+	}
+	return stack.New(cfg)
+}
+
+// ratio returns a/b guarding division by zero.
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// pctFewer reports how many percent fewer a is than b.
+func pctFewer(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return (1 - a/b) * 100
+}

@@ -1,0 +1,297 @@
+package exp
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// quick runs every driver at a small scale; these tests assert the key
+// *shape* properties the paper claims, not absolute values.
+var quick = Options{Scale: 0.12, Seed: 42}
+
+func cellF(t *testing.T, tb *Table, row int, col string) float64 {
+	t.Helper()
+	v := strings.TrimSuffix(tb.Cell(row, col), "x")
+	v = strings.TrimSuffix(v, "s")
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		t.Fatalf("cell %q not numeric: %v", tb.Cell(row, col), err)
+	}
+	return f
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"table1", "table2", "3a", "3b", "4", "7", "8", "10", "11", "12a", "12b", "12c", "13",
+		"recover", "ablate", "endurance", "clwb", "recovertime", "modes"}
+	names := Names()
+	if len(names) != len(want) {
+		t.Fatalf("registry has %d entries, want %d: %v", len(names), len(want), names)
+	}
+	for _, w := range want {
+		if _, ok := Registry[w]; !ok {
+			t.Fatalf("experiment %q missing", w)
+		}
+	}
+	if _, err := Run("nonsense", quick); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestTablesRender(t *testing.T) {
+	for _, name := range []string{"table1", "table2"} {
+		tb, err := Run(name, quick)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tb.Rows) == 0 || !strings.Contains(tb.String(), "==") {
+			t.Fatalf("%s rendered empty", name)
+		}
+	}
+}
+
+func TestFig3aJournalAmplifies(t *testing.T) {
+	tb, err := Fig3a(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range tb.Rows {
+		ratio := cellF(t, tb, r, "journal/nojournal %")
+		if ratio < 120 {
+			t.Fatalf("row %d: journalling amplification only %.1f%%", r, ratio)
+		}
+	}
+}
+
+func TestFig3bMonotoneDrops(t *testing.T) {
+	tb, err := Fig3b(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b0 := cellF(t, tb, 0, "bandwidth MB/s")
+	b1 := cellF(t, tb, 1, "bandwidth MB/s")
+	b2 := cellF(t, tb, 2, "bandwidth MB/s")
+	if !(b0 > b1 && b1 > b2) {
+		t.Fatalf("bandwidth not monotone: %v > %v > %v expected", b0, b1, b2)
+	}
+}
+
+func TestFig4MetadataCosts(t *testing.T) {
+	tb, err := Fig4(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Waiving metadata must improve both configurations.
+	if cellF(t, tb, 1, "write IOPS") <= cellF(t, tb, 0, "write IOPS") {
+		t.Fatal("no-metadata did not improve journal config")
+	}
+	if cellF(t, tb, 3, "write IOPS") <= cellF(t, tb, 2, "write IOPS") {
+		t.Fatal("no-metadata did not improve no-journal config")
+	}
+}
+
+func TestFig7TincaWins(t *testing.T) {
+	tb, err := Fig7(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows alternate Classic/Tinca per ratio.
+	for r := 0; r < len(tb.Rows); r += 2 {
+		classic := cellF(t, tb, r, "write IOPS")
+		tinca := cellF(t, tb, r+1, "write IOPS")
+		if tinca <= classic {
+			t.Fatalf("ratio row %d: Tinca %.0f <= Classic %.0f IOPS", r/2, tinca, classic)
+		}
+		cf := cellF(t, tb, r+1, "clflush fewer %")
+		if cf < 50 {
+			t.Fatalf("clflush reduction only %.1f%%", cf)
+		}
+	}
+}
+
+func TestFig8TincaWinsAndUsersDegrade(t *testing.T) {
+	tb, err := Fig8(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tinca beats Classic at every user count; both decline with users.
+	firstClassic := cellF(t, tb, 0, "TPM")
+	lastClassic := cellF(t, tb, len(tb.Rows)-2, "TPM")
+	if lastClassic >= firstClassic {
+		t.Fatalf("Classic TPM did not decline with users: %v -> %v", firstClassic, lastClassic)
+	}
+	for r := 0; r < len(tb.Rows); r += 2 {
+		if cellF(t, tb, r+1, "TPM") <= cellF(t, tb, r, "TPM") {
+			t.Fatalf("users row %d: Tinca did not win", r/2)
+		}
+	}
+}
+
+func TestFig10GapAndReductions(t *testing.T) {
+	tb, err := Fig10(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < len(tb.Rows); r += 2 {
+		saved := cellF(t, tb, r+1, "time saved %")
+		if saved <= 0 {
+			t.Fatalf("replicas row %d: Tinca not faster (%.1f%%)", r/2, saved)
+		}
+		cf := cellF(t, tb, r+1, "clflush fewer %")
+		if cf < 40 {
+			t.Fatalf("clflush reduction only %.1f%%", cf)
+		}
+	}
+}
+
+func TestFig11OrderingAcrossWorkloads(t *testing.T) {
+	tb, err := Fig11(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All three workloads: Tinca wins.
+	ratios := map[string]float64{}
+	for r := 1; r < len(tb.Rows); r += 2 {
+		ratio := cellF(t, tb, r, "OPs ratio")
+		if ratio <= 1 {
+			t.Fatalf("%s: Tinca did not win (%.2fx)", tb.Rows[r][0], ratio)
+		}
+		ratios[tb.Rows[r][0]] = ratio
+	}
+	// Webproxy (read-heavy) benefits least, as in the paper.
+	if ratios["webproxy"] >= ratios["fileserver"] {
+		t.Fatalf("webproxy ratio %.2f >= fileserver %.2f", ratios["webproxy"], ratios["fileserver"])
+	}
+}
+
+func TestFig12Family(t *testing.T) {
+	a, err := Fig12a(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range a.Rows {
+		if cellF(t, a, r, "Tinca TPM") <= cellF(t, a, r, "Classic TPM") {
+			t.Fatalf("12a row %d: Tinca did not win", r)
+		}
+	}
+	b, err := Fig12b(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Faster NVM (NVDIMM, row 1) improves both over PCM (row 0).
+	if cellF(t, b, 1, "Tinca TPM") <= cellF(t, b, 0, "Tinca TPM") {
+		t.Fatal("12b: NVDIMM not faster than PCM for Tinca")
+	}
+	// The gap narrows on faster NVM, as in the paper.
+	gapPCM := cellF(t, b, 0, "Tinca/Classic")
+	gapNVD := cellF(t, b, 1, "Tinca/Classic")
+	if gapNVD >= gapPCM {
+		t.Fatalf("12b: gap did not narrow on faster NVM (%.2f -> %.2f)", gapPCM, gapNVD)
+	}
+	c, err := Fig12c(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cellF(t, c, 1, "write hit rate %") <= cellF(t, c, 0, "write hit rate %") {
+		t.Fatal("12c: Tinca hit rate not higher than Classic")
+	}
+}
+
+func TestFig13FileserverHeavier(t *testing.T) {
+	tb, err := Fig13(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean over windows: fileserver commits more blocks per txn.
+	var fsum, wsum float64
+	for r := range tb.Rows {
+		fsum += cellF(t, tb, r, "fileserver blks/txn")
+		wsum += cellF(t, tb, r, "webproxy blks/txn")
+	}
+	if fsum <= wsum {
+		t.Fatalf("fileserver (%.0f) not heavier than webproxy (%.0f)", fsum, wsum)
+	}
+}
+
+func TestRecoverabilityClean(t *testing.T) {
+	tb, err := Recoverability(quick)
+	if err != nil {
+		t.Fatalf("recoverability failures: %v\n%s", err, tb)
+	}
+}
+
+func TestAblationsDirections(t *testing.T) {
+	tb, err := Ablations(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := cellF(t, tb, 0, "clflush/write")
+	doubleWrite := cellF(t, tb, 1, "clflush/write")
+	ubj := cellF(t, tb, 2, "clflush/write")
+	if doubleWrite <= base {
+		t.Fatal("double-write ablation did not increase clflush")
+	}
+	if ubj <= base {
+		t.Fatal("UBJ ablation did not increase clflush")
+	}
+}
+
+func TestExtensionsRun(t *testing.T) {
+	// Endurance: Tinca's media lifetime multiplier > 1; rotation levels
+	// the hottest line.
+	e, err := Endurance(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cellF(t, e, 1, "line writes/MB") >= cellF(t, e, 0, "line writes/MB") {
+		t.Fatal("Tinca wears media faster than Classic")
+	}
+	if cellF(t, e, 2, "hottest line") >= cellF(t, e, 1, "hottest line") {
+		t.Fatal("pointer rotation did not level the hottest line")
+	}
+	// clwb: the gap persists under cheaper flush instructions.
+	c, err := CLWB(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range c.Rows {
+		if cellF(t, c, r, "Tinca IOPS") <= cellF(t, c, r, "Classic IOPS") {
+			t.Fatalf("clwb row %d: Tinca did not win", r)
+		}
+	}
+	// Recovery time: Tinca's sweep scales with capacity and stays small.
+	rt, err := RecoveryTime(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rt.Rows) != 3 {
+		t.Fatalf("recovery rows = %d", len(rt.Rows))
+	}
+	// Journal modes: Tinca (row 0) beats every Classic mode, including
+	// the weaker ordered mode (row 2).
+	m, err := JournalModes(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tincaIOPS := cellF(t, m, 0, "write IOPS")
+	for r := 1; r < len(m.Rows)-1; r++ { // exclude the unsafe no-journal row
+		if tincaIOPS <= cellF(t, m, r, "write IOPS") {
+			t.Fatalf("modes row %d (%s) beats Tinca", r, m.Rows[r][0])
+		}
+	}
+	// Ordered must beat full data journalling (it writes less).
+	if cellF(t, m, 2, "write IOPS") <= cellF(t, m, 1, "write IOPS") {
+		t.Fatal("ordered mode not faster than data journalling")
+	}
+}
+
+func TestTableCellPanicsOnUnknownColumn(t *testing.T) {
+	tb := NewTable("t", "a")
+	tb.AddRow("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Cell with bad column did not panic")
+		}
+	}()
+	tb.Cell(0, "nope")
+}

@@ -1,0 +1,140 @@
+package exp
+
+import (
+	"fmt"
+
+	"tinca/internal/cluster"
+	"tinca/internal/metrics"
+	"tinca/internal/stack"
+	"tinca/internal/workload"
+)
+
+// clusterNodeConfig is the per-node stack used in the cluster figures.
+func clusterNodeConfig(kind stack.Kind) stack.Config {
+	return stack.Config{
+		Kind: kind,
+		// Small per-node cache against a larger written volume keeps
+		// replacement active, preserving the paper's 8GB-cache vs
+		// 100GB-dataset pressure ratio.
+		NVMBytes:          4 << 20,
+		FSBlocks:          16384,
+		GroupCommitBlocks: 32,
+		JournalBlocks:     512,
+	}
+}
+
+// Fig10 reproduces Figure 10: TeraGen on the HDFS-like cluster (4 data
+// nodes) with 1, 2 and 3 replicas: execution time, clflush per MB
+// generated, disk blocks written per MB generated.
+func Fig10(o Options) (*Table, error) {
+	o = o.withDefaults()
+	t := NewTable("Figure 10: TeraGen on HDFS (4 data nodes), Tinca vs Classic",
+		"replicas", "system", "exec time (sim)", "time saved %", "clflush/MB", "clflush fewer %", "disk blks/MB", "disk fewer %")
+	t.Note = "paper shape: Tinca 29%/54%/60% faster at 1/2/3 replicas; gap widens with replicas; ~80% fewer clflush, ~38% fewer disk blocks at R=3"
+
+	type res struct {
+		secs    float64
+		clflush float64
+		disk    float64
+	}
+	run := func(kind stack.Kind, replicas int) (res, error) {
+		c, err := cluster.New(cluster.Config{
+			Nodes: 4, Replicas: replicas, Node: clusterNodeConfig(kind),
+		})
+		if err != nil {
+			return res{}, err
+		}
+		h := cluster.NewHDFS(c, cluster.HDFSOptions{ChunkBytes: 1 << 20})
+		snap0 := c.Snapshot()
+		t0 := c.Wall.Now()
+		cnt, err := workload.RunTeraGen(h, workload.TeraGenConfig{
+			Rows: int64(o.scaled(250000, 25000)), Seed: o.Seed,
+		})
+		if err != nil {
+			return res{}, err
+		}
+		d := c.Snapshot().Sub(snap0)
+		mb := float64(cnt.Bytes) / (1 << 20)
+		return res{
+			secs:    (c.Wall.Now() - t0).Seconds(),
+			clflush: float64(d.Get(metrics.NVMCLFlush)) / mb,
+			disk:    float64(d.Get(metrics.DiskBlocksWrite)) / mb,
+		}, nil
+	}
+
+	for _, replicas := range []int{1, 2, 3} {
+		tinca, err := run(stack.Tinca, replicas)
+		if err != nil {
+			return nil, err
+		}
+		classic, err := run(stack.Classic, replicas)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(replicas, "Classic", fmt.Sprintf("%.2fs", classic.secs), "-",
+			classic.clflush, "-", classic.disk, "-")
+		t.AddRow(replicas, "Tinca", fmt.Sprintf("%.2fs", tinca.secs),
+			pctFewer(tinca.secs, classic.secs),
+			tinca.clflush, pctFewer(tinca.clflush, classic.clflush),
+			tinca.disk, pctFewer(tinca.disk, classic.disk))
+	}
+	return t, nil
+}
+
+// Fig11 reproduces Figure 11: Filebench (fileserver, webproxy, varmail)
+// on the GlusterFS-like replicated volume (replica 2, 4 nodes): file
+// operations per second, clflush per op, disk blocks per op.
+func Fig11(o Options) (*Table, error) {
+	o = o.withDefaults()
+	t := NewTable("Figure 11: Filebench on GlusterFS (replica 2), Tinca vs Classic",
+		"workload", "system", "OPs/s", "OPs ratio", "clflush/op", "clflush fewer %", "disk blks/op", "disk fewer %")
+	t.Note = "paper shape: Tinca 1.8x (fileserver), 1.2x (webproxy), 1.5x (varmail) OPs/s"
+
+	type res struct {
+		ops     float64
+		clflush float64
+		disk    float64
+	}
+	run := func(kind stack.Kind, prof workload.Profile) (res, error) {
+		c, err := cluster.New(cluster.Config{
+			Nodes: 4, Replicas: 2, Node: clusterNodeConfig(kind),
+		})
+		if err != nil {
+			return res{}, err
+		}
+		v := cluster.NewVolume(c)
+		snap0 := c.Snapshot()
+		t0 := c.Wall.Now()
+		cnt, err := workload.RunFilebench(v, workload.FilebenchConfig{
+			Profile: prof, Files: 160, FileBytes: 48 << 10, IOBytes: 16 << 10,
+			Ops: o.scaled(2000, 200), Seed: o.Seed,
+		})
+		if err != nil {
+			return res{}, err
+		}
+		d := c.Snapshot().Sub(snap0)
+		wall := (c.Wall.Now() - t0).Seconds()
+		return res{
+			ops:     float64(cnt.FileOps) / wall,
+			clflush: float64(d.Get(metrics.NVMCLFlush)) / float64(cnt.FileOps),
+			disk:    float64(d.Get(metrics.DiskBlocksWrite)) / float64(cnt.FileOps),
+		}, nil
+	}
+
+	for _, prof := range []workload.Profile{workload.Fileserver, workload.Webproxy, workload.Varmail} {
+		tinca, err := run(stack.Tinca, prof)
+		if err != nil {
+			return nil, err
+		}
+		classic, err := run(stack.Classic, prof)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(prof.String(), "Classic", classic.ops, "1.0", classic.clflush, "-", classic.disk, "-")
+		t.AddRow(prof.String(), "Tinca", tinca.ops,
+			fmt.Sprintf("%.2fx", ratio(tinca.ops, classic.ops)),
+			tinca.clflush, pctFewer(tinca.clflush, classic.clflush),
+			tinca.disk, pctFewer(tinca.disk, classic.disk))
+	}
+	return t, nil
+}

@@ -1,0 +1,75 @@
+package exp
+
+import (
+	"fmt"
+
+	"tinca/internal/metrics"
+	"tinca/internal/stack"
+	"tinca/internal/workload"
+)
+
+// Fig7 reproduces Figure 7: the Fio micro-benchmark at read/write ratios
+// 3/7, 5/5 and 7/3 on the full Tinca and Classic stacks (PCM cache, SSD
+// disk). Three sub-figures in one table:
+//
+//	(a) write IOPS          — paper: Tinca 2.5x / 2.1x / 1.7x Classic
+//	(b) clflush per write   — paper: Tinca 73.4% / 75.4% / 76.3% fewer
+//	(c) disk writes per op  — paper: Tinca 60.6% / 62.6% / 64.6% fewer
+func Fig7(o Options) (*Table, error) {
+	o = o.withDefaults()
+	t := NewTable("Figure 7: Fio micro-benchmark, Tinca vs Classic (PCM cache, SSD)",
+		"R/W ratio", "system", "write IOPS", "IOPS ratio", "clflush/write", "clflush fewer %", "disk blks/write", "disk fewer %")
+	t.Note = "paper shape: Tinca 1.7-2.5x IOPS, ~73-76% fewer clflush, ~60-65% fewer disk writes"
+
+	type res struct {
+		iops, clflush, disk float64
+	}
+	run := func(kind stack.Kind, readPct int) (res, error) {
+		s, err := buildStack(kind, nil) // defaults: PCM + SSD
+		if err != nil {
+			return res{}, err
+		}
+		// Dataset 2x the NVM cache so replacement is active, as in the
+		// paper (20GB file vs 8GB cache).
+		cfg := workload.FioConfig{
+			FileBytes: 32 << 20, ReadPct: readPct,
+			Ops: o.scaled(6000, 500), Seed: o.Seed,
+		}
+		if err := workload.LayoutFio(s.FS, cfg); err != nil {
+			return res{}, err
+		}
+		cfg.SkipLayout = true
+		var cnt workload.Counts
+		m, err := measure(s, func() error {
+			var e error
+			cnt, e = workload.RunFio(s.FS, cfg)
+			return e
+		})
+		if err != nil {
+			return res{}, err
+		}
+		return res{
+			iops:    m.perSecond(cnt.WriteOps),
+			clflush: m.per(metrics.NVMCLFlush, cnt.WriteOps),
+			disk:    m.per(metrics.DiskBlocksWrite, cnt.WriteOps),
+		}, nil
+	}
+
+	for _, readPct := range []int{30, 50, 70} {
+		tinca, err := run(stack.Tinca, readPct)
+		if err != nil {
+			return nil, err
+		}
+		classic, err := run(stack.Classic, readPct)
+		if err != nil {
+			return nil, err
+		}
+		label := fmt.Sprintf("%d/%d", readPct/10, (100-readPct)/10)
+		t.AddRow(label, "Classic", classic.iops, "1.0", classic.clflush, "-", classic.disk, "-")
+		t.AddRow(label, "Tinca", tinca.iops,
+			fmt.Sprintf("%.2fx", ratio(tinca.iops, classic.iops)),
+			tinca.clflush, pctFewer(tinca.clflush, classic.clflush),
+			tinca.disk, pctFewer(tinca.disk, classic.disk))
+	}
+	return t, nil
+}

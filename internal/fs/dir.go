@@ -1,0 +1,298 @@
+package fs
+
+import (
+	"encoding/binary"
+	"strings"
+)
+
+// Directory entries are fixed 64-byte records packed into the directory
+// file's data blocks:
+//
+//	0..7   inode number (0 = free slot)
+//	8      name length
+//	9..63  name bytes
+const (
+	direntSize    = 64
+	direntsPerBlk = BlockSize / direntSize
+	maxNameLen    = direntSize - 9
+	direntInoOff  = 0
+	direntLenOff  = 8
+	direntNameOff = 9
+)
+
+func encodeDirent(b []byte, ino uint64, name string) {
+	for i := range b[:direntSize] {
+		b[i] = 0
+	}
+	binary.LittleEndian.PutUint64(b[direntInoOff:], ino)
+	b[direntLenOff] = byte(len(name))
+	copy(b[direntNameOff:], name)
+}
+
+func direntName(b []byte) string {
+	n := int(b[direntLenOff])
+	if n > maxNameLen {
+		n = maxNameLen
+	}
+	return string(b[direntNameOff : direntNameOff+n])
+}
+
+// splitPath normalizes a slash-separated absolute or relative path into
+// components. Empty components are dropped; "." and ".." are rejected (the
+// file system has no per-directory dot entries).
+func splitPath(path string) ([]string, error) {
+	parts := strings.Split(path, "/")
+	out := parts[:0]
+	for _, p := range parts {
+		switch p {
+		case "", ".":
+			continue
+		case "..":
+			return nil, ErrBadPath
+		}
+		if len(p) > maxNameLen {
+			return nil, ErrNameLen
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// lookupDir finds name within directory inode dirIno, returning the child
+// inode number, or 0 when absent.
+func (c *opCtx) lookupDir(dirIno uint64, name string) (uint64, error) {
+	din, err := c.readInode(dirIno)
+	if err != nil {
+		return 0, err
+	}
+	if din.mode != ModeDir {
+		return 0, ErrNotDir
+	}
+	nblocks := (din.size + BlockSize - 1) / BlockSize
+	buf := make([]byte, BlockSize)
+	for l := uint64(0); l < nblocks; l++ {
+		_, phys, err := c.bmap(din, l, false)
+		if err != nil {
+			return 0, err
+		}
+		if phys == 0 {
+			continue
+		}
+		if err := c.readBlock(phys, buf); err != nil {
+			return 0, err
+		}
+		for i := 0; i < direntsPerBlk; i++ {
+			rec := buf[i*direntSize : (i+1)*direntSize]
+			ino := binary.LittleEndian.Uint64(rec[direntInoOff:])
+			if ino != 0 && direntName(rec) == name {
+				return ino, nil
+			}
+		}
+	}
+	return 0, nil
+}
+
+// resolve walks path components from the root, following symlinks (with a
+// depth limit against cycles), returning the final inode number.
+func (c *opCtx) resolve(path string) (uint64, error) {
+	return c.resolveDepth(path, 0)
+}
+
+// maxSymlinkDepth bounds symlink chains (ELOOP equivalent).
+const maxSymlinkDepth = 8
+
+func (c *opCtx) resolveDepth(path string, depth int) (uint64, error) {
+	if depth > maxSymlinkDepth {
+		return 0, ErrLinkLoop
+	}
+	parts, err := splitPath(path)
+	if err != nil {
+		return 0, err
+	}
+	ino := uint64(rootIno)
+	for _, name := range parts {
+		child, err := c.lookupDir(ino, name)
+		if err != nil {
+			return 0, err
+		}
+		if child == 0 {
+			return 0, ErrNotExist
+		}
+		in, err := c.readInode(child)
+		if err != nil {
+			return 0, err
+		}
+		if in.mode == ModeSymlink {
+			target, err := c.readLinkTarget(in)
+			if err != nil {
+				return 0, err
+			}
+			// Targets are absolute paths in this file system.
+			child, err = c.resolveDepth(target, depth+1)
+			if err != nil {
+				return 0, err
+			}
+		}
+		ino = child
+	}
+	return ino, nil
+}
+
+// readLinkTarget reads a symlink inode's target path from its first data
+// block (the size field gives the target length).
+func (c *opCtx) readLinkTarget(in inode) (string, error) {
+	if in.size == 0 || in.size > BlockSize {
+		return "", ErrBadPath
+	}
+	if in.direct[0] == 0 {
+		return "", ErrBadPath
+	}
+	buf := make([]byte, BlockSize)
+	if err := c.readBlock(in.direct[0], buf); err != nil {
+		return "", err
+	}
+	return string(buf[:in.size]), nil
+}
+
+// resolveParent returns the inode of path's parent directory and the final
+// component name.
+func (c *opCtx) resolveParent(path string) (uint64, string, error) {
+	parts, err := splitPath(path)
+	if err != nil {
+		return 0, "", err
+	}
+	if len(parts) == 0 {
+		return 0, "", ErrBadPath
+	}
+	ino := uint64(rootIno)
+	for _, name := range parts[:len(parts)-1] {
+		child, err := c.lookupDir(ino, name)
+		if err != nil {
+			return 0, "", err
+		}
+		if child == 0 {
+			return 0, "", ErrNotExist
+		}
+		ino = child
+	}
+	return ino, parts[len(parts)-1], nil
+}
+
+// addDirent inserts (name -> ino) into directory dirIno, reusing a free
+// slot or extending the directory file.
+func (c *opCtx) addDirent(dirIno, ino uint64, name string) error {
+	din, err := c.readInode(dirIno)
+	if err != nil {
+		return err
+	}
+	if din.mode != ModeDir {
+		return ErrNotDir
+	}
+	nblocks := (din.size + BlockSize - 1) / BlockSize
+	buf := make([]byte, BlockSize)
+	for l := uint64(0); l < nblocks; l++ {
+		_, phys, err := c.bmap(din, l, false)
+		if err != nil {
+			return err
+		}
+		if phys == 0 {
+			continue
+		}
+		if err := c.readBlock(phys, buf); err != nil {
+			return err
+		}
+		for i := 0; i < direntsPerBlk; i++ {
+			rec := buf[i*direntSize : (i+1)*direntSize]
+			if binary.LittleEndian.Uint64(rec[direntInoOff:]) == 0 {
+				encodeDirent(rec, ino, name)
+				c.writeBlock(phys, buf)
+				return nil
+			}
+		}
+	}
+	// No free slot: extend the directory by one block.
+	din2, phys, err := c.bmap(din, nblocks, true)
+	if err != nil {
+		return err
+	}
+	din = din2
+	for i := range buf {
+		buf[i] = 0
+	}
+	encodeDirent(buf[:direntSize], ino, name)
+	c.writeBlock(phys, buf)
+	din.size = (nblocks + 1) * BlockSize
+	din.mtime = c.f.now()
+	return c.writeInode(dirIno, din)
+}
+
+// removeDirent deletes name from directory dirIno, returning the removed
+// child's inode number.
+func (c *opCtx) removeDirent(dirIno uint64, name string) (uint64, error) {
+	din, err := c.readInode(dirIno)
+	if err != nil {
+		return 0, err
+	}
+	if din.mode != ModeDir {
+		return 0, ErrNotDir
+	}
+	nblocks := (din.size + BlockSize - 1) / BlockSize
+	buf := make([]byte, BlockSize)
+	for l := uint64(0); l < nblocks; l++ {
+		_, phys, err := c.bmap(din, l, false)
+		if err != nil {
+			return 0, err
+		}
+		if phys == 0 {
+			continue
+		}
+		if err := c.readBlock(phys, buf); err != nil {
+			return 0, err
+		}
+		for i := 0; i < direntsPerBlk; i++ {
+			rec := buf[i*direntSize : (i+1)*direntSize]
+			ino := binary.LittleEndian.Uint64(rec[direntInoOff:])
+			if ino != 0 && direntName(rec) == name {
+				for j := range rec {
+					rec[j] = 0
+				}
+				c.writeBlock(phys, buf)
+				return ino, nil
+			}
+		}
+	}
+	return 0, ErrNotExist
+}
+
+// listDir returns the names in directory dirIno.
+func (c *opCtx) listDir(dirIno uint64) ([]string, error) {
+	din, err := c.readInode(dirIno)
+	if err != nil {
+		return nil, err
+	}
+	if din.mode != ModeDir {
+		return nil, ErrNotDir
+	}
+	nblocks := (din.size + BlockSize - 1) / BlockSize
+	buf := make([]byte, BlockSize)
+	var names []string
+	for l := uint64(0); l < nblocks; l++ {
+		_, phys, err := c.bmap(din, l, false)
+		if err != nil {
+			return nil, err
+		}
+		if phys == 0 {
+			continue
+		}
+		if err := c.readBlock(phys, buf); err != nil {
+			return nil, err
+		}
+		for i := 0; i < direntsPerBlk; i++ {
+			rec := buf[i*direntSize : (i+1)*direntSize]
+			if binary.LittleEndian.Uint64(rec[direntInoOff:]) != 0 {
+				names = append(names, direntName(rec))
+			}
+		}
+	}
+	return names, nil
+}

@@ -1,0 +1,126 @@
+package fs
+
+import (
+	"fmt"
+	"io"
+)
+
+// File is a handle-based view of a regular file, satisfying io.Reader,
+// io.Writer, io.Seeker, io.ReaderAt and io.WriterAt. Handles are a thin
+// convenience over the path-based API: they hold a path and an offset,
+// resolve on every operation (like the path API), and require no Close
+// bookkeeping beyond flushing batched writes.
+type File struct {
+	fs   *FS
+	path string
+	off  uint64
+}
+
+// Open returns a handle to an existing regular file.
+func (f *FS) Open(path string) (*File, error) {
+	info, err := f.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if info.IsDir {
+		return nil, ErrIsDir
+	}
+	return &File{fs: f, path: path}, nil
+}
+
+// OpenFile opens path, creating it when create is set.
+func (f *FS) OpenFile(path string, create bool) (*File, error) {
+	if create && !f.Exists(path) {
+		if err := f.Create(path); err != nil {
+			return nil, err
+		}
+	}
+	return f.Open(path)
+}
+
+// Name returns the path the handle was opened with.
+func (h *File) Name() string { return h.path }
+
+// Read implements io.Reader.
+func (h *File) Read(p []byte) (int, error) {
+	n, err := h.fs.ReadAt(h.path, h.off, p)
+	if err == ErrReadRange {
+		return 0, io.EOF
+	}
+	h.off += uint64(n)
+	if err == nil && n < len(p) {
+		// Short read means EOF was reached inside the range.
+		return n, nil
+	}
+	return n, err
+}
+
+// Write implements io.Writer: data is written at the current offset.
+func (h *File) Write(p []byte) (int, error) {
+	if err := h.fs.WriteAt(h.path, h.off, p); err != nil {
+		return 0, err
+	}
+	h.off += uint64(len(p))
+	return len(p), nil
+}
+
+// ReadAt implements io.ReaderAt.
+func (h *File) ReadAt(p []byte, off int64) (int, error) {
+	n, err := h.fs.ReadAt(h.path, uint64(off), p)
+	if err == ErrReadRange {
+		return 0, io.EOF
+	}
+	if err == nil && n < len(p) {
+		return n, io.EOF
+	}
+	return n, err
+}
+
+// WriteAt implements io.WriterAt.
+func (h *File) WriteAt(p []byte, off int64) (int, error) {
+	if err := h.fs.WriteAt(h.path, uint64(off), p); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// Seek implements io.Seeker.
+func (h *File) Seek(offset int64, whence int) (int64, error) {
+	var base int64
+	switch whence {
+	case io.SeekStart:
+		base = 0
+	case io.SeekCurrent:
+		base = int64(h.off)
+	case io.SeekEnd:
+		info, err := h.fs.Stat(h.path)
+		if err != nil {
+			return 0, err
+		}
+		base = int64(info.Size)
+	default:
+		return 0, fmt.Errorf("fs: bad whence %d", whence)
+	}
+	pos := base + offset
+	if pos < 0 {
+		return 0, fmt.Errorf("fs: negative seek position %d", pos)
+	}
+	h.off = uint64(pos)
+	return pos, nil
+}
+
+// Sync forces the file's pending updates durable (fsync).
+func (h *File) Sync() error { return h.fs.Fsync(h.path) }
+
+// Close syncs the handle. The handle stays usable afterwards; Close
+// exists for io.Closer compatibility.
+func (h *File) Close() error { return h.Sync() }
+
+// Size returns the current file size.
+func (h *File) Size() (uint64, error) {
+	info, err := h.fs.Stat(h.path)
+	if err != nil {
+		return 0, err
+	}
+	return info.Size, nil
+}

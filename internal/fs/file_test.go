@@ -1,0 +1,97 @@
+package fs
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+func TestFileHandleReadWriteSeek(t *testing.T) {
+	f := newFSForTest(t, 4096, Options{})
+	h, err := f.OpenFile("/h", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Write([]byte("hello ")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Write([]byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Seek(0, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(h)
+	if err != nil || string(got) != "hello world" {
+		t.Fatalf("ReadAll: %q %v", got, err)
+	}
+	// Seek from end.
+	if pos, err := h.Seek(-5, io.SeekEnd); err != nil || pos != 6 {
+		t.Fatalf("SeekEnd: %d %v", pos, err)
+	}
+	got, _ = io.ReadAll(h)
+	if string(got) != "world" {
+		t.Fatalf("tail read: %q", got)
+	}
+	if size, _ := h.Size(); size != 11 {
+		t.Fatalf("size = %d", size)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileHandleIOInterfaces(t *testing.T) {
+	f := newFSForTest(t, 4096, Options{})
+	h, err := f.OpenFile("/io", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// io.Copy into the handle, then out of it.
+	src := bytes.Repeat([]byte("copy-stream."), 2000)
+	n, err := io.Copy(h, bytes.NewReader(src))
+	if err != nil || n != int64(len(src)) {
+		t.Fatalf("copy in: %d %v", n, err)
+	}
+	h.Seek(0, io.SeekStart)
+	var out bytes.Buffer
+	if _, err := io.Copy(&out, h); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), src) {
+		t.Fatal("copy round trip mismatch")
+	}
+	// ReaderAt/WriterAt.
+	if _, err := h.WriteAt([]byte("XYZ"), 5); err != nil {
+		t.Fatal(err)
+	}
+	p := make([]byte, 3)
+	if _, err := h.ReadAt(p, 5); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if string(p) != "XYZ" {
+		t.Fatalf("ReadAt: %q", p)
+	}
+}
+
+func TestFileHandleErrors(t *testing.T) {
+	f := newFSForTest(t, 4096, Options{})
+	if _, err := f.Open("/missing"); err != ErrNotExist {
+		t.Fatalf("open missing: %v", err)
+	}
+	f.Mkdir("/d")
+	if _, err := f.Open("/d"); err != ErrIsDir {
+		t.Fatalf("open dir: %v", err)
+	}
+	h, _ := f.OpenFile("/e", true)
+	if _, err := h.Seek(-1, io.SeekStart); err == nil {
+		t.Fatal("negative seek accepted")
+	}
+	if _, err := h.Seek(0, 99); err == nil {
+		t.Fatal("bad whence accepted")
+	}
+	// Read at EOF returns io.EOF.
+	if _, err := h.Read(make([]byte, 4)); err != io.EOF {
+		t.Fatalf("EOF read: %v", err)
+	}
+}

@@ -1,0 +1,80 @@
+package fs
+
+import "encoding/binary"
+
+// Inode layout: 128 bytes, 32 per block.
+//
+//	0   mode   uint16 (0 free, 1 regular file, 2 directory)
+//	2   nlink  uint16
+//	4   pad    uint32
+//	8   size   uint64 (bytes)
+//	16  mtime  uint64 (simulated nanoseconds)
+//	24  direct [10]uint64 block pointers
+//	104 single-indirect block pointer
+//	112 double-indirect block pointer
+//	120 pad
+//
+// A zero block pointer means "unallocated" (block 0 is the superblock and
+// can never be file data). Maximum file size is
+// (10 + 512 + 512*512) * 4KB ≈ 1GB.
+const (
+	inodeSize      = 128
+	inodesPerBlock = BlockSize / inodeSize
+	numDirect      = 10
+	ptrsPerBlock   = BlockSize / 8
+)
+
+// File type modes.
+const (
+	ModeFree    = 0
+	ModeFile    = 1
+	ModeDir     = 2
+	ModeSymlink = 3
+)
+
+// MaxFileBlocks is the largest number of data blocks one file can map.
+const MaxFileBlocks = numDirect + ptrsPerBlock + ptrsPerBlock*ptrsPerBlock
+
+type inode struct {
+	mode   uint16
+	nlink  uint16
+	size   uint64
+	mtime  uint64
+	direct [numDirect]uint64
+	single uint64
+	double uint64
+}
+
+func encodeInode(in inode, b []byte) {
+	for i := range b[:inodeSize] {
+		b[i] = 0
+	}
+	binary.LittleEndian.PutUint16(b[0:], in.mode)
+	binary.LittleEndian.PutUint16(b[2:], in.nlink)
+	binary.LittleEndian.PutUint64(b[8:], in.size)
+	binary.LittleEndian.PutUint64(b[16:], in.mtime)
+	for i := 0; i < numDirect; i++ {
+		binary.LittleEndian.PutUint64(b[24+8*i:], in.direct[i])
+	}
+	binary.LittleEndian.PutUint64(b[104:], in.single)
+	binary.LittleEndian.PutUint64(b[112:], in.double)
+}
+
+func decodeInode(b []byte) inode {
+	var in inode
+	in.mode = binary.LittleEndian.Uint16(b[0:])
+	in.nlink = binary.LittleEndian.Uint16(b[2:])
+	in.size = binary.LittleEndian.Uint64(b[8:])
+	in.mtime = binary.LittleEndian.Uint64(b[16:])
+	for i := 0; i < numDirect; i++ {
+		in.direct[i] = binary.LittleEndian.Uint64(b[24+8*i:])
+	}
+	in.single = binary.LittleEndian.Uint64(b[104:])
+	in.double = binary.LittleEndian.Uint64(b[112:])
+	return in
+}
+
+// inodeBlock returns the table block and byte offset of inode ino.
+func (g geometry) inodeBlock(ino uint64) (blk uint64, off int) {
+	return g.inodeTableStart + ino/inodesPerBlock, int(ino%inodesPerBlock) * inodeSize
+}

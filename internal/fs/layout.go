@@ -1,0 +1,107 @@
+package fs
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"tinca/internal/blockdev"
+)
+
+// BlockSize is the file system block size (4KB).
+const BlockSize = blockdev.BlockSize
+
+const (
+	fsMagic   uint64 = 0x534641434e4954 // "TINCAFS"
+	fsVersion uint64 = 1
+)
+
+// superblock geometry, all uint64 little endian at fixed offsets of
+// block 0.
+const (
+	sbMagic             = 0
+	sbVersion           = 8
+	sbTotalBlocks       = 16
+	sbInodeCount        = 24
+	sbInodeBitmapStart  = 32
+	sbInodeBitmapBlocks = 40
+	sbBlockBitmapStart  = 48
+	sbBlockBitmapBlocks = 56
+	sbInodeTableStart   = 64
+	sbInodeTableBlocks  = 72
+	sbDataStart         = 80
+)
+
+// geometry is the decoded superblock.
+type geometry struct {
+	totalBlocks       uint64
+	inodeCount        uint64
+	inodeBitmapStart  uint64
+	inodeBitmapBlocks uint64
+	blockBitmapStart  uint64
+	blockBitmapBlocks uint64
+	inodeTableStart   uint64
+	inodeTableBlocks  uint64
+	dataStart         uint64
+}
+
+func computeGeometry(totalBlocks, inodeCount uint64) (geometry, error) {
+	if inodeCount == 0 {
+		inodeCount = totalBlocks / 16
+	}
+	if inodeCount < 64 {
+		inodeCount = 64
+	}
+	var g geometry
+	g.totalBlocks = totalBlocks
+	g.inodeCount = inodeCount
+	bitsPerBlock := uint64(BlockSize * 8)
+	g.inodeBitmapStart = 1
+	g.inodeBitmapBlocks = (inodeCount + bitsPerBlock - 1) / bitsPerBlock
+	g.blockBitmapStart = g.inodeBitmapStart + g.inodeBitmapBlocks
+	g.blockBitmapBlocks = (totalBlocks + bitsPerBlock - 1) / bitsPerBlock
+	g.inodeTableStart = g.blockBitmapStart + g.blockBitmapBlocks
+	g.inodeTableBlocks = (inodeCount + inodesPerBlock - 1) / inodesPerBlock
+	g.dataStart = g.inodeTableStart + g.inodeTableBlocks
+	if g.dataStart+16 > totalBlocks {
+		return geometry{}, fmt.Errorf("fs: %d blocks is too small for %d inodes", totalBlocks, inodeCount)
+	}
+	return g, nil
+}
+
+func (g geometry) encode() []byte {
+	b := make([]byte, BlockSize)
+	put := func(off int, v uint64) { binary.LittleEndian.PutUint64(b[off:], v) }
+	put(sbMagic, fsMagic)
+	put(sbVersion, fsVersion)
+	put(sbTotalBlocks, g.totalBlocks)
+	put(sbInodeCount, g.inodeCount)
+	put(sbInodeBitmapStart, g.inodeBitmapStart)
+	put(sbInodeBitmapBlocks, g.inodeBitmapBlocks)
+	put(sbBlockBitmapStart, g.blockBitmapStart)
+	put(sbBlockBitmapBlocks, g.blockBitmapBlocks)
+	put(sbInodeTableStart, g.inodeTableStart)
+	put(sbInodeTableBlocks, g.inodeTableBlocks)
+	put(sbDataStart, g.dataStart)
+	return b
+}
+
+func decodeGeometry(b []byte) (geometry, error) {
+	get := func(off int) uint64 { return binary.LittleEndian.Uint64(b[off:]) }
+	if get(sbMagic) != fsMagic {
+		return geometry{}, fmt.Errorf("fs: bad magic %#x", get(sbMagic))
+	}
+	if get(sbVersion) != fsVersion {
+		return geometry{}, fmt.Errorf("fs: unsupported version %d", get(sbVersion))
+	}
+	return geometry{
+		totalBlocks:       get(sbTotalBlocks),
+		inodeCount:        get(sbInodeCount),
+		inodeBitmapStart:  get(sbInodeBitmapStart),
+		inodeBitmapBlocks: get(sbInodeBitmapBlocks),
+		blockBitmapStart:  get(sbBlockBitmapStart),
+		blockBitmapBlocks: get(sbBlockBitmapBlocks),
+		inodeTableStart:   get(sbInodeTableStart),
+		inodeTableBlocks:  get(sbInodeTableBlocks),
+		dataStart:         get(sbDataStart),
+	}, nil
+}

@@ -1,0 +1,304 @@
+package jbd
+
+import (
+	"testing"
+
+	"tinca/internal/blockdev"
+	"tinca/internal/metrics"
+	"tinca/internal/sim"
+)
+
+// diskStore adapts a raw blockdev to the BlockStore interface.
+type diskStore struct{ d *blockdev.Device }
+
+func (s diskStore) ReadBlock(no uint64, p []byte) error  { s.d.ReadBlock(no, p); return nil }
+func (s diskStore) WriteBlock(no uint64, p []byte) error { s.d.WriteBlock(no, p); return nil }
+
+func newJournal(t *testing.T, jblocks uint64) (*Journal, *blockdev.Device, *metrics.Recorder) {
+	t.Helper()
+	clock := sim.NewClock()
+	rec := metrics.NewRecorder()
+	disk := blockdev.New(1<<16, blockdev.Null, clock, rec)
+	j, err := Open(diskStore{disk}, rec, Options{Start: 1000, Blocks: jblocks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j, disk, rec
+}
+
+func blockOf(b byte) []byte {
+	p := make([]byte, BlockSize)
+	for i := range p {
+		p[i] = b
+	}
+	return p
+}
+
+func TestCommitReadYourWrites(t *testing.T) {
+	j, disk, _ := newJournal(t, 64)
+	if err := j.Commit([]Update{{No: 5, Data: blockOf('a')}, {No: 6, Data: blockOf('b')}}); err != nil {
+		t.Fatal(err)
+	}
+	p := make([]byte, BlockSize)
+	if err := j.ReadBlock(5, p); err != nil {
+		t.Fatal(err)
+	}
+	if p[0] != 'a' {
+		t.Fatalf("read %q", p[0])
+	}
+	// Home location untouched until checkpoint.
+	disk.ReadBlock(5, p)
+	if p[0] != 0 {
+		t.Fatal("home written before checkpoint")
+	}
+}
+
+func TestCheckpointWritesHome(t *testing.T) {
+	j, disk, rec := newJournal(t, 64)
+	if err := j.Commit([]Update{{No: 5, Data: blockOf('a')}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.CheckpointAll(); err != nil {
+		t.Fatal(err)
+	}
+	p := make([]byte, BlockSize)
+	disk.ReadBlock(5, p)
+	if p[0] != 'a' {
+		t.Fatal("checkpoint did not reach home")
+	}
+	if rec.Get(metrics.JournalCkptBlks) != 1 {
+		t.Fatalf("ckpt blocks = %d", rec.Get(metrics.JournalCkptBlks))
+	}
+	if j.PendingBlocks() != 0 {
+		t.Fatal("pending not drained")
+	}
+}
+
+func TestCheckpointSkipsSuperseded(t *testing.T) {
+	j, disk, _ := newJournal(t, 64)
+	j.Commit([]Update{{No: 5, Data: blockOf('a')}})
+	j.Commit([]Update{{No: 5, Data: blockOf('b')}})
+	if err := j.CheckpointAll(); err != nil {
+		t.Fatal(err)
+	}
+	p := make([]byte, BlockSize)
+	disk.ReadBlock(5, p)
+	if p[0] != 'b' {
+		t.Fatalf("home = %q, want latest 'b'", p[0])
+	}
+}
+
+func TestDoubleWriteAccounting(t *testing.T) {
+	j, _, rec := newJournal(t, 64)
+	j.Commit([]Update{{No: 1, Data: blockOf(1)}, {No: 2, Data: blockOf(2)}})
+	j.CheckpointAll()
+	// Each data block is written twice: log + checkpoint.
+	if lb := rec.Get(metrics.JournalBlocks); lb != 2 {
+		t.Fatalf("log blocks = %d", lb)
+	}
+	if cb := rec.Get(metrics.JournalCkptBlks); cb != 2 {
+		t.Fatalf("ckpt blocks = %d", cb)
+	}
+	// Plus descriptor and commit metadata.
+	if mb := rec.Get(metrics.JournalMeta); mb < 2 {
+		t.Fatalf("meta blocks = %d", mb)
+	}
+}
+
+func TestJournalWrapsAround(t *testing.T) {
+	j, disk, _ := newJournal(t, 16) // tiny ring forces wraps + checkpoints
+	for round := 0; round < 30; round++ {
+		err := j.Commit([]Update{
+			{No: uint64(round % 7), Data: blockOf(byte(round))},
+			{No: uint64(100 + round%5), Data: blockOf(byte(round))},
+		})
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	if err := j.CheckpointAll(); err != nil {
+		t.Fatal(err)
+	}
+	p := make([]byte, BlockSize)
+	disk.ReadBlock(uint64(29%7), p)
+	if p[0] != 29 {
+		t.Fatalf("latest value lost: %d", p[0])
+	}
+}
+
+func TestTooLargeRejected(t *testing.T) {
+	j, _, _ := newJournal(t, 8)
+	var ups []Update
+	for i := 0; i < 10; i++ {
+		ups = append(ups, Update{No: uint64(i), Data: blockOf(1)})
+	}
+	if err := j.Commit(ups); err != ErrTooLarge {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRecoveryReplaysSealed(t *testing.T) {
+	clock := sim.NewClock()
+	rec := metrics.NewRecorder()
+	disk := blockdev.New(1<<16, blockdev.Null, clock, rec)
+	j, err := Open(diskStore{disk}, rec, Options{Start: 1000, Blocks: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Commit([]Update{{No: 5, Data: blockOf('a')}})
+	j.Commit([]Update{{No: 6, Data: blockOf('b')}})
+	// Simulate crash: reopen without checkpointing (journal state is on
+	// the disk already; the DRAM pending map is simply lost).
+	j2, err := Open(diskStore{disk}, rec, Options{Start: 1000, Blocks: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := make([]byte, BlockSize)
+	if err := j2.ReadBlock(5, p); err != nil || p[0] != 'a' {
+		t.Fatalf("block 5 after recovery: %q %v", p[0], err)
+	}
+	if err := j2.ReadBlock(6, p); err != nil || p[0] != 'b' {
+		t.Fatalf("block 6 after recovery: %q %v", p[0], err)
+	}
+	// Replay wrote homes directly.
+	disk.ReadBlock(5, p)
+	if p[0] != 'a' {
+		t.Fatal("recovery did not replay to home")
+	}
+	// Journal accepts new commits after recovery.
+	if err := j2.Commit([]Update{{No: 7, Data: blockOf('c')}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecoveryDiscardsUnsealed(t *testing.T) {
+	clock := sim.NewClock()
+	rec := metrics.NewRecorder()
+	disk := blockdev.New(1<<16, blockdev.Null, clock, rec)
+	j, err := Open(diskStore{disk}, rec, Options{Start: 1000, Blocks: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Commit([]Update{{No: 5, Data: blockOf('a')}})
+	// Hand-craft an unsealed transaction: descriptor + data, no commit.
+	buf := make([]byte, BlockSize)
+	buf[0], buf[1], buf[2], buf[3] = 0x32, 0x44, 0x42, 0x4a // jMagic LE
+	buf[4] = 1                                              // typeDesc
+	buf[8] = 2                                              // seq 2
+	buf[16] = 1                                             // count 1
+	buf[32] = 99                                            // home block 99
+	disk.WriteBlock(1000+1+3, buf)                          // after desc+log+commit of txn 1
+	disk.WriteBlock(1000+1+4, blockOf('X'))                 // its log block
+
+	j2, err := Open(diskStore{disk}, rec, Options{Start: 1000, Blocks: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := make([]byte, BlockSize)
+	disk.ReadBlock(99, p)
+	if p[0] != 0 {
+		t.Fatal("unsealed transaction was replayed")
+	}
+	if err := j2.ReadBlock(5, p); err != nil || p[0] != 'a' {
+		t.Fatal("sealed transaction lost")
+	}
+}
+
+func TestMaybeCheckpointKeepsOccupancyDown(t *testing.T) {
+	j, _, _ := newJournal(t, 32)
+	for i := 0; i < 50; i++ {
+		if err := j.Commit([]Update{{No: uint64(i), Data: blockOf(byte(i))}}); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.MaybeCheckpoint(0.5); err != nil {
+			t.Fatal(err)
+		}
+		if occ := j.head - j.tail; float64(occ) > 0.5*float64(j.area)+3 {
+			t.Fatalf("occupancy %d exceeds threshold", occ)
+		}
+	}
+}
+
+func TestEmptyCommitNoop(t *testing.T) {
+	j, _, rec := newJournal(t, 16)
+	if err := j.Commit(nil); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Get(metrics.JournalCommit) != 0 {
+		t.Fatal("empty commit counted")
+	}
+}
+
+func TestRevokeSuppressesReplay(t *testing.T) {
+	clock := sim.NewClock()
+	rec := metrics.NewRecorder()
+	disk := blockdev.New(1<<16, blockdev.Null, clock, rec)
+	j, err := Open(diskStore{disk}, rec, Options{Start: 1000, Blocks: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Txn 1 logs block 5; txn 2 revokes it (the file was truncated).
+	if err := j.Commit([]Update{{No: 5, Data: blockOf('S')}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.CommitTxn(Txn{
+		Updates: []Update{{No: 6, Data: blockOf('k')}},
+		Revoked: []uint64{5},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Crash before checkpoint: reopen replays the journal.
+	j2, err := Open(diskStore{disk}, rec, Options{Start: 1000, Blocks: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := make([]byte, BlockSize)
+	disk.ReadBlock(5, p)
+	if p[0] == 'S' {
+		t.Fatal("revoked block was resurrected by replay")
+	}
+	disk.ReadBlock(6, p)
+	if p[0] != 'k' {
+		t.Fatal("non-revoked block not replayed")
+	}
+	_ = j2
+}
+
+func TestRevokeThenRewriteLaterTxn(t *testing.T) {
+	clock := sim.NewClock()
+	rec := metrics.NewRecorder()
+	disk := blockdev.New(1<<16, blockdev.Null, clock, rec)
+	j, err := Open(diskStore{disk}, rec, Options{Start: 1000, Blocks: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Block 5: logged, revoked, then re-allocated and logged again. The
+	// final write must survive replay (revocation only covers seq <= its
+	// own transaction).
+	j.Commit([]Update{{No: 5, Data: blockOf('a')}})
+	j.CommitTxn(Txn{Updates: []Update{{No: 9, Data: blockOf('x')}}, Revoked: []uint64{5}})
+	j.Commit([]Update{{No: 5, Data: blockOf('b')}})
+	if _, err := Open(diskStore{disk}, rec, Options{Start: 1000, Blocks: 64}); err != nil {
+		t.Fatal(err)
+	}
+	p := make([]byte, BlockSize)
+	disk.ReadBlock(5, p)
+	if p[0] != 'b' {
+		t.Fatalf("block 5 = %q, want re-written 'b'", p[0])
+	}
+}
+
+func TestRevokeClearsPending(t *testing.T) {
+	j, disk, _ := newJournal(t, 64)
+	j.Commit([]Update{{No: 5, Data: blockOf('a')}})
+	j.CommitTxn(Txn{Updates: []Update{{No: 6, Data: blockOf('b')}}, Revoked: []uint64{5}})
+	// Checkpointing must not write the dead block home.
+	if err := j.CheckpointAll(); err != nil {
+		t.Fatal(err)
+	}
+	p := make([]byte, BlockSize)
+	disk.ReadBlock(5, p)
+	if p[0] == 'a' {
+		t.Fatal("revoked block checkpointed to home")
+	}
+}

@@ -1,0 +1,164 @@
+// Package metrics implements the counter registry used by every layer of
+// the storage stack. The evaluation in the paper compares systems on
+// normalized counter values (clflush per operation, disk blocks written per
+// transaction, ...), so counters are first-class here: cheap atomic
+// increments, snapshot/delta arithmetic, and stable names shared by the
+// experiment harness.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Canonical counter names. Components must use these constants so the
+// experiment drivers can compute the paper's normalized quantities.
+const (
+	// NVM-level counters (charged by internal/pmem).
+	NVMCLFlush    = "nvm.clflush"     // cache lines flushed
+	NVMSFence     = "nvm.sfence"      // store fences executed
+	NVMBytesWrite = "nvm.bytes_write" // bytes stored (volatile stores)
+	NVMBytesRead  = "nvm.bytes_read"  // bytes loaded
+	NVMAtomic8    = "nvm.atomic8"     // 8-byte atomic stores
+	NVMAtomic16   = "nvm.atomic16"    // 16-byte atomic stores (cmpxchg16b)
+
+	// Disk-level counters (charged by internal/blockdev).
+	DiskBlocksWrite = "disk.blocks_write"
+	DiskBlocksRead  = "disk.blocks_read"
+
+	// Cache-manager counters (charged by internal/core and internal/classic).
+	CacheWriteHit   = "cache.write_hit"
+	CacheWriteMiss  = "cache.write_miss"
+	CacheReadHit    = "cache.read_hit"
+	CacheReadMiss   = "cache.read_miss"
+	CacheEvict      = "cache.evict"
+	CacheEvictDirty = "cache.evict_dirty"
+	CacheMetaWrite  = "cache.meta_block_write" // block-format metadata writes (Classic)
+	// Journal-area traffic through the Classic cache, counted separately
+	// so data-block hit rates are comparable across systems.
+	CacheJournalWriteHit  = "cache.journal_write_hit"
+	CacheJournalWriteMiss = "cache.journal_write_miss"
+
+	// Transaction counters.
+	TxnCommit       = "txn.commit"
+	TxnAbort        = "txn.abort"
+	TxnBlocks       = "txn.blocks"          // data blocks committed
+	TxnCOWBlocks    = "txn.cow_blocks"      // blocks that needed a COW copy
+	JournalCommit   = "jbd.commit"          // journal transactions committed
+	JournalBlocks   = "jbd.log_blocks"      // log (data) blocks written to journal
+	JournalMeta     = "jbd.meta_blocks"     // descriptor/commit/revoke blocks
+	JournalCkptBlks = "jbd.checkpoint_blks" // blocks checkpointed to home location
+
+	// Workload-level counters (charged by drivers).
+	OpsWrite = "ops.write"
+	OpsRead  = "ops.read"
+	OpsFile  = "ops.file" // whole file operations (Filebench accounting)
+	OpsTxn   = "ops.txn"  // OLTP transactions completed
+
+	// Network counters (charged by internal/cluster).
+	NetBytes    = "net.bytes"
+	NetMessages = "net.messages"
+)
+
+// Recorder is a registry of named monotonic counters. The zero value is not
+// usable; construct with NewRecorder. All methods are safe for concurrent
+// use.
+type Recorder struct {
+	mu       sync.Mutex
+	counters map[string]*atomic.Int64
+}
+
+// NewRecorder returns an empty counter registry.
+func NewRecorder() *Recorder {
+	return &Recorder{counters: make(map[string]*atomic.Int64)}
+}
+
+func (r *Recorder) counter(name string) *atomic.Int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = new(atomic.Int64)
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Add increments the named counter by delta.
+func (r *Recorder) Add(name string, delta int64) { r.counter(name).Add(delta) }
+
+// Inc increments the named counter by one.
+func (r *Recorder) Inc(name string) { r.counter(name).Add(1) }
+
+// Get returns the current value of the named counter (zero if never used).
+func (r *Recorder) Get(name string) int64 {
+	r.mu.Lock()
+	c, ok := r.counters[name]
+	r.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	return c.Load()
+}
+
+// Reset zeroes all counters.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters {
+		c.Store(0)
+	}
+}
+
+// Snapshot is an immutable copy of all counter values at one instant.
+type Snapshot map[string]int64
+
+// Snapshot copies the current counter values.
+func (r *Recorder) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := make(Snapshot, len(r.counters))
+	for name, c := range r.counters {
+		s[name] = c.Load()
+	}
+	return s
+}
+
+// Get returns the value of name in the snapshot, zero if absent.
+func (s Snapshot) Get(name string) int64 { return s[name] }
+
+// Sub returns s - old, counter-wise. Counters absent from old are treated
+// as zero.
+func (s Snapshot) Sub(old Snapshot) Snapshot {
+	d := make(Snapshot, len(s))
+	for name, v := range s {
+		d[name] = v - old[name]
+	}
+	return d
+}
+
+// PerOp divides counter name by the given operation count, returning 0 when
+// ops is zero.
+func (s Snapshot) PerOp(name string, ops int64) float64 {
+	if ops == 0 {
+		return 0
+	}
+	return float64(s[name]) / float64(ops)
+}
+
+// String renders the snapshot sorted by counter name, one per line.
+func (s Snapshot) String() string {
+	names := make([]string, 0, len(s))
+	for name := range s {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		fmt.Fprintf(&b, "%-24s %12d\n", name, s[name])
+	}
+	return b.String()
+}

@@ -1,0 +1,79 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestAddIncGet(t *testing.T) {
+	r := NewRecorder()
+	r.Inc("a")
+	r.Add("a", 4)
+	if got := r.Get("a"); got != 5 {
+		t.Fatalf("a = %d", got)
+	}
+	if got := r.Get("never"); got != 0 {
+		t.Fatalf("unknown = %d", got)
+	}
+}
+
+func TestSnapshotSubAndPerOp(t *testing.T) {
+	r := NewRecorder()
+	r.Add("x", 10)
+	s0 := r.Snapshot()
+	r.Add("x", 5)
+	r.Add("y", 2)
+	d := r.Snapshot().Sub(s0)
+	if d.Get("x") != 5 || d.Get("y") != 2 {
+		t.Fatalf("delta = %v", d)
+	}
+	if d.PerOp("x", 5) != 1 {
+		t.Fatalf("perop = %v", d.PerOp("x", 5))
+	}
+	if d.PerOp("x", 0) != 0 {
+		t.Fatal("division by zero not guarded")
+	}
+	// Snapshot immutability: later increments don't affect old snapshots.
+	r.Add("x", 100)
+	if s0.Get("x") != 10 {
+		t.Fatal("snapshot mutated")
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := NewRecorder()
+	r.Add("a", 3)
+	r.Reset()
+	if r.Get("a") != 0 {
+		t.Fatal("reset did not zero")
+	}
+}
+
+func TestStringSorted(t *testing.T) {
+	r := NewRecorder()
+	r.Inc("zeta")
+	r.Inc("alpha")
+	s := r.Snapshot().String()
+	if strings.Index(s, "alpha") > strings.Index(s, "zeta") {
+		t.Fatal("snapshot string not sorted")
+	}
+}
+
+func TestConcurrentCounting(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Inc("c")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Get("c"); got != 8000 {
+		t.Fatalf("c = %d", got)
+	}
+}

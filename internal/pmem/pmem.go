@@ -1,0 +1,491 @@
+// Package pmem simulates byte-addressable non-volatile memory attached to
+// the memory bus, as used by the paper's prototype (an NVDIMM configured
+// with PCM/STT-RAM delays).
+//
+// The simulator models exactly the properties Tinca's consistency argument
+// depends on:
+//
+//   - Regular stores go to the (volatile) CPU cache and are NOT durable.
+//   - CLFlush writes the covering 64-byte cache lines back to the
+//     persistence domain; SFence orders flushes against later stores.
+//   - Aligned 8-byte and 16-byte stores are failure-atomic (mov /
+//     cmpxchg16b with LOCK): after a crash the location holds either the
+//     old or the new value, never a mix.
+//   - Un-flushed dirty data may persist anyway, in any order and at any
+//     granularity down to the 8-byte word, because the CPU can evict cache
+//     lines at its own whim and writes within a line are not atomic as a
+//     unit. Crash images therefore tear dirty lines word by word,
+//     preserving only the 8B/16B atomic units above.
+//
+// Each operation charges simulated service time to a sim.Clock using a
+// per-technology latency profile (Table 1 of the paper), and counts
+// clflush/sfence/bytes in a metrics.Recorder — the quantities the paper's
+// evaluation normalizes against.
+package pmem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"tinca/internal/metrics"
+	"tinca/internal/sim"
+)
+
+// LineSize is the CPU cache line size in bytes (64B on the paper's Xeon
+// E5-2640 platform).
+const LineSize = 64
+
+// Profile describes an NVM technology's per-line latencies, following the
+// paper's prototype methodology: an NVDIMM runs at DRAM speed, and media
+// delays are injected on top to emulate PCM (write/read +180ns/+50ns) and
+// STT-RAM (+50ns/+50ns). LineFlushNS is the full cost of one clflush to
+// that medium; LineReadNS the cost of one cache-line load from the DIMM.
+type Profile struct {
+	Name        string
+	LineStoreNS int64 // per-line store into the CPU cache (memcpy cost)
+	LineReadNS  int64 // per-line load
+	LineFlushNS int64 // per-line clflush (includes the instruction cost)
+	FenceNS     int64 // per sfence
+}
+
+// Base costs of the DRAM path itself: what a cache-line read from DIMM, a
+// clflush instruction, and an sfence cost even on plain DRAM.
+const (
+	baseLineStoreNS = 10
+	baseLineReadNS  = 50
+	baseLineFlushNS = 100
+	baseFenceNS     = 50
+)
+
+// CLWBVariant returns the profile with the flush cost reduced to model
+// the clwb instruction (Section 2.1: "clflushopt and clwb have been
+// proposed to substitute clflush but still bring in overheads"): the line
+// is written back without being invalidated and the instruction overhead
+// is lower, but the media write cost remains.
+func CLWBVariant(p Profile) Profile {
+	saved := int64(baseLineFlushNS * 6 / 10) // clwb keeps the line in cache
+	if p.LineFlushNS > saved {
+		p.LineFlushNS -= saved
+	}
+	p.Name = p.Name + "+clwb"
+	return p
+}
+
+// Technology profiles from Table 1 / Section 5.1 of the paper.
+var (
+	NVDIMM = Profile{Name: "NVDIMM", LineStoreNS: baseLineStoreNS,
+		LineReadNS: baseLineReadNS, LineFlushNS: baseLineFlushNS, FenceNS: baseFenceNS}
+	STTRAM = Profile{Name: "STT-RAM", LineStoreNS: baseLineStoreNS,
+		LineReadNS: baseLineReadNS + 50, LineFlushNS: baseLineFlushNS + 50, FenceNS: baseFenceNS}
+	PCM = Profile{Name: "PCM", LineStoreNS: baseLineStoreNS,
+		LineReadNS: baseLineReadNS + 50, LineFlushNS: baseLineFlushNS + 180, FenceNS: baseFenceNS}
+	// NoFlushCost models the Figure 3(b) baseline that omits clflush and
+	// sfence entirely: persistence operations still happen functionally
+	// but cost nothing, isolating the ordering-instruction overhead.
+	NoFlushCost = Profile{Name: "DRAM-noflush", LineStoreNS: baseLineStoreNS,
+		LineReadNS: baseLineReadNS, LineFlushNS: 0, FenceNS: 0}
+)
+
+// ErrCrash is the sentinel carried by the panic a Device raises when an
+// armed crash point fires. Harnesses recover it with RecoverCrash.
+type ErrCrash struct{ Op string }
+
+func (e ErrCrash) Error() string { return "pmem: injected crash during " + e.Op }
+
+// Device is a simulated NVM DIMM. All methods are safe for concurrent use;
+// the lock also makes Store8/Store16 atomic with respect to crash-image
+// generation.
+type Device struct {
+	mu       sync.Mutex
+	size     int
+	persist  []byte // contents of the persistence domain (survives crash)
+	volatile []byte // CPU-visible contents (lost on crash unless flushed/evicted)
+	dirty    []bool // per-line dirty flag (volatile differs from persist)
+	nlines   int
+
+	prof  Profile
+	clock *sim.Clock
+	rec   *metrics.Recorder
+	wear  []uint32 // per-line media writes (endurance accounting)
+
+	// atomic16 marks the start words of 16B ranges last written by
+	// Store16: on a torn crash those two words persist together (the
+	// cmpxchg16b contract). One flag per 8B word.
+	atomic16 []bool
+
+	// Crash injection: when armed, the device panics with ErrCrash after
+	// the countdown of persistence-relevant operations reaches zero.
+	crashArmed     bool
+	crashCountdown int64
+}
+
+// New creates a device of the given size (rounded up to a whole number of
+// cache lines) with the given technology profile. clock and rec may not be
+// nil; share them across the whole storage stack.
+func New(size int, prof Profile, clock *sim.Clock, rec *metrics.Recorder) *Device {
+	if size <= 0 {
+		panic("pmem: non-positive size")
+	}
+	if clock == nil || rec == nil {
+		panic("pmem: nil clock or recorder")
+	}
+	nlines := (size + LineSize - 1) / LineSize
+	size = nlines * LineSize
+	return &Device{
+		size:     size,
+		persist:  make([]byte, size),
+		volatile: make([]byte, size),
+		dirty:    make([]bool, nlines),
+		nlines:   nlines,
+		prof:     prof,
+		clock:    clock,
+		rec:      rec,
+		wear:     make([]uint32, nlines),
+		atomic16: make([]bool, size/8),
+	}
+}
+
+// Size returns the usable size in bytes.
+func (d *Device) Size() int { return d.size }
+
+// Profile returns the technology profile in use.
+func (d *Device) Profile() Profile { return d.prof }
+
+// Clock returns the simulated clock the device charges.
+func (d *Device) Clock() *sim.Clock { return d.clock }
+
+// Recorder returns the metrics recorder the device charges.
+func (d *Device) Recorder() *metrics.Recorder { return d.rec }
+
+func (d *Device) check(off, n int) {
+	if off < 0 || n < 0 || off+n > d.size {
+		panic(fmt.Sprintf("pmem: access [%d,%d) outside device of %d bytes", off, off+n, d.size))
+	}
+}
+
+func (d *Device) maybeCrash(op string) {
+	if !d.crashArmed {
+		return
+	}
+	d.crashCountdown--
+	if d.crashCountdown < 0 {
+		d.crashArmed = false
+		panic(ErrCrash{Op: op})
+	}
+}
+
+// Store copies p into the device at off. The write is volatile: it is not
+// durable until the covering lines are flushed (or happen to be evicted at
+// crash time).
+func (d *Device) Store(off int, p []byte) {
+	d.check(off, len(p))
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.maybeCrash("store")
+	copy(d.volatile[off:off+len(p)], p)
+	d.clearAtomic16(off, len(p))
+	d.markDirty(off, len(p))
+	d.clock.AdvanceNS(int64(coveringLines(off, len(p))) * d.prof.LineStoreNS)
+	d.rec.Add(metrics.NVMBytesWrite, int64(len(p)))
+}
+
+// Store8 performs a failure-atomic aligned 8-byte store (regular mov on
+// x86). off must be 8-byte aligned.
+func (d *Device) Store8(off int, v uint64) {
+	if off%8 != 0 {
+		panic("pmem: Store8 misaligned")
+	}
+	d.check(off, 8)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.maybeCrash("store8")
+	binary.LittleEndian.PutUint64(d.volatile[off:off+8], v)
+	d.clearAtomic16(off, 8)
+	d.markDirty(off, 8)
+	d.clock.AdvanceNS(d.prof.LineStoreNS)
+	d.rec.Inc(metrics.NVMAtomic8)
+	d.rec.Add(metrics.NVMBytesWrite, 8)
+}
+
+// Store16 performs a failure-atomic aligned 16-byte store (LOCK
+// cmpxchg16b). off must be 16-byte aligned.
+func (d *Device) Store16(off int, v [16]byte) {
+	if off%16 != 0 {
+		panic("pmem: Store16 misaligned")
+	}
+	d.check(off, 16)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.maybeCrash("store16")
+	copy(d.volatile[off:off+16], v[:])
+	d.atomic16[off/8] = true
+	d.atomic16[off/8+1] = false
+	d.markDirty(off, 16)
+	d.clock.AdvanceNS(d.prof.LineStoreNS)
+	d.rec.Inc(metrics.NVMAtomic16)
+	d.rec.Add(metrics.NVMBytesWrite, 16)
+}
+
+// Load copies n bytes at off into p (len(p) bytes are read). Reads see the
+// CPU-visible (volatile) contents.
+func (d *Device) Load(off int, p []byte) {
+	d.check(off, len(p))
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	copy(p, d.volatile[off:off+len(p)])
+	lines := coveringLines(off, len(p))
+	d.clock.AdvanceNS(int64(lines) * d.prof.LineReadNS)
+	d.rec.Add(metrics.NVMBytesRead, int64(len(p)))
+}
+
+// Load8 reads an aligned 8-byte value.
+func (d *Device) Load8(off int) uint64 {
+	if off%8 != 0 {
+		panic("pmem: Load8 misaligned")
+	}
+	d.check(off, 8)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	v := binary.LittleEndian.Uint64(d.volatile[off : off+8])
+	d.clock.AdvanceNS(d.prof.LineReadNS)
+	d.rec.Add(metrics.NVMBytesRead, 8)
+	return v
+}
+
+// Load16 reads an aligned 16-byte value.
+func (d *Device) Load16(off int) (v [16]byte) {
+	if off%16 != 0 {
+		panic("pmem: Load16 misaligned")
+	}
+	d.check(off, 16)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	copy(v[:], d.volatile[off:off+16])
+	d.clock.AdvanceNS(d.prof.LineReadNS)
+	d.rec.Add(metrics.NVMBytesRead, 16)
+	return v
+}
+
+// CLFlush flushes every cache line covering [off, off+n) to the
+// persistence domain, charging one clflush per line.
+func (d *Device) CLFlush(off, n int) {
+	d.check(off, n)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.maybeCrash("clflush")
+	first := off / LineSize
+	last := (off + n - 1) / LineSize
+	if n == 0 {
+		last = first
+	}
+	for l := first; l <= last; l++ {
+		b := l * LineSize
+		copy(d.persist[b:b+LineSize], d.volatile[b:b+LineSize])
+		d.dirty[l] = false
+		d.wear[l]++
+	}
+	lines := int64(last - first + 1)
+	d.rec.Add(metrics.NVMCLFlush, lines)
+	d.clock.AdvanceNS(lines * d.prof.LineFlushNS)
+}
+
+// SFence issues a store fence. In this synchronous simulation flushes are
+// already complete when CLFlush returns, so the fence only charges its cost
+// and counts; the ordering guarantee it provides in hardware is what makes
+// the persist-then-continue sequencing of callers valid.
+func (d *Device) SFence() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.maybeCrash("sfence")
+	d.rec.Inc(metrics.NVMSFence)
+	d.clock.AdvanceNS(d.prof.FenceNS)
+}
+
+// PersistRange is the common {store, clflush, sfence} sequence: store p at
+// off, flush the covering lines and fence.
+func (d *Device) PersistRange(off int, p []byte) {
+	d.Store(off, p)
+	d.CLFlush(off, len(p))
+	d.SFence()
+}
+
+// Persist8 is the atomic-8B {store, clflush, sfence} sequence.
+func (d *Device) Persist8(off int, v uint64) {
+	d.Store8(off, v)
+	d.CLFlush(off, 8)
+	d.SFence()
+}
+
+// Persist16 is the atomic-16B {cmpxchg16b, clflush, sfence} sequence the
+// paper uses for cache-entry updates.
+func (d *Device) Persist16(off int, v [16]byte) {
+	d.Store16(off, v)
+	d.CLFlush(off, 16)
+	d.SFence()
+}
+
+// clearAtomic16 drops 16B-atomicity marks overlapping [off, off+n): the
+// range was rewritten by a non-16B store, so its halves may tear.
+func (d *Device) clearAtomic16(off, n int) {
+	first := off / 8
+	last := (off + n - 1) / 8
+	if first > 0 {
+		first-- // a preceding Store16 may span into this word
+	}
+	for w := first; w <= last && w < len(d.atomic16); w++ {
+		d.atomic16[w] = false
+	}
+}
+
+func (d *Device) markDirty(off, n int) {
+	first := off / LineSize
+	last := (off + n - 1) / LineSize
+	if n == 0 {
+		last = first
+	}
+	for l := first; l <= last; l++ {
+		d.dirty[l] = true
+	}
+}
+
+func coveringLines(off, n int) int {
+	if n == 0 {
+		return 1
+	}
+	first := off / LineSize
+	last := (off + n - 1) / LineSize
+	return last - first + 1
+}
+
+// DirtyLines reports how many cache lines are currently un-flushed.
+func (d *Device) DirtyLines() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := 0
+	for _, dd := range d.dirty {
+		if dd {
+			n++
+		}
+	}
+	return n
+}
+
+// Crash simulates a power failure. The device's contents become the
+// persistence-domain image plus whatever the CPU happened to write back on
+// its own before the power died. The eviction model is adversarial down
+// to the hardware atomicity contract: within each dirty line, every
+// aligned 8-byte word independently persists with probability evictP —
+// a *torn* line — except that a 16-byte range last written by Store16
+// (LOCK cmpxchg16b) persists atomically as a pair. All dirty state is
+// cleared. If r is nil, no dirty data survives (the strictest image).
+//
+// Crash never charges simulated time. After Crash the device is ready for
+// recovery code to read.
+func (d *Device) Crash(r *rand.Rand, evictP float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.crashArmed = false
+	for l := 0; l < d.nlines; l++ {
+		if !d.dirty[l] {
+			continue
+		}
+		b := l * LineSize
+		if r != nil {
+			for w := 0; w < LineSize/8; w++ {
+				off := b + w*8
+				if d.atomic16[off/8] {
+					// cmpxchg16b pair: both words or neither.
+					if r.Float64() < evictP {
+						copy(d.persist[off:off+16], d.volatile[off:off+16])
+						d.wear[l]++
+					}
+					w++ // skip the second word of the pair
+					continue
+				}
+				if r.Float64() < evictP {
+					copy(d.persist[off:off+8], d.volatile[off:off+8])
+					d.wear[l]++
+				}
+			}
+		}
+		d.dirty[l] = false
+	}
+	copy(d.volatile, d.persist)
+}
+
+// ArmCrash arms an injected crash: the device will panic with ErrCrash
+// after n more persistence-relevant operations (stores, flushes, fences).
+// Use RecoverCrash in a deferred function to catch it, then call Crash to
+// materialize the post-failure image.
+func (d *Device) ArmCrash(n int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.crashArmed = true
+	d.crashCountdown = n
+}
+
+// DisarmCrash cancels a pending armed crash.
+func (d *Device) DisarmCrash() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.crashArmed = false
+}
+
+// CatchCrash runs fn and absorbs an injected-crash panic raised by an armed
+// device, returning whether a crash fired and its details. Any other panic
+// is re-raised. This is the harness entry point for crash testing:
+//
+//	dev.ArmCrash(n)
+//	crashed, _ := pmem.CatchCrash(func() { stack.DoWork() })
+//	if crashed {
+//		dev.Crash(rng, 0.5)
+//		stack.Recover()
+//	}
+func CatchCrash(fn func()) (crashed bool, details ErrCrash) {
+	defer func() {
+		v := recover()
+		if v == nil {
+			return
+		}
+		if e, ok := v.(ErrCrash); ok {
+			crashed, details = true, e
+			return
+		}
+		panic(v)
+	}()
+	fn()
+	return false, ErrCrash{}
+}
+
+// SnapshotPersist returns a copy of the persistence-domain image, for
+// white-box tests.
+func (d *Device) SnapshotPersist() []byte {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]byte, d.size)
+	copy(out, d.persist)
+	return out
+}
+
+// Wear reports endurance statistics: the total number of line writes the
+// media has absorbed and the write count of the hottest line. The paper
+// motivates Tinca partly by NVM write endurance (PCM: 10^6–10^8 writes
+// per cell): halving media writes roughly doubles device lifetime.
+func (d *Device) Wear() (total int64, maxLine uint32) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, w := range d.wear {
+		total += int64(w)
+		if w > maxLine {
+			maxLine = w
+		}
+	}
+	return total, maxLine
+}
+
+// WallTime is a convenience conversion used by drivers when reporting
+// simulated durations.
+func WallTime(ns int64) time.Duration { return time.Duration(ns) }

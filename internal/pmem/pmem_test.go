@@ -1,0 +1,336 @@
+package pmem
+
+import (
+	"bytes"
+	"testing"
+
+	"tinca/internal/metrics"
+	"tinca/internal/sim"
+)
+
+func newDev(t *testing.T, size int, prof Profile) (*Device, *metrics.Recorder, *sim.Clock) {
+	t.Helper()
+	clock := sim.NewClock()
+	rec := metrics.NewRecorder()
+	return New(size, prof, clock, rec), rec, clock
+}
+
+func TestStoreIsVolatileUntilFlush(t *testing.T) {
+	d, _, _ := newDev(t, 4096, NVDIMM)
+	d.Store(0, []byte("hello"))
+	// Visible to loads...
+	p := make([]byte, 5)
+	d.Load(0, p)
+	if string(p) != "hello" {
+		t.Fatal("load does not see store")
+	}
+	// ...but lost on a strict crash.
+	d.Crash(nil, 0)
+	d.Load(0, p)
+	if string(p) == "hello" {
+		t.Fatal("un-flushed store survived a strict crash")
+	}
+}
+
+func TestFlushMakesDurable(t *testing.T) {
+	d, _, _ := newDev(t, 4096, NVDIMM)
+	d.Store(10, []byte("durable"))
+	d.CLFlush(10, 7)
+	d.SFence()
+	d.Crash(nil, 0)
+	p := make([]byte, 7)
+	d.Load(10, p)
+	if string(p) != "durable" {
+		t.Fatalf("flushed store lost: %q", p)
+	}
+}
+
+func TestCrashEvictionKeepsSomeDirtyLines(t *testing.T) {
+	d, _, _ := newDev(t, 64*100, NVDIMM)
+	for l := 0; l < 100; l++ {
+		d.Store(l*64, []byte{0xAB})
+	}
+	d.Crash(sim.NewRand(1), 0.5)
+	kept := 0
+	p := make([]byte, 1)
+	for l := 0; l < 100; l++ {
+		d.Load(l*64, p)
+		if p[0] == 0xAB {
+			kept++
+		}
+	}
+	if kept == 0 || kept == 100 {
+		t.Fatalf("evictP=0.5 kept %d/100 lines; expected a proper subset", kept)
+	}
+	// evictP=1 keeps everything.
+	d2, _, _ := newDev(t, 64*10, NVDIMM)
+	for l := 0; l < 10; l++ {
+		d2.Store(l*64, []byte{0xCD})
+	}
+	d2.Crash(sim.NewRand(2), 1)
+	for l := 0; l < 10; l++ {
+		d2.Load(l*64, p)
+		if p[0] != 0xCD {
+			t.Fatal("evictP=1 dropped a line")
+		}
+	}
+}
+
+func TestAtomic8And16(t *testing.T) {
+	d, rec, _ := newDev(t, 4096, NVDIMM)
+	d.Persist8(64, 0xDEADBEEF)
+	if got := d.Load8(64); got != 0xDEADBEEF {
+		t.Fatalf("Load8 = %#x", got)
+	}
+	var v [16]byte
+	copy(v[:], "sixteen-byte-val")
+	d.Persist16(128, v)
+	if got := d.Load16(128); got != v {
+		t.Fatal("Load16 mismatch")
+	}
+	if rec.Get(metrics.NVMAtomic8) != 1 || rec.Get(metrics.NVMAtomic16) != 1 {
+		t.Fatal("atomic ops not counted")
+	}
+	d.Crash(nil, 0)
+	if got := d.Load8(64); got != 0xDEADBEEF {
+		t.Fatal("Persist8 not durable")
+	}
+	if got := d.Load16(128); got != v {
+		t.Fatal("Persist16 not durable")
+	}
+}
+
+func TestMisalignedAtomicsPanic(t *testing.T) {
+	d, _, _ := newDev(t, 4096, NVDIMM)
+	for _, fn := range []func(){
+		func() { d.Store8(4, 1) },
+		func() { d.Load8(4) },
+		func() { d.Store16(8, [16]byte{}) },
+		func() { d.Load16(8) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("misaligned access did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	d, _, _ := newDev(t, 4096, NVDIMM)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range store did not panic")
+		}
+	}()
+	d.Store(4090, make([]byte, 100))
+}
+
+func TestCLFlushCountsLines(t *testing.T) {
+	d, rec, _ := newDev(t, 4096, NVDIMM)
+	d.Store(0, make([]byte, 4096))
+	d.CLFlush(0, 4096)
+	if got := rec.Get(metrics.NVMCLFlush); got != 64 {
+		t.Fatalf("clflush lines = %d, want 64", got)
+	}
+	// A flush spanning a line boundary counts both lines.
+	d.CLFlush(60, 8)
+	if got := rec.Get(metrics.NVMCLFlush); got != 66 {
+		t.Fatalf("boundary flush lines = %d, want 66", got)
+	}
+}
+
+func TestProfilesChargeDifferently(t *testing.T) {
+	cost := func(prof Profile) int64 {
+		d, _, clock := newDev(t, 4096, prof)
+		d.Store(0, make([]byte, 4096))
+		d.CLFlush(0, 4096)
+		d.SFence()
+		return int64(clock.Now())
+	}
+	nv, st, pc := cost(NVDIMM), cost(STTRAM), cost(PCM)
+	if !(nv < st && st < pc) {
+		t.Fatalf("expected NVDIMM < STT-RAM < PCM, got %d %d %d", nv, st, pc)
+	}
+	if fl := cost(NoFlushCost); fl >= nv {
+		t.Fatalf("NoFlushCost (%d) should be cheaper than NVDIMM (%d)", fl, nv)
+	}
+}
+
+func TestArmCrashFiresAndCatch(t *testing.T) {
+	d, _, _ := newDev(t, 4096, NVDIMM)
+	d.ArmCrash(2)
+	crashed, details := CatchCrash(func() {
+		d.Store(0, []byte{1}) // countdown 2->1
+		d.Store(64, []byte{2})
+		d.Store(128, []byte{3}) // fires here
+		t.Fatal("unreachable")
+	})
+	if !crashed {
+		t.Fatal("armed crash did not fire")
+	}
+	if details.Op != "store" {
+		t.Fatalf("crash op = %q", details.Op)
+	}
+	// Device is usable again afterwards.
+	d.Store(0, []byte{9})
+}
+
+func TestDisarmCancels(t *testing.T) {
+	d, _, _ := newDev(t, 4096, NVDIMM)
+	d.ArmCrash(1)
+	d.DisarmCrash()
+	crashed, _ := CatchCrash(func() {
+		for i := 0; i < 10; i++ {
+			d.Store(0, []byte{byte(i)})
+		}
+	})
+	if crashed {
+		t.Fatal("disarmed crash fired")
+	}
+}
+
+func TestCatchCrashRepanicsOthers(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("foreign panic was swallowed")
+		}
+	}()
+	CatchCrash(func() { panic("unrelated") })
+}
+
+func TestPersistRangeRoundTrip(t *testing.T) {
+	d, _, _ := newDev(t, 8192, PCM)
+	want := bytes.Repeat([]byte{0x5A}, 4096)
+	d.PersistRange(4096, want)
+	d.Crash(nil, 0)
+	got := make([]byte, 4096)
+	d.Load(4096, got)
+	if !bytes.Equal(got, want) {
+		t.Fatal("PersistRange not durable")
+	}
+}
+
+func TestDirtyLinesTracking(t *testing.T) {
+	d, _, _ := newDev(t, 4096, NVDIMM)
+	if d.DirtyLines() != 0 {
+		t.Fatal("fresh device dirty")
+	}
+	d.Store(0, make([]byte, 128)) // 2 lines
+	if got := d.DirtyLines(); got != 2 {
+		t.Fatalf("dirty = %d, want 2", got)
+	}
+	d.CLFlush(0, 64)
+	if got := d.DirtyLines(); got != 1 {
+		t.Fatalf("dirty after flush = %d, want 1", got)
+	}
+}
+
+func TestSnapshotPersistIsolated(t *testing.T) {
+	d, _, _ := newDev(t, 4096, NVDIMM)
+	d.PersistRange(0, []byte{1, 2, 3})
+	snap := d.SnapshotPersist()
+	snap[0] = 99
+	p := make([]byte, 1)
+	d.Load(0, p)
+	if p[0] != 1 {
+		t.Fatal("SnapshotPersist returned aliased memory")
+	}
+}
+
+func TestPersistRangeDurableProperty(t *testing.T) {
+	// Property: any persisted range survives the strictest crash; any
+	// un-flushed store does not.
+	dev, _, _ := newDev(t, 64<<10, PCM)
+	type rangeOp struct {
+		off, n  int
+		flushed bool
+		stamp   byte
+	}
+	rng := sim.NewRand(31)
+	var ops []rangeOp
+	for i := 0; i < 200; i++ {
+		n := 1 + rng.Intn(300)
+		off := rng.Intn(64<<10 - n)
+		stamp := byte(i + 1)
+		data := make([]byte, n)
+		for j := range data {
+			data[j] = stamp
+		}
+		flushed := rng.Intn(2) == 0
+		if flushed {
+			dev.PersistRange(off, data)
+		} else {
+			dev.Store(off, data)
+		}
+		ops = append(ops, rangeOp{off: off, n: n, flushed: flushed, stamp: stamp})
+	}
+	dev.Crash(nil, 0)
+	// Replay the op log to compute the expected persistent image: only
+	// flushed ranges apply, in order. (A flush also persists overlapping
+	// earlier un-flushed stores on shared lines, so expectation is per
+	// line: any line covered by a later flush holds its flush-time
+	// content. Simplest exact oracle: re-simulate with a shadow byte
+	// array applying the same line-flush rule.)
+	shadowVol := make([]byte, 64<<10)
+	shadowPer := make([]byte, 64<<10)
+	for _, op := range ops {
+		for j := 0; j < op.n; j++ {
+			shadowVol[op.off+j] = op.stamp
+		}
+		if op.flushed {
+			first := op.off / LineSize * LineSize
+			last := (op.off + op.n - 1) / LineSize * LineSize
+			for b := first; b <= last; b += LineSize {
+				copy(shadowPer[b:b+LineSize], shadowVol[b:b+LineSize])
+			}
+		}
+	}
+	got := make([]byte, 64<<10)
+	dev.Load(0, got)
+	if !bytes.Equal(got, shadowPer) {
+		for i := range got {
+			if got[i] != shadowPer[i] {
+				t.Fatalf("first divergence at %d: got %d want %d", i, got[i], shadowPer[i])
+			}
+		}
+	}
+}
+
+func TestTornCrashPreservesAtomicUnits(t *testing.T) {
+	// Property: under word-torn crashes, an un-flushed Store16 never
+	// half-persists, while a multi-word Store can.
+	rng := sim.NewRand(77)
+	sawTornStore := false
+	for trial := 0; trial < 300; trial++ {
+		d, _, _ := newDev(t, 4096, NVDIMM)
+		// Baseline: persist known contents.
+		base := bytes.Repeat([]byte{0x11}, 64)
+		d.PersistRange(0, base)
+		// Un-flushed 16B atomic at offset 0 and plain store at offset 32.
+		d.Store16(0, [16]byte{0x22, 0x22, 0x22, 0x22, 0x22, 0x22, 0x22, 0x22,
+			0x22, 0x22, 0x22, 0x22, 0x22, 0x22, 0x22, 0x22})
+		d.Store(32, bytes.Repeat([]byte{0x33}, 16))
+		d.Crash(rng, 0.5)
+		p := make([]byte, 64)
+		d.Load(0, p)
+		// The 16B unit: all old or all new.
+		allOld := bytes.Equal(p[0:16], base[0:16])
+		allNew := bytes.Equal(p[0:16], bytes.Repeat([]byte{0x22}, 16))
+		if !allOld && !allNew {
+			t.Fatalf("trial %d: Store16 torn: % x", trial, p[0:16])
+		}
+		// The plain 16-byte Store may tear across its two words.
+		w1new := p[32] == 0x33
+		w2new := p[40] == 0x33
+		if w1new != w2new {
+			sawTornStore = true
+		}
+	}
+	if !sawTornStore {
+		t.Fatal("adversary never tore a plain store; model too weak")
+	}
+}

@@ -1,0 +1,36 @@
+package sim
+
+import "math/rand"
+
+// NewRand returns a seeded PRNG. All randomized components (workload
+// generators, crash injectors) take an explicit *rand.Rand so experiments
+// are reproducible from a single seed.
+func NewRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Zipf wraps rand.Zipf with the skew used by the workload generators.
+// imax is the largest value generated (inclusive).
+func Zipf(r *rand.Rand, theta float64, imax uint64) *rand.Zipf {
+	if theta <= 1.0 {
+		theta = 1.0001 // rand.NewZipf requires s > 1
+	}
+	return rand.NewZipf(r, theta, 1, imax)
+}
+
+// Pick returns an index in [0,len(weights)) with probability proportional
+// to weights[i]. Weights must be non-negative and not all zero.
+func Pick(r *rand.Rand, weights []int) int {
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	n := r.Intn(total)
+	for i, w := range weights {
+		if n < w {
+			return i
+		}
+		n -= w
+	}
+	return len(weights) - 1
+}

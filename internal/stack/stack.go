@@ -1,0 +1,385 @@
+// Package stack assembles the two storage stacks the paper evaluates
+// (Section 5.1) plus the no-journal baseline used by the motivation
+// figures:
+//
+//	Tinca:            FS ──txn──▶ Tinca cache (NVM) ──▶ disk
+//	Classic:          FS ──▶ JBD2-style journal ──▶ Flashcache-style cache (NVM) ──▶ disk
+//	ClassicNoJournal: FS ──▶ in-place writes ──▶ Flashcache-style cache (NVM) ──▶ disk
+//
+// A Stack owns the simulated clock and metrics recorder shared by every
+// layer, and provides crash + remount entry points for the recoverability
+// harness.
+package stack
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tinca/internal/blockdev"
+	"tinca/internal/classic"
+	"tinca/internal/core"
+	"tinca/internal/fs"
+	"tinca/internal/jbd"
+	"tinca/internal/metrics"
+	"tinca/internal/pmem"
+	"tinca/internal/sim"
+)
+
+// JournalMode selects how the Classic stack's journal treats file data,
+// mirroring ext4's mount options.
+type JournalMode int
+
+const (
+	// DataJournal logs both metadata and data (ext4 data=journal, the
+	// paper's configuration: full data consistency, maximal double
+	// writes).
+	DataJournal JournalMode = iota
+	// Ordered logs only metadata; file data is written in place *before*
+	// the transaction commits (ext4 data=ordered, the default in the
+	// field: metadata consistency, no stale-data exposure, but file
+	// contents are not atomic across a crash).
+	Ordered
+)
+
+func (m JournalMode) String() string {
+	if m == Ordered {
+		return "ordered"
+	}
+	return "data-journal"
+}
+
+// Kind selects the stack flavour.
+type Kind int
+
+const (
+	// Tinca is the paper's system: the file system uses the cache's
+	// transactional primitives; no journal exists.
+	Tinca Kind = iota
+	// Classic is the competitor: Ext4-style data journalling over a
+	// Flashcache-style NVM cache.
+	Classic
+	// ClassicNoJournal is Classic with journalling disabled (in-place
+	// writes), the crash-unsafe baseline of Figures 3 and 4.
+	ClassicNoJournal
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Tinca:
+		return "Tinca"
+	case Classic:
+		return "Classic"
+	case ClassicNoJournal:
+		return "Classic-nojournal"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Config sizes and parameterizes a stack. Zero values pick defaults
+// suitable for fast laptop-scale experiments.
+type Config struct {
+	Kind        Kind
+	NVMBytes    int              // NVM cache size (default 32MB)
+	NVMProfile  pmem.Profile     // default PCM (the paper's default)
+	DiskProfile blockdev.Profile // default SSD
+	FSBlocks    uint64           // file-system span in 4KB blocks (default 32768 = 128MB)
+	InodeCount  uint64           // default FSBlocks/16
+
+	// Tinca knobs.
+	RingBytes      int // default 1MB
+	Ablation       core.Ablation
+	DisableTxnPin  bool
+	RotatePointers bool // wear-level the Head/Tail pointer lines
+
+	// WriteThrough selects write-through instead of the paper's default
+	// write-back policy, for either cache kind.
+	WriteThrough bool
+
+	// Classic knobs.
+	JournalMode       JournalMode // DataJournal (paper default) or Ordered
+	JournalBlocks     uint64      // journal area length (default 4096 = 16MB)
+	ClassicAssoc      int
+	NoMetaUpdates     bool // Figure 4 ablation
+	NoPersistBarriers bool // Figure 3(b) ablation
+	CheckpointFrac    float64
+
+	// File-system knobs.
+	GroupCommitBlocks     int
+	GroupCommitIntervalNS int64
+	PageCacheBlocks       int
+	// FSOpCostNS is the per-operation CPU cost (syscall + VFS) charged to
+	// the simulated clock; default 2µs. Set negative to disable.
+	FSOpCostNS int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.NVMBytes == 0 {
+		c.NVMBytes = 32 << 20
+	}
+	if c.NVMProfile.Name == "" {
+		c.NVMProfile = pmem.PCM
+	}
+	if c.DiskProfile.Name == "" {
+		c.DiskProfile = blockdev.SSD
+	}
+	if c.FSBlocks == 0 {
+		c.FSBlocks = 32768
+	}
+	if c.JournalBlocks == 0 {
+		c.JournalBlocks = 4096
+	}
+	if c.CheckpointFrac == 0 {
+		c.CheckpointFrac = 0.5
+	}
+	if c.FSOpCostNS == 0 {
+		c.FSOpCostNS = 2000
+	} else if c.FSOpCostNS < 0 {
+		c.FSOpCostNS = 0
+	}
+	return c
+}
+
+// Stack is a fully assembled storage stack.
+type Stack struct {
+	Cfg   Config
+	Clock *sim.Clock
+	Rec   *metrics.Recorder
+	Mem   *pmem.Device
+	Disk  *blockdev.Device
+
+	TCache  *core.Cache    // non-nil for Tinca
+	CCache  *classic.Cache // non-nil for Classic*
+	Journal *jbd.Journal   // non-nil for Classic
+	FS      *fs.FS
+}
+
+// New builds a stack with a freshly formatted file system.
+func New(cfg Config) (*Stack, error) {
+	cfg = cfg.withDefaults()
+	s := &Stack{
+		Cfg:   cfg,
+		Clock: sim.NewClock(),
+		Rec:   metrics.NewRecorder(),
+	}
+	s.Mem = pmem.New(cfg.NVMBytes, cfg.NVMProfile, s.Clock, s.Rec)
+	diskBlocks := cfg.FSBlocks + cfg.JournalBlocks
+	s.Disk = blockdev.New(diskBlocks, cfg.DiskProfile, s.Clock, s.Rec)
+	return s, s.bringUp(true)
+}
+
+// bringUp opens (or re-opens, running recovery) every layer. format
+// chooses Format vs Mount for the file system.
+func (s *Stack) bringUp(format bool) error {
+	cfg := s.Cfg
+	fsOpts := fs.Options{
+		GroupCommitBlocks:     cfg.GroupCommitBlocks,
+		GroupCommitIntervalNS: cfg.GroupCommitIntervalNS,
+		PageCacheBlocks:       cfg.PageCacheBlocks,
+		Clock:                 s.Clock,
+		OpCostNS:              cfg.FSOpCostNS,
+	}
+	var backend fs.Backend
+	switch cfg.Kind {
+	case Tinca:
+		c, err := core.Open(s.Mem, s.Disk, core.Options{
+			RingBytes:      cfg.RingBytes,
+			Ablation:       cfg.Ablation,
+			DisableTxnPin:  cfg.DisableTxnPin,
+			WriteThrough:   cfg.WriteThrough,
+			RotatePointers: cfg.RotatePointers,
+		})
+		if err != nil {
+			return err
+		}
+		s.TCache = c
+		backend = &tincaBackend{c: c}
+
+	case Classic, ClassicNoJournal:
+		copts := classic.Options{
+			Assoc:             cfg.ClassicAssoc,
+			NoMetaUpdates:     cfg.NoMetaUpdates,
+			NoPersistBarriers: cfg.NoPersistBarriers,
+			WriteThrough:      cfg.WriteThrough,
+		}
+		if cfg.Kind == Classic {
+			copts.JournalBoundary = cfg.FSBlocks
+		}
+		cc, err := classic.Open(s.Mem, s.Disk, copts)
+		if err != nil {
+			return err
+		}
+		s.CCache = cc
+		if cfg.Kind == Classic {
+			j, err := jbd.Open(cc, s.Rec, jbd.Options{
+				Start:  cfg.FSBlocks,
+				Blocks: cfg.JournalBlocks,
+			})
+			if err != nil {
+				return err
+			}
+			s.Journal = j
+			backend = &journalBackend{j: j, cc: cc, frac: cfg.CheckpointFrac, ordered: cfg.JournalMode == Ordered}
+		} else {
+			backend = &directBackend{store: cc}
+		}
+
+	default:
+		return fmt.Errorf("stack: unknown kind %v", cfg.Kind)
+	}
+
+	var err error
+	if format {
+		s.FS, err = fs.Format(backend, cfg.FSBlocks, cfg.InodeCount, fsOpts)
+	} else {
+		s.FS, err = fs.Mount(backend, fsOpts)
+	}
+	if err != nil {
+		return err
+	}
+	if jb, ok := backend.(*journalBackend); ok && jb.ordered {
+		_, _, dataStart := s.FS.Geometry()
+		jb.SetMetadataBoundary(dataStart)
+	}
+	return nil
+}
+
+// Close flushes every layer down to the disk.
+func (s *Stack) Close() error { return s.FS.Close() }
+
+// Crash simulates a power failure: everything un-flushed in NVM is lost
+// (modulo random cache-line evictions drawn from r) and all DRAM state
+// disappears.
+func (s *Stack) Crash(r *rand.Rand, evictP float64) {
+	s.Mem.Crash(r, evictP)
+	s.TCache, s.CCache, s.Journal, s.FS = nil, nil, nil, nil
+}
+
+// Remount brings the stack back up after Crash, running each layer's
+// recovery (Tinca's Section 4.5 algorithm, or Classic's journal replay).
+func (s *Stack) Remount() error { return s.bringUp(false) }
+
+// ---- backends -----------------------------------------------------------
+
+// tincaBackend maps file-system transactions 1:1 onto Tinca commits.
+type tincaBackend struct{ c *core.Cache }
+
+func (b *tincaBackend) ReadBlock(no uint64, p []byte) error { return b.c.Read(no, p) }
+func (b *tincaBackend) Begin() fs.BackendTxn                { return &tincaTxn{t: b.c.Begin()} }
+func (b *tincaBackend) Sync() error                         { return nil } // commits are already durable
+func (b *tincaBackend) Close() error                        { return b.c.Close() }
+
+type tincaTxn struct{ t *core.Txn }
+
+func (t *tincaTxn) Write(no uint64, data []byte) { t.t.Write(no, data) }
+
+// Revoke is a no-op for Tinca: a freed block's stale cached contents are
+// harmless (the block is only read again after being re-allocated and
+// re-written, and Tinca's commit makes the rewrite durable first).
+func (t *tincaTxn) Revoke(uint64) {}
+func (t *tincaTxn) Commit() error { return t.t.Commit() }
+func (t *tincaTxn) Abort()        { t.t.Abort() }
+
+// journalBackend routes transactions through the redo journal (Classic).
+// In ordered mode only metadata blocks are journalled; data blocks are
+// written to their home locations before the commit record, as ext4
+// data=ordered does.
+type journalBackend struct {
+	j        *jbd.Journal
+	cc       *classic.Cache
+	frac     float64
+	ordered  bool
+	metaNext uint64 // first data-area block (set by SetMetadataBoundary)
+}
+
+// SetMetadataBoundary tells the backend where the file system's data area
+// starts, so ordered mode can tell metadata from data blocks.
+func (b *journalBackend) SetMetadataBoundary(dataStart uint64) { b.metaNext = dataStart }
+
+func (b *journalBackend) ReadBlock(no uint64, p []byte) error { return b.j.ReadBlock(no, p) }
+func (b *journalBackend) Begin() fs.BackendTxn                { return &journalTxn{b: b} }
+func (b *journalBackend) Sync() error                         { return b.j.MaybeCheckpoint(b.frac) }
+func (b *journalBackend) Close() error {
+	if err := b.j.Close(); err != nil {
+		return err
+	}
+	return b.cc.Close()
+}
+
+type journalTxn struct {
+	b       *journalBackend
+	updates []jbd.Update
+	revoked []uint64
+}
+
+func (t *journalTxn) Write(no uint64, data []byte) {
+	d := make([]byte, len(data))
+	copy(d, data)
+	t.updates = append(t.updates, jbd.Update{No: no, Data: d})
+}
+
+func (t *journalTxn) Revoke(no uint64) { t.revoked = append(t.revoked, no) }
+
+func (t *journalTxn) Commit() error {
+	updates := t.updates
+	if t.b.ordered && t.b.metaNext > 0 {
+		// Ordered mode: write data blocks home first, then journal only
+		// the metadata blocks. The data-before-commit ordering is what
+		// keeps metadata from referencing unwritten (stale) blocks.
+		meta := updates[:0:0]
+		for _, u := range updates {
+			if u.No >= t.b.metaNext {
+				if err := t.b.cc.WriteBlock(u.No, u.Data); err != nil {
+					return err
+				}
+				continue
+			}
+			meta = append(meta, u)
+		}
+		updates = meta
+	}
+	if err := t.b.j.CommitTxn(jbd.Txn{Updates: updates, Revoked: t.revoked}); err != nil {
+		return err
+	}
+	return t.b.j.MaybeCheckpoint(t.b.frac)
+}
+
+func (t *journalTxn) Abort() { t.updates = nil }
+
+// directBackend writes in place with no journal (crash-unsafe baseline).
+type directBackend struct{ store jbd.BlockStore }
+
+func (b *directBackend) ReadBlock(no uint64, p []byte) error { return b.store.ReadBlock(no, p) }
+func (b *directBackend) Begin() fs.BackendTxn                { return &directTxn{b: b} }
+func (b *directBackend) Sync() error                         { return nil }
+func (b *directBackend) Close() error {
+	if c, ok := b.store.(*classic.Cache); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+type directTxn struct {
+	b       *directBackend
+	updates []jbd.Update
+}
+
+func (t *directTxn) Write(no uint64, data []byte) {
+	d := make([]byte, len(data))
+	copy(d, data)
+	t.updates = append(t.updates, jbd.Update{No: no, Data: d})
+}
+
+// Revoke is a no-op without a journal.
+func (t *directTxn) Revoke(uint64) {}
+
+func (t *directTxn) Commit() error {
+	for _, u := range t.updates {
+		if err := t.b.store.WriteBlock(u.No, u.Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (t *directTxn) Abort() { t.updates = nil }

@@ -1,0 +1,43 @@
+// Package workload implements the benchmark generators of Table 2:
+//
+//   - Fio: mixed random 4KB reads/writes at configurable read/write ratios
+//     (the paper's 3/7, 5/5, 7/3 micro-benchmark);
+//   - Filebench personalities: fileserver (R/W 1/2, 16KB), webproxy (5/1),
+//     varmail (1/1 with fsync), matching the paper's macro-benchmarks;
+//   - TeraGen: the sequential row generator used for the HDFS cluster test.
+//
+// Generators drive any FileAPI — the local file system or a distributed
+// volume — so the same workload code runs in the local and cluster
+// experiments.
+package workload
+
+import "tinca/internal/fs"
+
+// FileAPI is the file interface workloads drive. *fs.FS implements it
+// directly; cluster volumes provide replicated implementations.
+type FileAPI interface {
+	Create(path string) error
+	Mkdir(path string) error
+	Remove(path string) error
+	WriteAt(path string, off uint64, data []byte) error
+	Append(path string, data []byte) error
+	ReadAt(path string, off uint64, p []byte) (int, error)
+	Stat(path string) (fs.FileInfo, error)
+	Fsync(path string) error
+}
+
+// Counts aggregates what a generator executed, for normalizing metrics.
+type Counts struct {
+	ReadOps  int64 // read primitives issued
+	WriteOps int64 // write primitives issued (create/write/append/delete)
+	FileOps  int64 // whole-file operations (Filebench OPs accounting)
+	Bytes    int64 // payload bytes moved
+}
+
+// Add accumulates other into c.
+func (c *Counts) Add(other Counts) {
+	c.ReadOps += other.ReadOps
+	c.WriteOps += other.WriteOps
+	c.FileOps += other.FileOps
+	c.Bytes += other.Bytes
+}

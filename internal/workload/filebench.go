@@ -1,0 +1,227 @@
+package workload
+
+import (
+	"fmt"
+
+	"tinca/internal/fs"
+	"tinca/internal/sim"
+)
+
+// Profile selects a Filebench personality (Table 2).
+type Profile int
+
+const (
+	// Fileserver emulates a file server on many files: R/W ratio 1/2,
+	// 16KB requests.
+	Fileserver Profile = iota
+	// Webproxy emulates a web proxy: read-heavy, R/W 5/1.
+	Webproxy
+	// Varmail emulates a mail server: R/W 1/1 with fsync after writes.
+	Varmail
+)
+
+func (p Profile) String() string {
+	switch p {
+	case Fileserver:
+		return "fileserver"
+	case Webproxy:
+		return "webproxy"
+	case Varmail:
+		return "varmail"
+	default:
+		return fmt.Sprintf("Profile(%d)", int(p))
+	}
+}
+
+// FilebenchConfig parameterizes a personality run.
+type FilebenchConfig struct {
+	Profile   Profile
+	Dir       string // working directory (default "/filebench")
+	Files     int    // working-set size in files (default 128)
+	FileBytes int    // mean file size (default 64KB)
+	IOBytes   int    // request size (Table 2: 16KB)
+	Ops       int    // primitive operations to execute
+	Seed      int64
+}
+
+func (c FilebenchConfig) withDefaults() FilebenchConfig {
+	if c.Dir == "" {
+		c.Dir = "/filebench"
+	}
+	if c.Files == 0 {
+		c.Files = 128
+	}
+	if c.FileBytes == 0 {
+		c.FileBytes = 64 << 10
+	}
+	if c.IOBytes == 0 {
+		c.IOBytes = 16 << 10
+	}
+	return c
+}
+
+// filebench op kinds.
+const (
+	fbCreateWrite = iota // create a file and write it whole
+	fbAppend             // append one I/O unit
+	fbReadWhole          // read a file start to finish
+	fbReadRand           // one random I/O-sized read
+	fbDelete             // delete a file
+	fbStat               // stat a file
+	fbNumOps
+)
+
+// mix returns the op weights for a personality. Write-ish ops are
+// fbCreateWrite, fbAppend, fbDelete; the ratios approximate Table 2
+// (fileserver 1/2 R/W, webproxy 5/1, varmail 1/1).
+func (p Profile) mix() [fbNumOps]int {
+	switch p {
+	case Fileserver:
+		return [fbNumOps]int{fbCreateWrite: 3, fbAppend: 3, fbReadWhole: 2, fbReadRand: 1, fbDelete: 2, fbStat: 1}
+	case Webproxy:
+		return [fbNumOps]int{fbCreateWrite: 1, fbAppend: 0, fbReadWhole: 4, fbReadRand: 1, fbDelete: 0, fbStat: 1}
+	case Varmail:
+		return [fbNumOps]int{fbCreateWrite: 2, fbAppend: 1, fbReadWhole: 2, fbReadRand: 1, fbDelete: 1, fbStat: 0}
+	default:
+		panic("workload: unknown profile")
+	}
+}
+
+// fsyncAfterWrites reports whether the personality syncs after every write
+// (varmail's defining behaviour).
+func (p Profile) fsyncAfterWrites() bool { return p == Varmail }
+
+// RunFilebench pre-populates the working set and executes cfg.Ops
+// operations of the personality's mix.
+func RunFilebench(f FileAPI, cfg FilebenchConfig) (Counts, error) {
+	cfg = cfg.withDefaults()
+	r := sim.NewRand(cfg.Seed)
+	if err := f.Mkdir(cfg.Dir); err != nil && err != fs.ErrExist {
+		return Counts{}, err
+	}
+
+	// Working set: names cycle; a DRAM list tracks which exist.
+	var cnt Counts
+	nextID := 0
+	var live []string
+	path := func(id int) string { return fmt.Sprintf("%s/f%06d", cfg.Dir, id) }
+	buf := make([]byte, cfg.IOBytes)
+
+	createWrite := func() error {
+		p := path(nextID)
+		nextID++
+		if err := f.Create(p); err != nil {
+			return err
+		}
+		size := cfg.FileBytes/2 + r.Intn(cfg.FileBytes) // mean ≈ FileBytes
+		for off := 0; off < size; off += cfg.IOBytes {
+			n := cfg.IOBytes
+			if off+n > size {
+				n = size - off
+			}
+			fillRandom(r, buf[:n])
+			if err := f.WriteAt(p, uint64(off), buf[:n]); err != nil {
+				return err
+			}
+			cnt.Bytes += int64(n)
+		}
+		if cfg.Profile.fsyncAfterWrites() {
+			if err := f.Fsync(p); err != nil {
+				return err
+			}
+		}
+		live = append(live, p)
+		return nil
+	}
+
+	// Populate half the working set up front.
+	for i := 0; i < cfg.Files/2; i++ {
+		if err := createWrite(); err != nil {
+			return cnt, err
+		}
+	}
+
+	weights := cfg.Profile.mix()
+	for op := 0; op < cfg.Ops; op++ {
+		kind := sim.Pick(r, weights[:])
+		// Ops needing an existing file fall back to create when empty.
+		if len(live) == 0 && kind != fbCreateWrite {
+			kind = fbCreateWrite
+		}
+		// Bound the working set so deletes keep up with creates.
+		if kind == fbCreateWrite && len(live) >= cfg.Files {
+			kind = fbDelete
+		}
+		switch kind {
+		case fbCreateWrite:
+			if err := createWrite(); err != nil {
+				return cnt, err
+			}
+			cnt.WriteOps++
+
+		case fbAppend:
+			p := live[r.Intn(len(live))]
+			fillRandom(r, buf)
+			if err := f.Append(p, buf); err != nil {
+				return cnt, err
+			}
+			if cfg.Profile.fsyncAfterWrites() {
+				if err := f.Fsync(p); err != nil {
+					return cnt, err
+				}
+			}
+			cnt.WriteOps++
+			cnt.Bytes += int64(len(buf))
+
+		case fbReadWhole:
+			p := live[r.Intn(len(live))]
+			info, err := f.Stat(p)
+			if err != nil {
+				return cnt, err
+			}
+			for off := uint64(0); off < info.Size; off += uint64(cfg.IOBytes) {
+				n, err := f.ReadAt(p, off, buf)
+				if err != nil && err != fs.ErrReadRange {
+					return cnt, err
+				}
+				cnt.Bytes += int64(n)
+			}
+			cnt.ReadOps++
+
+		case fbReadRand:
+			p := live[r.Intn(len(live))]
+			info, err := f.Stat(p)
+			if err != nil {
+				return cnt, err
+			}
+			if info.Size > 0 {
+				off := uint64(r.Int63n(int64(info.Size)))
+				n, err := f.ReadAt(p, off, buf)
+				if err != nil && err != fs.ErrReadRange {
+					return cnt, err
+				}
+				cnt.Bytes += int64(n)
+			}
+			cnt.ReadOps++
+
+		case fbDelete:
+			i := r.Intn(len(live))
+			p := live[i]
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			if err := f.Remove(p); err != nil {
+				return cnt, err
+			}
+			cnt.WriteOps++
+
+		case fbStat:
+			p := live[r.Intn(len(live))]
+			if _, err := f.Stat(p); err != nil {
+				return cnt, err
+			}
+			cnt.ReadOps++
+		}
+		cnt.FileOps++
+	}
+	return cnt, nil
+}

@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"tinca/internal/fs"
+	"tinca/internal/sim"
+)
+
+// TeraGenConfig parameterizes the TeraGen row generator (Table 2: all
+// writes, 100 bytes per row). Rows are streamed into part files with
+// buffered appends, the way an HDFS writer streams a block.
+type TeraGenConfig struct {
+	Dir       string // output directory (default "/teragen")
+	Rows      int64  // rows to generate
+	RowBytes  int    // default 100 (10-byte key + 90-byte value)
+	PartRows  int64  // rows per part file (default 4096)
+	AppendBuf int    // append buffer (default 32KB)
+	Seed      int64
+}
+
+func (c TeraGenConfig) withDefaults() TeraGenConfig {
+	if c.Dir == "" {
+		c.Dir = "/teragen"
+	}
+	if c.RowBytes == 0 {
+		c.RowBytes = 100
+	}
+	if c.PartRows == 0 {
+		c.PartRows = 4096
+	}
+	if c.AppendBuf == 0 {
+		c.AppendBuf = 32 << 10
+	}
+	return c
+}
+
+// RunTeraGen generates cfg.Rows rows and returns the counts (Bytes is the
+// payload volume, the "per MB generated" denominator of Figure 10).
+func RunTeraGen(f FileAPI, cfg TeraGenConfig) (Counts, error) {
+	cfg = cfg.withDefaults()
+	if err := f.Mkdir(cfg.Dir); err != nil && err != fs.ErrExist {
+		return Counts{}, err
+	}
+	r := sim.NewRand(cfg.Seed)
+	row := make([]byte, cfg.RowBytes)
+	buf := make([]byte, 0, cfg.AppendBuf)
+	var cnt Counts
+
+	part := -1
+	var partPath string
+	var rowsInPart int64
+
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		if err := f.Append(partPath, buf); err != nil {
+			return err
+		}
+		cnt.WriteOps++
+		cnt.Bytes += int64(len(buf))
+		buf = buf[:0]
+		return nil
+	}
+
+	for i := int64(0); i < cfg.Rows; i++ {
+		if part < 0 || rowsInPart >= cfg.PartRows {
+			if err := flush(); err != nil {
+				return cnt, err
+			}
+			part++
+			rowsInPart = 0
+			partPath = fmt.Sprintf("%s/part-%05d", cfg.Dir, part)
+			if err := f.Create(partPath); err != nil {
+				return cnt, err
+			}
+		}
+		// TeraGen row: 10-byte big-endian-ish key, then filler.
+		binary.BigEndian.PutUint64(row[0:8], r.Uint64())
+		row[8] = byte(i)
+		row[9] = byte(i >> 8)
+		for j := cfg.RowBytes - 1; j >= 10; j -= 16 {
+			row[j] = byte(i + int64(j))
+		}
+		buf = append(buf, row...)
+		rowsInPart++
+		if len(buf)+cfg.RowBytes > cfg.AppendBuf {
+			if err := flush(); err != nil {
+				return cnt, err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return cnt, err
+	}
+	return cnt, nil
+}

@@ -1,0 +1,292 @@
+// Package tinca is the public API of the Tinca reproduction: a
+// transactional NVM disk cache with high performance and crash consistency
+// (Wei et al., SC '17), together with every substrate the paper's
+// evaluation depends on — a persistence-accurate NVM simulator, SSD/HDD
+// models, a Flashcache-style baseline cache, a JBD2-style journal, a
+// 4KB-block file system with pluggable consistency backends, TPC-C and
+// Filebench/Fio/TeraGen workload generators, and HDFS/GlusterFS-like
+// cluster substrates.
+//
+// # Quick start
+//
+//	sys, err := tinca.NewStack(tinca.StackConfig{Kind: tinca.KindTinca})
+//	if err != nil { ... }
+//	defer sys.Close()
+//	err = sys.FS.WriteFile("/hello", []byte("crash-consistent"))
+//
+// Every write is committed through Tinca's transactional primitives
+// (Section 4.4 of the paper): staged blocks are persisted once (no double
+// writes), sealed by the ring-buffer Tail pointer, and recoverable after a
+// power failure via sys.Crash / sys.Remount.
+//
+// # Layers
+//
+// The exported names below are curated aliases over the implementation
+// packages, so downstream users never import internal paths:
+//
+//   - Cache / CacheOptions / Txn — the paper's contribution itself
+//     (Section 4): Begin/Write/Commit/Abort over an NVM device.
+//   - NVM / NVMProfile — byte-addressable NVM with cache-line volatility,
+//     clflush/sfence accounting and crash-image generation.
+//   - Disk / DiskProfile — SSD and HDD service-time models.
+//   - FS — the Ext4 stand-in, mountable over Tinca, a journal, or raw
+//     in-place writes.
+//   - Stack / StackConfig — fully assembled systems (Tinca vs Classic).
+//   - Cluster / HDFS / Volume — the Section 5.3 distributed substrates.
+//   - Experiments — regenerate every table and figure (see cmd/tincabench).
+package tinca
+
+import (
+	"tinca/internal/blockdev"
+	"tinca/internal/classic"
+	"tinca/internal/cluster"
+	"tinca/internal/core"
+	"tinca/internal/exp"
+	"tinca/internal/fs"
+	"tinca/internal/jbd"
+	"tinca/internal/metrics"
+	"tinca/internal/oltp"
+	"tinca/internal/pmem"
+	"tinca/internal/sim"
+	"tinca/internal/stack"
+	"tinca/internal/workload"
+)
+
+// BlockSize is the 4KB block unit shared by every layer.
+const BlockSize = blockdev.BlockSize
+
+// ---- the core contribution ------------------------------------------------
+
+// Cache is the transactional NVM disk cache (paper Section 4). Create one
+// with OpenCache over an NVM device and a disk, or let NewStack assemble
+// the full system.
+type Cache = core.Cache
+
+// CacheOptions configure a Cache (ring size, ablation modes).
+type CacheOptions = core.Options
+
+// Txn is a running Tinca transaction (tinca_init_txn/tinca_commit/
+// tinca_abort of the paper map to Cache.Begin/Txn.Commit/Txn.Abort).
+type Txn = core.Txn
+
+// OpenCache formats or recovers (paper Section 4.5) a Tinca cache.
+func OpenCache(mem *NVM, disk *Disk, opts CacheOptions) (*Cache, error) {
+	return core.Open(mem, disk, opts)
+}
+
+// Ablation modes for the design-choice benches.
+const (
+	AblationNone        = core.AblationNone
+	AblationDoubleWrite = core.AblationDoubleWrite
+	AblationUBJ         = core.AblationUBJ
+)
+
+// ---- devices ----------------------------------------------------------------
+
+// NVM is the simulated byte-addressable non-volatile memory device.
+type NVM = pmem.Device
+
+// NVMProfile selects the NVM technology latencies (Table 1).
+type NVMProfile = pmem.Profile
+
+// NVM technology profiles.
+var (
+	PCM    = pmem.PCM
+	STTRAM = pmem.STTRAM
+	NVDIMM = pmem.NVDIMM
+)
+
+// CLWBVariant derives a profile with the cheaper clwb write-back
+// instruction in place of clflush (Section 2.1 of the paper).
+var CLWBVariant = pmem.CLWBVariant
+
+// NewNVM creates an NVM device charging the given clock and recorder.
+func NewNVM(size int, prof NVMProfile, clock *Clock, rec *Recorder) *NVM {
+	return pmem.New(size, prof, clock, rec)
+}
+
+// CatchCrash runs fn, absorbing an injected-crash panic from an armed NVM
+// device (see NVM.ArmCrash); use it to build crash-consistency harnesses.
+var CatchCrash = pmem.CatchCrash
+
+// Disk is a simulated block device.
+type Disk = blockdev.Device
+
+// DiskProfile selects the disk medium service times.
+type DiskProfile = blockdev.Profile
+
+// Disk media profiles.
+var (
+	SSD      = blockdev.SSD
+	HDD      = blockdev.HDD
+	NullDisk = blockdev.Null
+)
+
+// NewDisk creates a block device of nblocks 4KB blocks.
+func NewDisk(nblocks uint64, prof DiskProfile, clock *Clock, rec *Recorder) *Disk {
+	return blockdev.New(nblocks, prof, clock, rec)
+}
+
+// ---- instrumentation --------------------------------------------------------
+
+// Clock is the simulated clock all devices charge service time to.
+type Clock = sim.Clock
+
+// NewClock returns a clock at time zero.
+var NewClock = sim.NewClock
+
+// Recorder counts clflush/sfence/disk-block/transaction events.
+type Recorder = metrics.Recorder
+
+// NewRecorder returns an empty counter registry.
+var NewRecorder = metrics.NewRecorder
+
+// Snapshot is an immutable copy of counter values; Sub computes deltas.
+type Snapshot = metrics.Snapshot
+
+// Frequently needed counter names; the full list lives in the metrics
+// package documentation.
+const (
+	CounterCLFlush         = metrics.NVMCLFlush
+	CounterSFence          = metrics.NVMSFence
+	CounterDiskBlocksWrite = metrics.DiskBlocksWrite
+	CounterDiskBlocksRead  = metrics.DiskBlocksRead
+	CounterTxnCommit       = metrics.TxnCommit
+	CounterTxnBlocks       = metrics.TxnBlocks
+)
+
+// ---- baseline stack pieces ---------------------------------------------------
+
+// ClassicCache is the Flashcache-style baseline cache (block-format
+// metadata, synchronous updates).
+type ClassicCache = classic.Cache
+
+// ClassicOptions configure the baseline cache.
+type ClassicOptions = classic.Options
+
+// Journal is the JBD2-style redo journal used by the Classic stack.
+type Journal = jbd.Journal
+
+// JournalOptions configure the journal area.
+type JournalOptions = jbd.Options
+
+// ---- file system --------------------------------------------------------------
+
+// FS is the 4KB-block file system (the Ext4 stand-in). Obtain one from a
+// Stack, or mount your own over any Backend.
+type FS = fs.FS
+
+// FSOptions configure mounting (group commit, page cache, op cost).
+type FSOptions = fs.Options
+
+// FileInfo describes a file or directory.
+type FileInfo = fs.FileInfo
+
+// Common file-system errors.
+var (
+	ErrNotExist = fs.ErrNotExist
+	ErrExist    = fs.ErrExist
+	ErrNoSpace  = fs.ErrNoSpace
+)
+
+// ---- assembled stacks -----------------------------------------------------------
+
+// Stack is a fully assembled storage system: file system over cache over
+// NVM over disk, with shared clock and metrics.
+type Stack = stack.Stack
+
+// StackConfig sizes and parameterizes a Stack.
+type StackConfig = stack.Config
+
+// Stack kinds.
+const (
+	KindTinca            = stack.Tinca
+	KindClassic          = stack.Classic
+	KindClassicNoJournal = stack.ClassicNoJournal
+)
+
+// NewStack builds a stack with a freshly formatted file system.
+var NewStack = stack.New
+
+// ---- workloads --------------------------------------------------------------------
+
+// Workload generator types (Table 2 of the paper).
+type (
+	// FioConfig parameterizes the random-I/O micro-benchmark.
+	FioConfig = workload.FioConfig
+	// FilebenchConfig parameterizes the fileserver/webproxy/varmail
+	// personalities.
+	FilebenchConfig = workload.FilebenchConfig
+	// TeraGenConfig parameterizes the TeraGen row generator.
+	TeraGenConfig = workload.TeraGenConfig
+	// WorkloadCounts aggregates what a generator executed.
+	WorkloadCounts = workload.Counts
+	// FileAPI is the interface workloads drive (FS and cluster volumes).
+	FileAPI = workload.FileAPI
+)
+
+// Filebench personalities.
+const (
+	Fileserver = workload.Fileserver
+	Webproxy   = workload.Webproxy
+	Varmail    = workload.Varmail
+)
+
+// Workload entry points.
+var (
+	RunFio       = workload.RunFio
+	RunFilebench = workload.RunFilebench
+	RunTeraGen   = workload.RunTeraGen
+)
+
+// TPCCEngine is the OLTP engine running the TPC-C mix over a FileAPI.
+type TPCCEngine = oltp.Engine
+
+// TPCCConfig sizes the TPC-C database.
+type TPCCConfig = oltp.Config
+
+// LoadTPCC populates the TPC-C tables.
+var LoadTPCC = oltp.Load
+
+// ---- cluster substrates --------------------------------------------------------------
+
+// Cluster is a set of data nodes with a network model (Section 5.3).
+type Cluster = cluster.Cluster
+
+// ClusterConfig sizes a cluster.
+type ClusterConfig = cluster.Config
+
+// HDFS is the NameNode/DataNode distributed file system.
+type HDFS = cluster.HDFS
+
+// HDFSOptions tune chunking.
+type HDFSOptions = cluster.HDFSOptions
+
+// Volume is the GlusterFS-like replicated volume.
+type Volume = cluster.Volume
+
+// Cluster entry points.
+var (
+	NewCluster = cluster.New
+	NewHDFS    = cluster.NewHDFS
+	NewVolume  = cluster.NewVolume
+)
+
+// ---- experiments ----------------------------------------------------------------------
+
+// Experiment types: regenerate the paper's tables and figures.
+type (
+	// ExpOptions tune experiment scale and seed.
+	ExpOptions = exp.Options
+	// ExpTable is a printable result table.
+	ExpTable = exp.Table
+)
+
+// Experiment entry points.
+var (
+	// RunExperiment executes one registered experiment by name ("7", "8",
+	// "10", "recover", ...); see ExperimentNames.
+	RunExperiment = exp.Run
+	// ExperimentNames lists the registered experiments in paper order.
+	ExperimentNames = exp.Names
+)

@@ -1,0 +1,207 @@
+package tinca_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"tinca"
+)
+
+func TestPublicStackLifecycle(t *testing.T) {
+	sys, err := tinca.NewStack(tinca.StackConfig{
+		Kind:        tinca.KindTinca,
+		NVMBytes:    8 << 20,
+		FSBlocks:    8192,
+		NVMProfile:  tinca.NVDIMM,
+		DiskProfile: tinca.NullDisk,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.FS.MkdirAll("/a/b"); err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("api"), 5000)
+	if err := sys.FS.WriteFile("/a/b/f", payload); err != nil {
+		t.Fatal(err)
+	}
+	sys.Crash(nil, 0)
+	if err := sys.Remount(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := sys.FS.ReadFile("/a/b/f")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("data lost across crash: %v", err)
+	}
+	if err := sys.FS.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Rec.Get(tinca.CounterCLFlush) == 0 {
+		t.Fatal("no metrics recorded")
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicRawCacheTxn(t *testing.T) {
+	clock := tinca.NewClock()
+	rec := tinca.NewRecorder()
+	mem := tinca.NewNVM(4<<20, tinca.PCM, clock, rec)
+	disk := tinca.NewDisk(1<<16, tinca.SSD, clock, rec)
+	c, err := tinca.OpenCache(mem, disk, tinca.CacheOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	txn := c.Begin()
+	block := make([]byte, tinca.BlockSize)
+	block[0] = 42
+	txn.Write(7, block)
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, tinca.BlockSize)
+	if err := c.Read(7, out); err != nil || out[0] != 42 {
+		t.Fatalf("read back: %v %d", err, out[0])
+	}
+	// Crash + reopen through the public surface.
+	mem.Crash(nil, 0)
+	c2, err := tinca.OpenCache(mem, disk, tinca.CacheOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Read(7, out); err != nil || out[0] != 42 {
+		t.Fatal("committed block lost")
+	}
+}
+
+func TestPublicWorkloadsOverAPI(t *testing.T) {
+	sys, err := tinca.NewStack(tinca.StackConfig{
+		Kind: tinca.KindTinca, NVMBytes: 8 << 20, FSBlocks: 8192,
+		NVMProfile: tinca.NVDIMM, DiskProfile: tinca.NullDisk,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tinca.RunFio(sys.FS, tinca.FioConfig{FileBytes: 1 << 20, Ops: 200, ReadPct: 50, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tinca.RunFilebench(sys.FS, tinca.FilebenchConfig{
+		Profile: tinca.Varmail, Files: 8, FileBytes: 8 << 10, Ops: 50, Seed: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tinca.RunTeraGen(sys.FS, tinca.TeraGenConfig{Rows: 500, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.FS.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicClusterAPI(t *testing.T) {
+	c, err := tinca.NewCluster(tinca.ClusterConfig{
+		Nodes: 4, Replicas: 2,
+		Node: tinca.StackConfig{
+			Kind: tinca.KindTinca, NVMBytes: 4 << 20, FSBlocks: 4096,
+			NVMProfile: tinca.NVDIMM, DiskProfile: tinca.NullDisk,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := tinca.NewVolume(c)
+	if err := v.Create("/x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Append("/x", []byte("replicated")); err != nil {
+		t.Fatal(err)
+	}
+	h := tinca.NewHDFS(c, tinca.HDFSOptions{ChunkBytes: 64 << 10})
+	if err := h.Create("/big"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Append("/big", make([]byte, 100<<10)); err != nil {
+		t.Fatal(err)
+	}
+	if c.Wall.Now() == 0 {
+		t.Fatal("cluster wall clock did not advance")
+	}
+}
+
+func TestPublicTPCC(t *testing.T) {
+	sys, err := tinca.NewStack(tinca.StackConfig{
+		Kind: tinca.KindTinca, NVMBytes: 8 << 20, FSBlocks: 16384,
+		NVMProfile: tinca.NVDIMM, DiskProfile: tinca.NullDisk,
+		GroupCommitBlocks: 1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := tinca.LoadTPCC(sys.FS, tinca.TPCCConfig{
+		Warehouses: 1, CustomersPerDistrict: 30, Items: 100, MaxOrders: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(sys.Clock, 5, 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed != 50 || res.TPM <= 0 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestExperimentRegistryViaAPI(t *testing.T) {
+	names := tinca.ExperimentNames()
+	if len(names) < 15 {
+		t.Fatalf("only %d experiments registered", len(names))
+	}
+	tb, err := tinca.RunExperiment("table1", tinca.ExpOptions{})
+	if err != nil || len(tb.Rows) == 0 {
+		t.Fatalf("table1: %v", err)
+	}
+}
+
+// ExampleNewStack demonstrates the one-call path to a crash-consistent
+// file system on a Tinca cache.
+func ExampleNewStack() {
+	sys, err := tinca.NewStack(tinca.StackConfig{Kind: tinca.KindTinca})
+	if err != nil {
+		panic(err)
+	}
+	_ = sys.FS.WriteFile("/greeting", []byte("hello, NVM"))
+	data, _ := sys.FS.ReadFile("/greeting")
+	fmt.Println(string(data))
+	// Output: hello, NVM
+}
+
+// ExampleOpenCache demonstrates the raw transactional primitives
+// (tinca_init_txn / tinca_commit of the paper).
+func ExampleOpenCache() {
+	clock, rec := tinca.NewClock(), tinca.NewRecorder()
+	mem := tinca.NewNVM(4<<20, tinca.PCM, clock, rec)
+	disk := tinca.NewDisk(1<<16, tinca.SSD, clock, rec)
+	cache, err := tinca.OpenCache(mem, disk, tinca.CacheOptions{})
+	if err != nil {
+		panic(err)
+	}
+
+	txn := cache.Begin() // tinca_init_txn
+	block := make([]byte, tinca.BlockSize)
+	copy(block, "atomic, written once")
+	txn.Write(1001, block)
+	if err := txn.Commit(); err != nil { // tinca_commit
+		panic(err)
+	}
+
+	out := make([]byte, tinca.BlockSize)
+	_ = cache.Read(1001, out)
+	fmt.Println(string(out[:20]))
+	// Output: atomic, written once
+}
