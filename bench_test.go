@@ -141,6 +141,13 @@ func BenchmarkRecoveryTime(b *testing.B) {
 	runExperiment(b, "recovertime", "", "")
 }
 
+// BenchmarkGroupCommitScaling runs the "fig: group-commit scaling" bench
+// (commit throughput at 1/2/4/8 concurrent committers); reports the
+// 8-goroutine speedup over a single committer.
+func BenchmarkGroupCommitScaling(b *testing.B) {
+	runExperiment(b, "groupcommit", "speedup", "speedup_8g_x")
+}
+
 // BenchmarkCommitLatency measures the latency (simulated work) of one
 // 8-block Tinca commit at the API level — the core operation of the paper.
 func BenchmarkCommitLatency(b *testing.B) {

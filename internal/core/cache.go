@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"tinca/internal/blockdev"
 	"tinca/internal/metrics"
@@ -28,11 +29,32 @@ const (
 	AblationUBJ
 )
 
+// GroupCommit tunes the group-commit pipeline: concurrently arriving
+// Txn.Commit calls are coalesced by a leader into a single ring-buffer
+// seal (one Tail flip and a handful of fences amortized over the batch).
+type GroupCommit struct {
+	// MaxBatch bounds how many transactions one seal may coalesce.
+	// Zero picks DefaultGroupBatch.
+	MaxBatch int
+	// MaxWaitNS is a real-time window the seal leader waits for the
+	// batch to fill before sealing what it has. Zero (the default) seals
+	// opportunistically: whatever is queued when the leader takes over.
+	// Non-zero values trade commit latency for larger batches; simulated
+	// time is unaffected by the wait itself.
+	MaxWaitNS int64
+}
+
+// DefaultGroupBatch is the default cap on transactions per seal.
+const DefaultGroupBatch = 8
+
 // Options configure a Cache.
 type Options struct {
 	// RingBytes is the ring buffer size; the paper's default (1MB) when 0.
+	// Must be a multiple of the 64B cache line.
 	RingBytes int
 	// Ablation selects the commit mechanism (default: the paper's design).
+	// Any ablation other than AblationNone serializes commits one at a
+	// time under the global lock, exactly as the ablated designs would.
 	Ablation Ablation
 	// DisableTxnPin turns off replacement rule 2 (Section 4.6): blocks of
 	// the committing transaction become evictable. Only meaningful for the
@@ -41,7 +63,9 @@ type Options struct {
 	// WriteThrough propagates every committed block to disk at commit
 	// time and keeps cached copies clean (the paper's default is
 	// write-back; write-through trades throughput for a disk that is
-	// always current).
+	// always current). With DestageDepth > 0 the propagation is
+	// asynchronous: the disk is current after FlushAll/Close or a
+	// destage drain rather than at Commit return.
 	WriteThrough bool
 	// RotatePointers spreads Head/Tail pointer updates across
 	// DefaultPtrSlots cache lines instead of one fixed line each,
@@ -49,6 +73,62 @@ type Options struct {
 	// motivated by the wear profile the endurance experiment exposes; see
 	// EXPERIMENTS.md).
 	RotatePointers bool
+	// GroupCommit tunes batch formation for the group-commit seal.
+	GroupCommit GroupCommit
+	// DestageDepth, when positive, enables the background destage path:
+	// a bounded queue of that many blocks drained by a destager
+	// goroutine that writes committed blocks back to disk off the commit
+	// critical path. In write-back mode the destager opportunistically
+	// cleans dirty blocks (so evictions rarely pay a synchronous disk
+	// write); when the queue is full the cleaning is skipped. In
+	// write-through mode enqueueing applies backpressure instead (the
+	// committer blocks until the queue drains). Zero keeps all disk
+	// write-back synchronous, as the paper's prototype does.
+	DestageDepth int
+}
+
+// Validate reports a descriptive error for a nonsensical configuration
+// instead of silently clamping it. The zero Options value is always valid.
+func (o Options) Validate() error {
+	if o.RingBytes < 0 {
+		return fmt.Errorf("core: RingBytes %d is negative", o.RingBytes)
+	}
+	if o.RingBytes%pmem.LineSize != 0 {
+		return fmt.Errorf("core: RingBytes %d is not a multiple of the %dB cache line", o.RingBytes, pmem.LineSize)
+	}
+	if o.Ablation < AblationNone || o.Ablation > AblationUBJ {
+		return fmt.Errorf("core: unknown ablation %d", int(o.Ablation))
+	}
+	if o.WriteThrough && o.Ablation == AblationUBJ {
+		return errors.New("core: WriteThrough cannot be combined with AblationUBJ (commit-in-place leaves no stable copy to propagate)")
+	}
+	if o.GroupCommit.MaxBatch < 0 {
+		return fmt.Errorf("core: GroupCommit.MaxBatch %d is negative", o.GroupCommit.MaxBatch)
+	}
+	if o.GroupCommit.MaxWaitNS < 0 {
+		return fmt.Errorf("core: GroupCommit.MaxWaitNS %d is negative", o.GroupCommit.MaxWaitNS)
+	}
+	if o.DestageDepth < 0 {
+		return fmt.Errorf("core: DestageDepth %d is negative", o.DestageDepth)
+	}
+	if o.DestageDepth > 0 && o.Ablation != AblationNone {
+		return errors.New("core: DestageDepth requires the paper's commit path (AblationNone)")
+	}
+	return nil
+}
+
+// serialOnly reports whether the options force the legacy one-transaction-
+// at-a-time commit path (the ablated designs model systems without a
+// group-commit pipeline, so they keep the paper's serialization).
+func (o Options) serialOnly() bool {
+	return o.Ablation != AblationNone || o.DisableTxnPin
+}
+
+func (o Options) groupBatch() int {
+	if o.GroupCommit.MaxBatch == 0 {
+		return DefaultGroupBatch
+	}
+	return o.GroupCommit.MaxBatch
 }
 
 // Common errors.
@@ -63,14 +143,35 @@ var (
 	ErrClosed = errors.New("core: cache closed")
 )
 
+// shardCount is the lock-striping factor for the DRAM metadata (hash table
+// and LRU lists). Must be a power of two.
+const shardCount = 16
+
+// shard holds the DRAM lookup structures for the disk blocks it is keyed
+// to (block number mod shardCount). The shard lock also guards the
+// persistent entries and NVM data blocks of those disk blocks: any reader
+// or writer of an (entry, data) pair holds the block's shard lock across
+// the whole access, so entry updates and block reclamation cannot tear a
+// concurrent read.
+type shard struct {
+	mu   sync.Mutex
+	hash map[uint64]int32 // disk block -> entry slot
+	lru  *lruList         // per-shard LRU over entry slots
+}
+
 // Cache is a transactional NVM disk cache (Tinca). It caches 4KB blocks of
 // the underlying disk in NVM with a write-back policy and exports the
 // transactional primitives Begin/Commit/Abort to the layer above.
 //
-// All public methods are safe for concurrent use; commits are serialized
-// internally (one committing transaction at a time, Section 4.4), while
-// running transactions build up concurrently in DRAM.
+// All public methods are safe for concurrent use. Running transactions
+// build up concurrently in DRAM; concurrently arriving commits are
+// coalesced into group seals (one ring-buffer Tail flip per batch), while
+// the per-block metadata (hash table, LRU) is lock-striped across
+// shardCount shards so data-path reads never serialize on a global lock.
 type Cache struct {
+	// mu is the structural lock: free lists, ring buffer, Head/Tail,
+	// eviction, miss fills, and commit batches all run under it. The
+	// read-hit fast path does not take it.
 	mu   sync.Mutex
 	mem  *pmem.Device
 	disk *blockdev.Device
@@ -79,27 +180,59 @@ type Cache struct {
 	opts Options
 
 	// DRAM auxiliary structures (Section 4.6); rebuilt on startup.
-	hash       map[uint64]int32 // disk block -> entry slot
-	lru        *lruList
+	// hash and lru live in the shards; the free monitors are global
+	// under mu.
+	shards     [shardCount]shard
 	freeBlocks []uint32 // free NVM data blocks (free block monitor)
 	freeSlots  []int32  // free entry-table slots
 
+	// atime records a monotonic access tick per entry slot (guarded by
+	// the slot's shard lock); eviction compares shard LRU tails by tick
+	// to approximate the paper's global LRU order.
+	atime []int64
+	tick  atomic.Int64
+
 	head, tail uint64 // cached copies of the persistent pointers
 
-	// pinnedSlot protects the previous version of the block currently
-	// being COW-committed: its entry still carries the buffer role while
-	// the new copy is allocated, but replacement rule 2 (Section 4.6)
-	// forbids evicting either copy of a block in the committing
-	// transaction. lruNil when nothing is pinned.
-	pinnedSlot int32
-	closed     bool
+	// pinned holds the entry slots of the committing batch (replacement
+	// rule 2, Section 4.6): neither copy of a committing block may be
+	// evicted until its role switch is durable. Guarded by mu.
+	pinned map[int32]bool
+
+	closed atomic.Bool
+	// poisoned carries the injected-crash panic value after a crash
+	// fired mid-operation, so every later caller observes the crash
+	// instead of running on the half-written image.
+	poisoned atomic.Value
+
+	// Group-commit leader/follower state.
+	gcMu    sync.Mutex
+	gcCond  *sync.Cond
+	gcQueue []*commitReq
+	gcBusy  bool
+
+	// Destage queue (nil when DestageDepth == 0).
+	destageCh      chan destageItem
+	destageWG      sync.WaitGroup
+	destagePending atomic.Int64
+	destageWakeMu  sync.Mutex
+	destageWake    *sync.Cond
+
+	serial bool // legacy one-at-a-time commit path (ablation modes)
 }
 
 // Open formats or recovers a Tinca cache on the given NVM device, backed
 // by the given disk. If the device already holds a Tinca layout (matching
 // magic and geometry), crash recovery runs (Section 4.5); otherwise the
-// device is formatted fresh.
+// device is formatted fresh. The options are validated eagerly: a
+// nonsensical configuration returns a descriptive error.
 func Open(mem *pmem.Device, disk *blockdev.Device, opts Options) (*Cache, error) {
+	if mem == nil || disk == nil {
+		return nil, errors.New("core: Open requires a non-nil NVM device and disk")
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	ptrSlots := 1
 	if opts.RotatePointers {
 		ptrSlots = DefaultPtrSlots
@@ -109,14 +242,20 @@ func Open(mem *pmem.Device, disk *blockdev.Device, opts Options) (*Cache, error)
 		return nil, err
 	}
 	c := &Cache{
-		mem:        mem,
-		disk:       disk,
-		lay:        lay,
-		rec:        mem.Recorder(),
-		opts:       opts,
-		hash:       make(map[uint64]int32),
-		lru:        newLRU(lay.Capacity),
-		pinnedSlot: lruNil,
+		mem:    mem,
+		disk:   disk,
+		lay:    lay,
+		rec:    mem.Recorder(),
+		opts:   opts,
+		atime:  make([]int64, lay.Capacity),
+		pinned: make(map[int32]bool),
+		serial: opts.serialOnly(),
+	}
+	c.gcCond = sync.NewCond(&c.gcMu)
+	c.destageWake = sync.NewCond(&c.destageWakeMu)
+	for i := range c.shards {
+		c.shards[i].hash = make(map[uint64]int32)
+		c.shards[i].lru = newLRU(lay.Capacity)
 	}
 	if c.isFormatted() {
 		if err := c.recover(); err != nil {
@@ -125,7 +264,45 @@ func Open(mem *pmem.Device, disk *blockdev.Device, opts Options) (*Cache, error)
 	} else {
 		c.format()
 	}
+	if opts.DestageDepth > 0 {
+		c.destageCh = make(chan destageItem, opts.DestageDepth)
+		c.destageWG.Add(1)
+		go c.destager()
+	}
 	return c, nil
+}
+
+// shardOf returns the shard responsible for disk block no.
+func (c *Cache) shardOf(no uint64) *shard {
+	return &c.shards[no&(shardCount-1)]
+}
+
+// touchLocked stamps slot i with a fresh access tick and moves it to its
+// shard's MRU end. Caller holds the shard lock.
+func (c *Cache) touchLocked(sh *shard, i int32) {
+	c.atime[i] = c.tick.Add(1)
+	sh.lru.touch(i)
+}
+
+// pushFrontLocked inserts slot i as its shard's MRU. Caller holds the
+// shard lock.
+func (c *Cache) pushFrontLocked(sh *shard, i int32) {
+	c.atime[i] = c.tick.Add(1)
+	sh.lru.pushFront(i)
+}
+
+// checkPoison re-raises an injected-crash panic observed by an earlier
+// operation: after a (simulated) power failure nothing may keep running on
+// the half-written image.
+func (c *Cache) checkPoison() {
+	if pv := c.poisoned.Load(); pv != nil {
+		panic(pv)
+	}
+}
+
+// poison records pv as the crash that stops all future operations.
+func (c *Cache) poison(pv any) {
+	c.poisoned.CompareAndSwap(nil, pv)
 }
 
 func (c *Cache) isFormatted() bool {
@@ -196,6 +373,14 @@ func (c *Cache) writeEntry(i int32, e entry) {
 	c.mem.Persist16(c.lay.entryOff(int(i)), encodeEntry(e))
 }
 
+// storeEntry writes and flushes entry slot i without the trailing fence,
+// for batch phases that amortize one fence over many entries.
+func (c *Cache) storeEntry(i int32, e entry) {
+	off := c.lay.entryOff(int(i))
+	c.mem.Store16(off, encodeEntry(e))
+	c.mem.CLFlush(off, EntrySize)
+}
+
 // clearEntry atomically invalidates entry slot i.
 func (c *Cache) clearEntry(i int32) {
 	c.mem.Persist16(c.lay.entryOff(int(i)), [16]byte{})
@@ -231,34 +416,53 @@ func (c *Cache) allocSlot() int32 {
 	return s
 }
 
-// evictOne selects the LRU victim that is not pinned by the committing
-// transaction (replacement rules of Section 4.6) and evicts it, writing it
-// back to disk first when dirty. Caller holds c.mu.
-func (c *Cache) evictOne() error {
-	for i := c.lru.tail; i != lruNil; i = c.lru.prev[i] {
-		e := c.readEntry(i)
-		if !e.valid {
-			panic(fmt.Sprintf("core: invalid entry %d on LRU list", i))
-		}
-		if e.role == RoleLog && !c.opts.DisableTxnPin {
-			// Rule 2: blocks of the committing transaction (and their
-			// previous versions, which this entry still references) stay.
-			continue
-		}
-		if i == c.pinnedSlot && !c.opts.DisableTxnPin {
-			// The entry still reads as a buffer block, but it is the hit
-			// target of the in-flight COW commit: rule 2 protects both of
-			// its copies until the log-role entry is persisted.
-			continue
-		}
-		c.evictEntry(i, e)
-		return nil
-	}
-	return ErrNoSpace
+// evictCandidate describes the best victim a shard offers.
+type evictCandidate struct {
+	sh    *shard
+	slot  int32
+	atime int64
 }
 
-// evictEntry removes entry i from the cache. Caller holds c.mu.
-func (c *Cache) evictEntry(i int32, e entry) {
+// evictOne selects a victim approximating global LRU order — the oldest
+// access tick among the shard LRU tails — skipping blocks pinned by the
+// committing transaction (replacement rules of Section 4.6), and evicts
+// it, writing it back to disk first when dirty. Caller holds c.mu.
+func (c *Cache) evictOne() error {
+	best := evictCandidate{slot: lruNil}
+	for s := range c.shards {
+		sh := &c.shards[s]
+		sh.mu.Lock()
+		for i := sh.lru.tail; i != lruNil; i = sh.lru.prev[i] {
+			e := c.readEntry(i)
+			if !e.valid {
+				panic(fmt.Sprintf("core: invalid entry %d on LRU list", i))
+			}
+			if !c.opts.DisableTxnPin && (e.role == RoleLog || c.pinned[i]) {
+				// Rule 2: blocks of the committing transaction (and
+				// their previous versions, which these entries still
+				// reference) stay.
+				continue
+			}
+			if best.slot == lruNil || c.atime[i] < best.atime {
+				best = evictCandidate{sh: sh, slot: i, atime: c.atime[i]}
+			}
+			break // older slots in this shard are all pinned or absent
+		}
+		sh.mu.Unlock()
+	}
+	if best.slot == lruNil {
+		return ErrNoSpace
+	}
+	best.sh.mu.Lock()
+	defer best.sh.mu.Unlock()
+	e := c.readEntry(best.slot)
+	c.evictEntry(best.sh, best.slot, e)
+	return nil
+}
+
+// evictEntry removes entry i from the cache. Caller holds c.mu and sh.mu;
+// sh must be the shard of e.disk.
+func (c *Cache) evictEntry(sh *shard, i int32, e entry) {
 	if e.modified {
 		buf := make([]byte, BlockSize)
 		c.mem.Load(c.lay.blockOff(e.cur), buf)
@@ -270,8 +474,8 @@ func (c *Cache) evictEntry(i int32, e entry) {
 	// invalidated, so a crash in between only leaves a redundant dirty
 	// entry, never a lost block.
 	c.clearEntry(i)
-	c.lru.remove(i)
-	delete(c.hash, e.disk)
+	sh.lru.remove(i)
+	delete(sh.hash, e.disk)
 	c.freeSlots = append(c.freeSlots, i)
 	c.freeBlocks = append(c.freeBlocks, e.cur)
 	if e.prev != Fresh {
@@ -282,25 +486,82 @@ func (c *Cache) evictEntry(i int32, e entry) {
 
 // Read copies the current committed contents of disk block no into p
 // (BlockSize bytes). A miss populates the cache from disk (the cache
-// serves reads as well as writes, Section 4.6).
+// serves reads as well as writes, Section 4.6). Read hits touch only the
+// block's shard lock, so concurrent readers scale across shards.
 func (c *Cache) Read(no uint64, p []byte) error {
 	if len(p) != BlockSize {
 		return fmt.Errorf("core: Read buffer must be %d bytes", BlockSize)
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
+	c.checkPoison()
+	if c.closed.Load() {
 		return ErrClosed
 	}
-	if i, ok := c.hash[no]; ok {
-		e := c.readEntry(i)
-		c.mem.Load(c.lay.blockOff(e.cur), p)
-		c.lru.touch(i)
-		c.rec.Inc(metrics.CacheReadHit)
-		return nil
+	if c.serial {
+		// Ablation modes update cached blocks in place mid-commit, so
+		// reads keep the paper's full serialization.
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.readInner(no, p, false)
+	}
+	return c.readInner(no, p, true)
+}
+
+// readInner is the shared read path. takeGlobal selects whether the miss
+// path acquires c.mu itself (concurrent mode) or the caller already holds
+// it (serial mode).
+func (c *Cache) readInner(no uint64, p []byte, takeGlobal bool) error {
+	if hit, err := c.tryReadHit(no, p); hit {
+		return err
+	}
+	if takeGlobal {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
+	if c.closed.Load() {
+		return ErrClosed
+	}
+	// Double-check under the structural lock: a racing miss may have
+	// filled the block already.
+	if hit, err := c.tryReadHit(no, p); hit {
+		return err
 	}
 	c.rec.Inc(metrics.CacheReadMiss)
 	return c.fillFromDisk(no, p)
+}
+
+// tryReadHit serves no from the cache if resident, reporting whether it
+// did. A block mid-seal (log role) is served from its last sealed
+// version: the previous COW copy, or — for a fresh write not yet sealed —
+// the disk, read around the cache.
+func (c *Cache) tryReadHit(no uint64, p []byte) (bool, error) {
+	sh := c.shardOf(no)
+	sh.mu.Lock()
+	i, ok := sh.hash[no]
+	if !ok {
+		sh.mu.Unlock()
+		return false, nil
+	}
+	e := c.readEntry(i)
+	if e.role == RoleLog {
+		if e.prev == Fresh {
+			// Freshly written, seal pending: the sealed contents are
+			// still whatever the disk holds.
+			sh.mu.Unlock()
+			c.disk.ReadBlock(no, p)
+			c.rec.Inc(metrics.CacheReadHit)
+			return true, nil
+		}
+		// Serve the pre-seal version; no LRU touch while committing.
+		c.mem.Load(c.lay.blockOff(e.prev), p)
+		sh.mu.Unlock()
+		c.rec.Inc(metrics.CacheReadHit)
+		return true, nil
+	}
+	c.mem.Load(c.lay.blockOff(e.cur), p)
+	c.touchLocked(sh, i)
+	sh.mu.Unlock()
+	c.rec.Inc(metrics.CacheReadHit)
+	return true, nil
 }
 
 // fillFromDisk reads block no from disk, installs it clean in the cache
@@ -319,17 +580,21 @@ func (c *Cache) fillFromDisk(no uint64, p []byte) error {
 	// crash could leave a clean-looking entry over garbage.
 	c.mem.PersistRange(c.lay.blockOff(b), buf)
 	i := c.allocSlot()
+	sh := c.shardOf(no)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	c.writeEntry(i, entry{valid: true, role: RoleBuffer, modified: false, disk: no, prev: Fresh, cur: b})
-	c.hash[no] = i
-	c.lru.pushFront(i)
+	sh.hash[no] = i
+	c.pushFrontLocked(sh, i)
 	return nil
 }
 
 // Contains reports whether disk block no is resident (for tests).
 func (c *Cache) Contains(no uint64) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	_, ok := c.hash[no]
+	sh := c.shardOf(no)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	_, ok := sh.hash[no]
 	return ok
 }
 
@@ -337,21 +602,25 @@ func (c *Cache) Contains(no uint64) bool {
 // clean. It is the orderly-shutdown / drain path; crash consistency never
 // depends on it.
 func (c *Cache) FlushAll() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
+	if c.closed.Load() {
 		return ErrClosed
 	}
+	c.DrainDestage()
 	buf := make([]byte, BlockSize)
-	for no, i := range c.hash {
-		e := c.readEntry(i)
-		if !e.modified {
-			continue
+	for s := range c.shards {
+		sh := &c.shards[s]
+		sh.mu.Lock()
+		for no, i := range sh.hash {
+			e := c.readEntry(i)
+			if !e.modified || e.role == RoleLog {
+				continue
+			}
+			c.mem.Load(c.lay.blockOff(e.cur), buf)
+			c.disk.WriteBlock(no, buf)
+			e.modified = false
+			c.writeEntry(i, e)
 		}
-		c.mem.Load(c.lay.blockOff(e.cur), buf)
-		c.disk.WriteBlock(no, buf)
-		e.modified = false
-		c.writeEntry(i, e)
+		sh.mu.Unlock()
 	}
 	return nil
 }
@@ -361,9 +630,15 @@ func (c *Cache) Close() error {
 	if err := c.FlushAll(); err != nil {
 		return err
 	}
+	c.closed.Store(true)
+	// Barrier: wait for any in-flight commit batch to finish before the
+	// destager goes away (batches enqueue destage work under c.mu).
 	c.mu.Lock()
-	c.closed = true
-	c.mu.Unlock()
+	c.mu.Unlock() //nolint:staticcheck // empty critical section is the barrier
+	if c.destageCh != nil {
+		close(c.destageCh)
+		c.destageWG.Wait()
+	}
 	return nil
 }
 

@@ -431,7 +431,9 @@ func TestLRUValidateAfterChurn(t *testing.T) {
 			}
 		}
 	}
-	r.cache.lru.validate("after-churn")
+	for s := range r.cache.shards {
+		r.cache.shards[s].lru.validate("after-churn")
+	}
 	if err := r.cache.CheckInvariants(); err != nil {
 		t.Fatal(err)
 	}

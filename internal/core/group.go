@@ -1,0 +1,353 @@
+package core
+
+import (
+	"time"
+
+	"tinca/internal/metrics"
+)
+
+// This file implements the group-commit pipeline: concurrently arriving
+// Txn.Commit calls coalesce into one ring-buffer seal.
+//
+// The paper's protocol (Section 4.4) pays, per transaction, one fence per
+// block data write, one per entry persist, two per ring record (slot +
+// Head), one per role-switch batch and one for the Tail flip. A coalesced
+// seal runs the same five phases once for the whole batch:
+//
+//	A. data    — every block of every txn stored + flushed, ONE fence
+//	B. entries — every entry 16B-stored + flushed (log role), ONE fence
+//	C. ring    — every slot stored + flushed, ONE fence, ONE Head persist
+//	D. switch  — every entry switched to buffer role, ONE fence
+//	E. tail    — ONE Tail persist: the commit point for the whole batch
+//
+// so the fence/pointer cost is amortized over the batch, and duplicate
+// blocks across the batch are absorbed into a single NVM write (the
+// NVLog-style sync absorption that gives group commit its throughput).
+//
+// Ordering argument (why recovery replays a coalesced seal identically to
+// N sequential seals): recovery classifies the crash solely by the ring
+// range (Tail, Head) and the roles of the entries it names. The batch
+// keeps exactly the paper's persist order — data before entry, entry
+// before ring record, ring record before Head, Head before any role
+// switch, every switch fenced before Tail. A crash therefore lands in one
+// of the same three states recovery already distinguishes: stray log
+// entries with no ring record (revoked by the sweep), a populated ring
+// range with no switched entry (undo), or a partially switched range
+// (redo). The batch is one transaction to recovery; its all-or-nothing
+// outcome applies to every absorbed transaction at once, which is a legal
+// serial schedule because none of them was acknowledged before Tail
+// flipped. See DESIGN.md "Group commit" for the long-form argument.
+//
+// Concurrency shape: there is no dedicated committer goroutine. The first
+// committer to find the pipeline idle becomes the leader and seals the
+// batch on its own stack (leader/follower, as in classic group commit).
+// This keeps the simulated-crash machinery honest: an injected crash
+// panics out of a committing caller, exactly as the single-threaded
+// harness expects, and the cache poisons itself so every follower and
+// later caller observes the crash too.
+
+// commitReq is one transaction waiting in the group-commit queue. err and
+// pv are written by the leader before done is set (under gcMu), so the
+// owning goroutine may read them once it observes done.
+type commitReq struct {
+	t    *Txn
+	err  error
+	pv   any // injected-crash panic to re-raise on the owner's goroutine
+	done bool
+}
+
+// groupCommit enqueues t and waits until some leader (possibly this
+// goroutine) seals it. Returns the transaction's outcome; re-raises a
+// crash panic captured by the leader.
+func (c *Cache) groupCommit(t *Txn) error {
+	req := &commitReq{t: t}
+	c.gcMu.Lock()
+	c.gcQueue = append(c.gcQueue, req)
+	for !req.done {
+		if c.gcBusy {
+			c.gcCond.Wait()
+			continue
+		}
+		// Become the leader for the next batch.
+		c.gcBusy = true
+		if w := c.opts.GroupCommit.MaxWaitNS; w > 0 && len(c.gcQueue) < c.opts.groupBatch() {
+			// Optional batch-formation window (real time; the simulated
+			// clock never advances while sleeping).
+			c.gcMu.Unlock()
+			time.Sleep(time.Duration(w) * time.Nanosecond)
+			c.gcMu.Lock()
+		}
+		batch := c.takeBatchLocked()
+		c.gcMu.Unlock()
+
+		pv := c.runBatch(batch)
+
+		c.gcMu.Lock()
+		for _, r := range batch {
+			if pv != nil {
+				r.pv = pv
+			}
+			r.done = true
+		}
+		c.gcBusy = false
+		c.gcCond.Broadcast()
+	}
+	c.gcMu.Unlock()
+	if req.pv != nil {
+		panic(req.pv)
+	}
+	t.done = true
+	return req.err
+}
+
+// takeBatchLocked pops the next batch off the queue: FIFO, capped by
+// GroupCommit.MaxBatch, and capped so the merged write set cannot exceed
+// the ring (sum of per-txn block counts is a conservative bound; every
+// queued txn individually fits, so at least one is always taken). Caller
+// holds gcMu.
+func (c *Cache) takeBatchLocked() []*commitReq {
+	maxBatch := c.opts.groupBatch()
+	blocks := 0
+	n := 0
+	for n < len(c.gcQueue) && n < maxBatch {
+		blocks += len(c.gcQueue[n].t.order)
+		if n > 0 && blocks > c.lay.RingSlots {
+			break
+		}
+		n++
+	}
+	batch := c.gcQueue[:n:n]
+	c.gcQueue = c.gcQueue[n:]
+	return batch
+}
+
+// planBlock is one distinct disk block of the merged batch write set.
+type planBlock struct {
+	no        uint64
+	data      []byte // winning (last-writer) contents
+	slot      int32  // entry slot (existing for hits, fresh for misses)
+	nb        uint32 // newly allocated NVM data block
+	prev      uint32 // previous NVM block for hits, Fresh for misses
+	hit       bool
+	allocated bool // phase 0 reached this block (nb/slot are live)
+}
+
+// runBatch seals one batch. It returns a recovered injected-crash panic
+// value (nil normally); per-request errors are stored in the requests.
+// Runs on the leader's goroutine and takes c.mu for the duration — reads
+// keep flowing through the shard locks; only other structural work
+// (misses, evictions, other seals) waits.
+func (c *Cache) runBatch(batch []*commitReq) (pv any) {
+	defer func() {
+		if r := recover(); r != nil {
+			// A simulated power failure fired mid-seal. Poison the cache
+			// so every subsequent operation observes the crash, and hand
+			// the panic value to every transaction in the batch.
+			c.poison(r)
+			pv = r
+		}
+	}()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	if c.closed.Load() {
+		for _, r := range batch {
+			r.err = ErrClosed
+		}
+		return nil
+	}
+	c.checkPoison()
+
+	// Phase 0 — plan (volatile only). Merge the batch write set in
+	// arrival order (last writer wins, a legal serial schedule because
+	// the whole batch commits atomically), allocate every NVM block and
+	// entry slot, and pin the hit targets against eviction (replacement
+	// rule 2, Section 4.6). Nothing has been persisted yet, so an
+	// allocation failure here unwinds in DRAM and falls back to the
+	// serial path, which commits (or fails) each transaction on its own.
+	plan := make([]*planBlock, 0, 16)
+	byNo := make(map[uint64]*planBlock, 16)
+	absorbed := 0
+	for _, r := range batch {
+		for _, no := range r.t.order {
+			if pb, ok := byNo[no]; ok {
+				pb.data = r.t.blocks[no]
+				absorbed++
+				continue
+			}
+			pb := &planBlock{no: no, data: r.t.blocks[no]}
+			byNo[no] = pb
+			plan = append(plan, pb)
+		}
+	}
+	ok := true
+planLoop:
+	for _, pb := range plan {
+		sh := c.shardOf(pb.no)
+		sh.mu.Lock()
+		i, hit := sh.hash[pb.no]
+		if hit {
+			e := c.readEntry(i)
+			if e.role == RoleLog {
+				sh.mu.Unlock()
+				panic("core: live log-role entry outside a seal")
+			}
+			pb.hit, pb.slot, pb.prev = true, i, e.cur
+			c.pinned[i] = true
+		} else {
+			pb.prev = Fresh
+		}
+		sh.mu.Unlock()
+		nb, err := c.allocBlock()
+		if err != nil {
+			ok = false
+			break planLoop
+		}
+		pb.nb = nb
+		if !hit {
+			pb.slot = c.allocSlot()
+		}
+		pb.allocated = true
+	}
+	if !ok {
+		// Unwind the volatile plan and degrade to one-at-a-time commits;
+		// small transactions still succeed where the merged batch could
+		// not fit.
+		c.unwindPlan(plan)
+		for _, r := range batch {
+			r.err = c.commitSerialLocked(r.t)
+		}
+		return nil
+	}
+
+	// Phase A — data. Every target block is freshly allocated, so no
+	// reader can observe it yet; store + flush each, one fence for all.
+	for _, pb := range plan {
+		off := c.lay.blockOff(pb.nb)
+		c.mem.Store(off, pb.data)
+		c.mem.CLFlush(off, BlockSize)
+	}
+	c.mem.SFence()
+
+	// Phase B — entries, log role (16B atomic store + flush each, under
+	// the block's shard lock so concurrent readers never tear), one fence
+	// for all. Readers that catch a log-role entry serve the previous
+	// sealed version (or read around for fresh blocks).
+	for _, pb := range plan {
+		func() {
+			sh := c.shardOf(pb.no)
+			sh.mu.Lock()
+			defer sh.mu.Unlock()
+			c.storeEntry(pb.slot, entry{valid: true, role: RoleLog, modified: true, disk: pb.no, prev: pb.prev, cur: pb.nb})
+			if !pb.hit {
+				sh.hash[pb.no] = pb.slot
+				c.pushFrontLocked(sh, pb.slot)
+			}
+		}()
+	}
+	c.mem.SFence()
+
+	// Phase C — ring records: every block number into consecutive ring
+	// slots, one fence, then ONE Head persist for the whole batch. (The
+	// per-block Head persist of the serial path is unnecessary: recovery
+	// sweeps *all* stray log entries, however many a crash leaves.)
+	for k, pb := range plan {
+		off := c.lay.ringSlotOff(c.head + uint64(k))
+		c.mem.Store8(off, pb.no)
+		c.mem.CLFlush(off, RingSlotSize)
+	}
+	c.mem.SFence()
+	c.head += uint64(len(plan))
+	c.mem.Persist8(c.lay.headSlotOff(c.head), c.head)
+
+	// Phase D — role switches: flip every entry to buffer role, freeing
+	// the previous versions; one fence for all.
+	for _, pb := range plan {
+		func() {
+			sh := c.shardOf(pb.no)
+			sh.mu.Lock()
+			defer sh.mu.Unlock()
+			e := c.readEntry(pb.slot)
+			e.role = RoleBuffer
+			e.prev = Fresh
+			c.storeEntry(pb.slot, e)
+		}()
+		if pb.prev != Fresh {
+			c.freeBlocks = append(c.freeBlocks, pb.prev)
+		}
+	}
+	c.mem.SFence()
+
+	// Write-through without a destager propagates synchronously, before
+	// the commit point, exactly as the serial path does.
+	if c.opts.WriteThrough && c.destageCh == nil {
+		buf := make([]byte, BlockSize)
+		for _, pb := range plan {
+			func() {
+				sh := c.shardOf(pb.no)
+				sh.mu.Lock()
+				defer sh.mu.Unlock()
+				e := c.readEntry(pb.slot)
+				c.mem.Load(c.lay.blockOff(e.cur), buf)
+				c.disk.WriteBlock(pb.no, buf)
+				e.modified = false
+				c.storeEntry(pb.slot, e)
+			}()
+		}
+		c.mem.SFence()
+	}
+
+	// Phase E — the commit point: ONE Tail persist seals every
+	// transaction in the batch at once.
+	c.setTail(c.head)
+
+	// Volatile epilogue: unpin, touch LRU (rule 2b: committed blocks are
+	// most recently used), hand off to the destager, book the counters.
+	for _, pb := range plan {
+		sh := c.shardOf(pb.no)
+		sh.mu.Lock()
+		if pb.hit {
+			delete(c.pinned, pb.slot)
+		}
+		c.touchLocked(sh, pb.slot)
+		sh.mu.Unlock()
+	}
+	if c.destageCh != nil {
+		for _, pb := range plan {
+			c.destageEnqueue(pb.no, pb.slot)
+		}
+	}
+	for _, pb := range plan {
+		if pb.hit {
+			c.rec.Inc(metrics.CacheWriteHit)
+			c.rec.Inc(metrics.TxnCOWBlocks)
+		} else {
+			c.rec.Inc(metrics.CacheWriteMiss)
+		}
+	}
+	for _, r := range batch {
+		r.err = nil
+		c.rec.Inc(metrics.TxnCommit)
+		c.rec.Add(metrics.TxnBlocks, int64(len(r.t.order)))
+	}
+	c.rec.Inc(metrics.TxnGroupSeals)
+	c.rec.Add(metrics.TxnGroupSize, int64(len(batch)))
+	c.rec.Add(metrics.TxnAbsorbed, int64(absorbed))
+	return nil
+}
+
+// unwindPlan releases everything phase 0 allocated or pinned. Nothing has
+// been persisted, so this is pure DRAM bookkeeping. Caller holds c.mu.
+func (c *Cache) unwindPlan(plan []*planBlock) {
+	for _, pb := range plan {
+		if pb.hit {
+			delete(c.pinned, pb.slot)
+		}
+		if pb.allocated {
+			c.freeBlocks = append(c.freeBlocks, pb.nb)
+			if !pb.hit {
+				c.freeSlots = append(c.freeSlots, pb.slot)
+			}
+		}
+	}
+}

@@ -2,6 +2,21 @@ package core
 
 import "fmt"
 
+// lockAllShards acquires every shard lock in index order (the only place
+// two shard locks are ever held at once; the fixed order makes it
+// deadlock-free against single-shard holders).
+func (c *Cache) lockAllShards() {
+	for s := range c.shards {
+		c.shards[s].mu.Lock()
+	}
+}
+
+func (c *Cache) unlockAllShards() {
+	for s := range c.shards {
+		c.shards[s].mu.Unlock()
+	}
+}
+
 // CheckInvariants verifies the structural invariants of DESIGN.md §5
 // against both the persistent entry table and the DRAM structures. It is
 // used by the crash-consistency test suite after every recovery; any
@@ -9,6 +24,9 @@ import "fmt"
 func (c *Cache) CheckInvariants() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.DrainDestage()
+	c.lockAllShards()
+	defer c.unlockAllShards()
 
 	if c.head != c.tail {
 		return fmt.Errorf("invariant: Head (%d) != Tail (%d) while quiescent", c.head, c.tail)
@@ -46,15 +64,20 @@ func (c *Cache) CheckInvariants() error {
 			return fmt.Errorf("invariant: NVM block %d referenced by entries %d and %d", e.cur, j, i)
 		}
 		usedBlock[e.cur] = int32(i)
-		if got, ok := c.hash[e.disk]; !ok || got != int32(i) {
+		if got, ok := c.shardOf(e.disk).hash[e.disk]; !ok || got != int32(i) {
 			return fmt.Errorf("invariant: hash table out of sync for disk block %d (entry %d)", e.disk, i)
 		}
 	}
-	if len(c.hash) != valid {
-		return fmt.Errorf("invariant: hash has %d mappings, entry table has %d valid entries", len(c.hash), valid)
+	mapped, linked := 0, 0
+	for s := range c.shards {
+		mapped += len(c.shards[s].hash)
+		linked += c.shards[s].lru.len()
 	}
-	if c.lru.len() != valid {
-		return fmt.Errorf("invariant: LRU links %d slots, entry table has %d valid entries", c.lru.len(), valid)
+	if mapped != valid {
+		return fmt.Errorf("invariant: hash shards have %d mappings, entry table has %d valid entries", mapped, valid)
+	}
+	if linked != valid {
+		return fmt.Errorf("invariant: LRU shards link %d slots, entry table has %d valid entries", linked, valid)
 	}
 
 	// Free monitor and referenced blocks must partition the data area.
@@ -79,9 +102,13 @@ func (c *Cache) CheckInvariants() error {
 func (c *Cache) ResidentBlocks() map[uint64]bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out := make(map[uint64]bool, len(c.hash))
-	for no, i := range c.hash {
-		out[no] = c.readEntry(i).modified
+	c.lockAllShards()
+	defer c.unlockAllShards()
+	out := make(map[uint64]bool)
+	for s := range c.shards {
+		for no, i := range c.shards[s].hash {
+			out[no] = c.readEntry(i).modified
+		}
 	}
 	return out
 }

@@ -22,6 +22,13 @@ import "fmt"
 // transaction's data is complete and recovery finishes the remaining
 // switches (redo); if none has switched, recovery revokes them all (undo).
 // Both directions restore all-or-nothing semantics.
+//
+// Group commit (group.go) needs no changes here: a coalesced seal keeps
+// the same persist order, so recovery sees it as one larger interrupted
+// transaction and replays it exactly as it would N sequential seals —
+// either the whole batch redone or the whole batch revoked, which is
+// correct because no transaction in the batch was acknowledged before the
+// batch's single Tail flip.
 func (c *Cache) recover() error {
 	c.head = c.loadPointer(c.lay.HeadOff)
 	c.tail = c.loadPointer(c.lay.TailOff)
@@ -76,10 +83,14 @@ func (c *Cache) recover() error {
 		c.setTail(c.head)
 	}
 
-	// Sweep for a stray log entry: a crash after persisting a block's
-	// entry but before its ring record leaves exactly one entry with the
-	// log role that no ring slot names. (In the redo case the write phase
-	// had finished, so no stray can exist; the sweep is then a no-op.)
+	// Sweep for stray log entries: a crash after persisting block entries
+	// but before their ring records leaves log-role entries that no ring
+	// slot names — one for the serial path, up to a whole batch for a
+	// coalesced seal (which defers the single Head persist until every
+	// entry of the batch is durable). Each is revoked independently; none
+	// was part of an acknowledged transaction. (In the redo case the
+	// write phase had finished, so no stray can exist and the sweep is a
+	// no-op.)
 	for i := 0; i < c.lay.Capacity; i++ {
 		e := c.readEntry(int32(i))
 		if e.valid && e.role == RoleLog {
@@ -115,41 +126,49 @@ func (c *Cache) recoverRevoke(i int32, e entry, byDisk map[uint64]int32) {
 }
 
 // revokeRange is the live (mid-commit) revocation used when an allocation
-// fails partway through a commit: exactly recovery's undo, but keeping the
-// DRAM structures in sync. Caller holds c.mu.
+// fails partway through a serial commit: exactly recovery's undo, but
+// keeping the DRAM structures in sync. Caller holds c.mu.
 func (c *Cache) revokeRange(from, to uint64) {
 	for p := from; p < to; p++ {
 		no := c.mem.Load8(c.lay.ringSlotOff(p))
-		i, ok := c.hash[no]
+		sh := c.shardOf(no)
+		sh.mu.Lock()
+		i, ok := sh.hash[no]
 		if !ok {
+			sh.mu.Unlock()
 			panic(fmt.Sprintf("core: revoke of unmapped disk block %d", no))
 		}
 		e := c.readEntry(i)
 		if e.role != RoleLog {
+			sh.mu.Unlock()
 			panic("core: revoke of non-log entry")
 		}
 		if e.prev == Fresh {
 			c.clearEntry(i)
-			c.lru.remove(i)
-			delete(c.hash, no)
+			sh.lru.remove(i)
+			delete(sh.hash, no)
+			sh.mu.Unlock()
 			c.freeSlots = append(c.freeSlots, i)
 			c.freeBlocks = append(c.freeBlocks, e.cur)
 			continue
 		}
 		c.writeEntry(i, entry{valid: true, role: RoleBuffer, modified: true, disk: no, prev: Fresh, cur: e.prev})
+		sh.mu.Unlock()
 		c.freeBlocks = append(c.freeBlocks, e.cur)
 	}
 	c.head = from
 	c.mem.Persist8(c.lay.headSlotOff(c.head), c.head)
 }
 
-// rebuildVolatile reconstructs the DRAM hash table, LRU list, free block
+// rebuildVolatile reconstructs the DRAM hash shards, LRU lists, free block
 // monitor and free slot list from the (now consistent) persistent entry
 // table. LRU order after a crash is arbitrary, which only affects future
 // replacement choices, never correctness.
 func (c *Cache) rebuildVolatile() {
-	c.hash = make(map[uint64]int32)
-	c.lru = newLRU(c.lay.Capacity)
+	for s := range c.shards {
+		c.shards[s].hash = make(map[uint64]int32)
+		c.shards[s].lru = newLRU(c.lay.Capacity)
+	}
 	c.freeBlocks = c.freeBlocks[:0]
 	c.freeSlots = c.freeSlots[:0]
 	used := make([]bool, c.lay.Capacity)
@@ -159,8 +178,9 @@ func (c *Cache) rebuildVolatile() {
 			c.freeSlots = append(c.freeSlots, int32(i))
 			continue
 		}
-		c.hash[e.disk] = int32(i)
-		c.lru.pushFront(int32(i))
+		sh := c.shardOf(e.disk)
+		sh.hash[e.disk] = int32(i)
+		c.pushFrontLocked(sh, int32(i))
 		used[e.cur] = true
 	}
 	for b := c.lay.Capacity - 1; b >= 0; b-- {

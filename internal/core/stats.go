@@ -1,0 +1,85 @@
+package core
+
+import "tinca/internal/metrics"
+
+// CacheStats is a typed snapshot of the cache-level counters. It replaces
+// string-keyed metrics.Snapshot lookups on the public surface; the
+// Recorder remains available for experiment drivers that need raw
+// counters.
+type CacheStats struct {
+	// Hit/miss accounting (write side counts distinct blocks per seal).
+	ReadHits    int64
+	ReadMisses  int64
+	WriteHits   int64
+	WriteMisses int64
+
+	// Eviction and residency.
+	Evictions      int64
+	DirtyEvictions int64
+
+	// Transactions.
+	Commits   int64
+	Aborts    int64
+	Blocks    int64 // data blocks committed
+	COWBlocks int64 // blocks that needed a COW copy
+
+	// Group commit.
+	GroupSeals     int64 // coalesced ring-buffer seals
+	GroupedTxns    int64 // transactions absorbed into those seals
+	AbsorbedBlocks int64 // duplicate blocks absorbed within seals
+
+	// Destage.
+	DestageDone    int64 // blocks written back by the destager
+	DestageDropped int64 // opportunistic cleanings skipped (queue full)
+	DestageQueue   int64 // current queue depth (gauge)
+
+	// NVM traffic.
+	NVMBytesWritten  int64
+	NVMBytesRead     int64
+	CacheLineFlushes int64
+	StoreFences      int64
+
+	// Disk traffic.
+	DiskBlocksWritten int64
+	DiskBlocksRead    int64
+}
+
+// AvgGroupSize reports the mean transactions per seal (0 when no seal has
+// happened).
+func (s CacheStats) AvgGroupSize() float64 {
+	if s.GroupSeals == 0 {
+		return 0
+	}
+	return float64(s.GroupedTxns) / float64(s.GroupSeals)
+}
+
+// Stats returns a typed snapshot of the cache counters. Safe for
+// concurrent use; the snapshot is not atomic across counters (counters
+// advance independently, as with metrics.Snapshot).
+func (c *Cache) Stats() CacheStats {
+	r := c.rec
+	return CacheStats{
+		ReadHits:          r.Get(metrics.CacheReadHit),
+		ReadMisses:        r.Get(metrics.CacheReadMiss),
+		WriteHits:         r.Get(metrics.CacheWriteHit),
+		WriteMisses:       r.Get(metrics.CacheWriteMiss),
+		Evictions:         r.Get(metrics.CacheEvict),
+		DirtyEvictions:    r.Get(metrics.CacheEvictDirty),
+		Commits:           r.Get(metrics.TxnCommit),
+		Aborts:            r.Get(metrics.TxnAbort),
+		Blocks:            r.Get(metrics.TxnBlocks),
+		COWBlocks:         r.Get(metrics.TxnCOWBlocks),
+		GroupSeals:        r.Get(metrics.TxnGroupSeals),
+		GroupedTxns:       r.Get(metrics.TxnGroupSize),
+		AbsorbedBlocks:    r.Get(metrics.TxnAbsorbed),
+		DestageDone:       r.Get(metrics.DestageDone),
+		DestageDropped:    r.Get(metrics.DestageDrop),
+		DestageQueue:      r.Get(metrics.DestageQueueDepth),
+		NVMBytesWritten:   r.Get(metrics.NVMBytesWrite),
+		NVMBytesRead:      r.Get(metrics.NVMBytesRead),
+		CacheLineFlushes:  r.Get(metrics.NVMCLFlush),
+		StoreFences:       r.Get(metrics.NVMSFence),
+		DiskBlocksWritten: r.Get(metrics.DiskBlocksWrite),
+		DiskBlocksRead:    r.Get(metrics.DiskBlocksRead),
+	}
+}

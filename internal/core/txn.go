@@ -7,10 +7,10 @@ import (
 )
 
 // Txn is a running transaction (Section 4.4): an ordered set of 4KB block
-// updates staged in DRAM. Txns are built without holding cache locks;
-// Commit converts the running transaction into the (single) committing
-// transaction. A Txn is not safe for concurrent use by multiple
-// goroutines; use one Txn per writer.
+// updates staged in DRAM. Running transactions are pure DRAM state, so any
+// number of them build up concurrently without touching cache locks; only
+// Commit enters the (group-) commit pipeline. A Txn is not safe for
+// concurrent use by multiple goroutines; use one Txn per writer.
 type Txn struct {
 	c      *Cache
 	blocks map[uint64][]byte
@@ -62,17 +62,22 @@ func (t *Txn) Abort() {
 	t.c.rec.Inc(metrics.TxnAbort)
 }
 
-// Commit converts the running transaction into the committing transaction
-// and applies the commit protocol of Section 4.4:
+// Commit makes the running transaction durable and atomic following the
+// commit protocol of Section 4.4:
 //
 //  1. for each block: write the data into a newly allocated NVM block
 //     (COW for hits) and persist it; atomically persist the block's cache
 //     entry with the log role and both NVM locations;
 //  2. record the on-disk block number in the ring slot Head points at and
-//     advance Head (both 8B atomic persists);
+//     advance Head (8B atomic persists);
 //  3. after all blocks: switch every block's role to buffer, releasing
 //     the previous versions;
 //  4. set Tail = Head; this atomic store is the commit point.
+//
+// In the default configuration concurrently arriving Commits coalesce
+// into a single seal (see group.go): the protocol's persist order is kept
+// but its fences and pointer flips are paid once per batch. Ablation
+// configurations keep the paper's one-transaction-at-a-time commit.
 //
 // On success all staged blocks are durable and atomic: after any crash,
 // either every block of this transaction is visible or none is.
@@ -81,9 +86,8 @@ func (t *Txn) Commit() error {
 		panic("core: Commit on finished transaction")
 	}
 	c := t.c
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
+	c.checkPoison()
+	if c.closed.Load() {
 		return ErrClosed
 	}
 	if len(t.order) == 0 {
@@ -93,7 +97,23 @@ func (t *Txn) Commit() error {
 	if len(t.order) > c.lay.RingSlots {
 		return ErrTxnTooLarge
 	}
+	if c.serial {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if c.closed.Load() {
+			return ErrClosed
+		}
+		err := c.commitSerialLocked(t)
+		t.done = true
+		return err
+	}
+	return c.groupCommit(t)
+}
 
+// commitSerialLocked is the paper's one-transaction-at-a-time commit. It
+// serves the ablation configurations and the group path's fallback when a
+// merged batch cannot be allocated. Caller holds c.mu.
+func (c *Cache) commitSerialLocked(t *Txn) error {
 	touched := make([]int32, 0, len(t.order))
 	for _, no := range t.order {
 		slot, err := c.commitBlock(no, t.blocks[no])
@@ -104,7 +124,6 @@ func (t *Txn) Commit() error {
 			c.revokeRange(c.tail, c.head)
 			c.setTail(c.head)
 			c.rec.Inc(metrics.TxnAbort)
-			t.done = true
 			return err
 		}
 		touched = append(touched, slot)
@@ -124,10 +143,15 @@ func (t *Txn) Commit() error {
 			if !e.valid {
 				continue
 			}
-			c.mem.Load(c.lay.blockOff(e.cur), buf)
-			c.disk.WriteBlock(e.disk, buf)
-			e.modified = false
-			c.writeEntry(slot, e)
+			func() {
+				sh := c.shardOf(e.disk)
+				sh.mu.Lock()
+				defer sh.mu.Unlock()
+				c.mem.Load(c.lay.blockOff(e.cur), buf)
+				c.disk.WriteBlock(e.disk, buf)
+				e.modified = false
+				c.writeEntry(slot, e)
+			}()
 		}
 	}
 
@@ -139,34 +163,45 @@ func (t *Txn) Commit() error {
 	// evicted and even reused mid-commit, so the touch is skipped.
 	if !c.opts.DisableTxnPin {
 		for _, slot := range touched {
-			c.lru.touch(slot)
+			e := c.readEntry(slot)
+			sh := c.shardOf(e.disk)
+			sh.mu.Lock()
+			c.touchLocked(sh, slot)
+			sh.mu.Unlock()
 		}
 	}
 
 	c.rec.Inc(metrics.TxnCommit)
 	c.rec.Add(metrics.TxnBlocks, int64(len(t.order)))
-	t.done = true
 	return nil
 }
 
 // commitBlock writes one block of the committing transaction (steps 1-3 of
-// the protocol) and returns the entry slot used. Caller holds c.mu.
+// the protocol) and returns the entry slot used. Serial path only; caller
+// holds c.mu.
 func (c *Cache) commitBlock(no uint64, data []byte) (int32, error) {
 	var slot int32
-	if i, ok := c.hash[no]; ok {
+	sh := c.shardOf(no)
+	sh.mu.Lock()
+	i, hit := sh.hash[no]
+	var old entry
+	if hit {
+		old = c.readEntry(i)
+	}
+	sh.mu.Unlock()
+	if hit {
 		// Write hit: COW block write (Section 4.3). The updated version
 		// goes to a newly allocated NVM block; the entry records both
 		// locations in one atomic 16B store.
 		c.rec.Inc(metrics.CacheWriteHit)
-		old := c.readEntry(i)
 		if old.role == RoleLog {
 			panic("core: block committed twice in one transaction")
 		}
 		// Rule 2 (Section 4.6): the allocation below may need to evict,
 		// and the hit target's entry still carries the buffer role until
 		// the log entry is persisted — pin it for the duration.
-		c.pinnedSlot = i
-		defer func() { c.pinnedSlot = lruNil }()
+		c.pinned[i] = true
+		defer delete(c.pinned, i)
 		if c.opts.Ablation == AblationUBJ {
 			// UBJ-style commit-in-place: before overwriting the frozen
 			// block, copy it aside inside NVM (the memcpy on the critical
@@ -176,10 +211,14 @@ func (c *Cache) commitBlock(no uint64, data []byte) (int32, error) {
 				return 0, err
 			}
 			tmp := make([]byte, BlockSize)
-			c.mem.Load(c.lay.blockOff(old.cur), tmp)
-			c.mem.PersistRange(c.lay.blockOff(nb), tmp) // preserve old version
-			c.mem.PersistRange(c.lay.blockOff(old.cur), data)
-			c.writeEntry(i, entry{valid: true, role: RoleLog, modified: true, disk: no, prev: nb, cur: old.cur})
+			func() {
+				sh.mu.Lock()
+				defer sh.mu.Unlock()
+				c.mem.Load(c.lay.blockOff(old.cur), tmp)
+				c.mem.PersistRange(c.lay.blockOff(nb), tmp) // preserve old version
+				c.mem.PersistRange(c.lay.blockOff(old.cur), data)
+				c.writeEntry(i, entry{valid: true, role: RoleLog, modified: true, disk: no, prev: nb, cur: old.cur})
+			}()
 			slot = i
 		} else {
 			nb, err := c.allocBlock()
@@ -187,7 +226,11 @@ func (c *Cache) commitBlock(no uint64, data []byte) (int32, error) {
 				return 0, err
 			}
 			c.mem.PersistRange(c.lay.blockOff(nb), data)
-			c.writeEntry(i, entry{valid: true, role: RoleLog, modified: true, disk: no, prev: old.cur, cur: nb})
+			func() {
+				sh.mu.Lock()
+				defer sh.mu.Unlock()
+				c.writeEntry(i, entry{valid: true, role: RoleLog, modified: true, disk: no, prev: old.cur, cur: nb})
+			}()
 			slot = i
 		}
 		c.rec.Inc(metrics.TxnCOWBlocks)
@@ -201,9 +244,13 @@ func (c *Cache) commitBlock(no uint64, data []byte) (int32, error) {
 		}
 		c.mem.PersistRange(c.lay.blockOff(nb), data)
 		i := c.allocSlot()
-		c.writeEntry(i, entry{valid: true, role: RoleLog, modified: true, disk: no, prev: Fresh, cur: nb})
-		c.hash[no] = i
-		c.lru.pushFront(i)
+		func() {
+			sh.mu.Lock()
+			defer sh.mu.Unlock()
+			c.writeEntry(i, entry{valid: true, role: RoleLog, modified: true, disk: no, prev: Fresh, cur: nb})
+			sh.hash[no] = i
+			c.pushFrontLocked(sh, i)
+		}()
 		slot = i
 	}
 
@@ -227,7 +274,8 @@ func (c *Cache) commitBlock(no uint64, data []byte) (int32, error) {
 }
 
 // roleSwitch converts the committed block in slot from log to buffer role
-// and reclaims the previous version (Section 4.3). Caller holds c.mu.
+// and reclaims the previous version (Section 4.3). Serial path only;
+// caller holds c.mu.
 func (c *Cache) roleSwitch(slot int32) {
 	e := c.readEntry(slot)
 	if !e.valid || e.role != RoleLog {
@@ -241,7 +289,12 @@ func (c *Cache) roleSwitch(slot int32) {
 	prev := e.prev
 	e.role = RoleBuffer
 	e.prev = Fresh
-	c.writeEntry(slot, e)
+	func() {
+		sh := c.shardOf(e.disk)
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		c.writeEntry(slot, e)
+	}()
 	if prev != Fresh {
 		c.freeBlocks = append(c.freeBlocks, prev)
 	}

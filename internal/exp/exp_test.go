@@ -23,7 +23,7 @@ func cellF(t *testing.T, tb *Table, row int, col string) float64 {
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"table1", "table2", "3a", "3b", "4", "7", "8", "10", "11", "12a", "12b", "12c", "13",
-		"recover", "ablate", "endurance", "clwb", "recovertime", "modes"}
+		"recover", "ablate", "endurance", "clwb", "recovertime", "modes", "groupcommit"}
 	names := Names()
 	if len(names) != len(want) {
 		t.Fatalf("registry has %d entries, want %d: %v", len(names), len(want), names)
@@ -246,8 +246,8 @@ func TestExtensionsRun(t *testing.T) {
 	if cellF(t, e, 1, "line writes/MB") >= cellF(t, e, 0, "line writes/MB") {
 		t.Fatal("Tinca wears media faster than Classic")
 	}
-	if cellF(t, e, 2, "hottest line") >= cellF(t, e, 1, "hottest line") {
-		t.Fatal("pointer rotation did not level the hottest line")
+	if cellF(t, e, 2, "hottest ptr line") >= cellF(t, e, 1, "hottest ptr line") {
+		t.Fatal("pointer rotation did not level the pointer-line wear")
 	}
 	// clwb: the gap persists under cheaper flush instructions.
 	c, err := CLWB(quick)
@@ -282,6 +282,24 @@ func TestExtensionsRun(t *testing.T) {
 	// Ordered must beat full data journalling (it writes less).
 	if cellF(t, m, 2, "write IOPS") <= cellF(t, m, 1, "write IOPS") {
 		t.Fatal("ordered mode not faster than data journalling")
+	}
+}
+
+func TestGroupCommitScaling(t *testing.T) {
+	tb, err := GroupCommitScaling(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("scaling rows = %d, want 4 (1/2/4/8 goroutines)", len(tb.Rows))
+	}
+	// Acceptance bar: >=1.5x commit throughput at 4 goroutines vs 1.
+	if s := cellF(t, tb, 2, "speedup"); s < 1.5 {
+		t.Fatalf("4-goroutine speedup %.2fx < 1.5x\n%s", s, tb)
+	}
+	// Batching must actually have happened at 8 goroutines.
+	if ab := cellF(t, tb, 3, "avg batch"); ab <= 1.1 {
+		t.Fatalf("8-goroutine avg batch %.2f: no coalescing\n%s", ab, tb)
 	}
 }
 

@@ -31,6 +31,7 @@ var Registry = map[string]Runner{
 	"clwb":        CLWB,
 	"recovertime": RecoveryTime,
 	"modes":       JournalModes,
+	"groupcommit": GroupCommitScaling,
 }
 
 // Names lists the registered experiments in a stable order.
@@ -80,6 +81,8 @@ func expOrder(n string) string {
 		return "94"
 	case "modes":
 		return "95"
+	case "groupcommit":
+		return "96"
 	default:
 		return "99" + n
 	}

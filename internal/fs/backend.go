@@ -31,6 +31,17 @@ type Backend interface {
 	Close() error
 }
 
+// ConcurrentReader is an optional capability interface: a Backend that
+// also implements it — and reports true — promises that ReadBlock is safe
+// to call from multiple goroutines concurrently, including concurrently
+// with Begin/Commit on other goroutines. The file system then serves
+// data-path reads under a shared lock instead of the exclusive operation
+// lock. Backends that serialize internally (the journal and direct modes)
+// simply don't implement it and keep the fully serialized behavior.
+type ConcurrentReader interface {
+	ConcurrentReads() bool
+}
+
 // BackendTxn is one atomic batch of block updates.
 type BackendTxn interface {
 	// Write stages the new contents of block no (BlockSize bytes, copied).

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"tinca/internal/sim"
 )
@@ -49,15 +50,20 @@ type Options struct {
 	OpCostNS int64
 }
 
-// FS is a mounted file system. All methods are safe for concurrent use;
-// operations are serialized by one big lock (the journal-handle path is
-// the bottleneck the paper measures in both stacks, and it is serialized
-// there too).
+// FS is a mounted file system. All methods are safe for concurrent use.
+// Mutating operations are serialized by one big write lock (the
+// journal-handle path is the bottleneck the paper measures in both
+// stacks, and it is serialized there too), but data-path reads (ReadAt,
+// Stat, ReadDir, Readlink, Exists) take only a read lock when the backend
+// advertises concurrent reads (see ConcurrentReader), so they scale with
+// the Tinca cache's sharded read path instead of queueing behind the FS
+// lock.
 type FS struct {
-	mu   sync.Mutex
-	b    Backend
-	g    geometry
-	opts Options
+	mu      sync.RWMutex
+	b       Backend
+	g       geometry
+	opts    Options
+	rlockOK bool // backend supports concurrent ReadBlock
 
 	// DRAM mirrors of the allocation bitmaps for O(1) scanning. The
 	// persistent bitmaps are still updated transactionally; mirrors are
@@ -80,6 +86,41 @@ type FS struct {
 	pageCache *pageCache
 
 	lastCommit int64 // simulated ns of the last group commit
+
+	// Operation counters for Stats (atomic: read ops bump them under the
+	// shared lock).
+	nReadOps      atomic.Int64
+	nWriteOps     atomic.Int64
+	nGroupCommits atomic.Int64
+}
+
+// FSStats is a typed snapshot of file-system-level state and activity.
+type FSStats struct {
+	FreeBlocks       uint64 // unallocated data blocks
+	FreeInodes       uint64 // unallocated inodes
+	StagedBlocks     int    // blocks in the open group transaction
+	PageCachedBlocks int    // blocks resident in the DRAM page cache
+	ReadOps          int64  // read-only operations served
+	WriteOps         int64  // mutating operations executed
+	GroupCommits     int64  // backend transactions committed
+	ConcurrentReads  bool   // reads bypass the exclusive FS lock
+}
+
+// Stats returns a typed snapshot of file-system counters. Safe for
+// concurrent use; the snapshot is not atomic across fields.
+func (f *FS) Stats() FSStats {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return FSStats{
+		FreeBlocks:       f.freeBlocks,
+		FreeInodes:       f.freeInodes,
+		StagedBlocks:     len(f.staged),
+		PageCachedBlocks: f.pageCache.len(),
+		ReadOps:          f.nReadOps.Load(),
+		WriteOps:         f.nWriteOps.Load(),
+		GroupCommits:     f.nGroupCommits.Load(),
+		ConcurrentReads:  f.rlockOK,
+	}
 }
 
 // Format writes a fresh file system over the backend and mounts it.
@@ -137,10 +178,15 @@ func newFS(b Backend, g geometry, opts Options) *FS {
 		pcBlocks = 1024
 	}
 	words := func(n uint64) int { return int((n + 63) / 64) }
+	rlockOK := false
+	if cr, ok := b.(ConcurrentReader); ok && cr.ConcurrentReads() {
+		rlockOK = true
+	}
 	return &FS{
 		b:             b,
 		g:             g,
 		opts:          opts,
+		rlockOK:       rlockOK,
 		blockBitmap:   make([]uint64, words(g.totalBlocks)),
 		inodeBitmap:   make([]uint64, words(g.inodeCount)),
 		staged:        make(map[uint64][]byte),
@@ -165,8 +211,8 @@ func (f *FS) Geometry() (totalBlocks, inodeCount, dataStart uint64) {
 
 // FreeBlockCount reports the number of unallocated blocks.
 func (f *FS) FreeBlockCount() uint64 {
-	f.mu.Lock()
-	defer f.mu.Unlock()
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	return f.freeBlocks
 }
 
@@ -272,7 +318,34 @@ func (f *FS) runOp(force bool, body func(*opCtx) error) error {
 	return f.runOpLocked(force, body)
 }
 
+// runRead executes a read-only operation body. When the backend supports
+// concurrent reads, only the read lock is taken: the body sees the group
+// transaction's staged blocks and the page cache exactly as a serialized
+// read would (writers are excluded by the RWMutex; the page cache has its
+// own lock), but any number of readers proceed in parallel. A read never
+// commits the group transaction — except that, to preserve the historical
+// timer semantics, a read arriving after the commit window expired
+// upgrades to the write lock and flushes it. The body must not write
+// through the opCtx.
+func (f *FS) runRead(body func(*opCtx) error) error {
+	if !f.rlockOK {
+		return f.runOp(false, body)
+	}
+	f.mu.RLock()
+	if f.commitTimerDue() {
+		f.mu.RUnlock()
+		return f.runOp(false, body)
+	}
+	defer f.mu.RUnlock()
+	f.nReadOps.Add(1)
+	if f.opts.Clock != nil && f.opts.OpCostNS > 0 {
+		f.opts.Clock.AdvanceNS(f.opts.OpCostNS)
+	}
+	return body(f.beginOp())
+}
+
 func (f *FS) runOpLocked(force bool, body func(*opCtx) error) error {
+	f.nWriteOps.Add(1)
 	if f.opts.Clock != nil && f.opts.OpCostNS > 0 {
 		f.opts.Clock.AdvanceNS(f.opts.OpCostNS)
 	}
@@ -361,6 +434,7 @@ func (f *FS) commitGroup() error {
 		txn.Abort()
 		return err
 	}
+	f.nGroupCommits.Add(1)
 	for _, no := range f.stagedSeq {
 		f.pageCache.put(no, f.staged[no])
 	}
@@ -373,8 +447,8 @@ func (f *FS) commitGroup() error {
 // StagedBlocks reports the group transaction's current size (tests and
 // the Figure 13 probe).
 func (f *FS) StagedBlocks() int {
-	f.mu.Lock()
-	defer f.mu.Unlock()
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	return len(f.staged)
 }
 
@@ -531,8 +605,11 @@ func (c *opCtx) freeInode(ino uint64) error {
 // ---- page cache ---------------------------------------------------------
 
 // pageCache is a bounded LRU of committed block contents, standing in for
-// the OS page cache.
+// the OS page cache. It has its own lock (get reorders the LRU list, so
+// even lookups mutate) because readers holding only the FS read lock use
+// it concurrently.
 type pageCache struct {
+	mu    sync.Mutex
 	max   int
 	items map[uint64]*list.Element
 	order *list.List // front = MRU
@@ -548,6 +625,8 @@ func newPageCache(max int) *pageCache {
 }
 
 func (p *pageCache) get(no uint64, out []byte) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	el, ok := p.items[no]
 	if !ok {
 		return false
@@ -558,6 +637,8 @@ func (p *pageCache) get(no uint64, out []byte) bool {
 }
 
 func (p *pageCache) put(no uint64, data []byte) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if el, ok := p.items[no]; ok {
 		copy(el.Value.(*pcEntry).data, data)
 		p.order.MoveToFront(el)
@@ -572,4 +653,10 @@ func (p *pageCache) put(no uint64, data []byte) {
 		p.order.Remove(back)
 		delete(p.items, e.no)
 	}
+}
+
+func (p *pageCache) len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.items)
 }

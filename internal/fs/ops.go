@@ -191,7 +191,7 @@ func (f *FS) Symlink(target, linkPath string) error {
 // it — the terminal component is inspected, not resolved).
 func (f *FS) Readlink(path string) (string, error) {
 	var target string
-	err := f.runOp(false, func(ctx *opCtx) error {
+	err := f.runRead(func(ctx *opCtx) error {
 		dir, name, err := ctx.resolveParent(path)
 		if err != nil {
 			return err
@@ -325,7 +325,7 @@ func (f *FS) Append(path string, data []byte) error {
 // a read crossing EOF is truncated.
 func (f *FS) ReadAt(path string, off uint64, p []byte) (int, error) {
 	var read uint64
-	err := f.runOp(false, func(ctx *opCtx) error {
+	err := f.runRead(func(ctx *opCtx) error {
 		ino, err := ctx.resolve(path)
 		if err != nil {
 			return err
@@ -417,7 +417,7 @@ func (f *FS) Truncate(path string, size uint64) error {
 // Stat returns metadata for path.
 func (f *FS) Stat(path string) (FileInfo, error) {
 	var info FileInfo
-	err := f.runOp(false, func(ctx *opCtx) error {
+	err := f.runRead(func(ctx *opCtx) error {
 		ino, err := ctx.resolve(path)
 		if err != nil {
 			return err
@@ -435,7 +435,7 @@ func (f *FS) Stat(path string) (FileInfo, error) {
 // ReadDir lists the names in the directory at path.
 func (f *FS) ReadDir(path string) ([]string, error) {
 	var names []string
-	err := f.runOp(false, func(ctx *opCtx) error {
+	err := f.runRead(func(ctx *opCtx) error {
 		ino, err := ctx.resolve(path)
 		if err != nil {
 			return err
@@ -448,7 +448,7 @@ func (f *FS) ReadDir(path string) ([]string, error) {
 
 // Exists reports whether path resolves.
 func (f *FS) Exists(path string) bool {
-	err := f.runOp(false, func(ctx *opCtx) error {
+	err := f.runRead(func(ctx *opCtx) error {
 		_, err := ctx.resolve(path)
 		return err
 	})

@@ -47,10 +47,19 @@ const (
 	TxnAbort        = "txn.abort"
 	TxnBlocks       = "txn.blocks"          // data blocks committed
 	TxnCOWBlocks    = "txn.cow_blocks"      // blocks that needed a COW copy
+	TxnGroupSeals   = "txn.group_seals"     // coalesced ring-buffer seals
+	TxnGroupSize    = "txn.group_size"      // transactions absorbed into seals (sum)
+	TxnAbsorbed     = "txn.absorbed_blocks" // duplicate blocks absorbed within a seal
 	JournalCommit   = "jbd.commit"          // journal transactions committed
 	JournalBlocks   = "jbd.log_blocks"      // log (data) blocks written to journal
 	JournalMeta     = "jbd.meta_blocks"     // descriptor/commit/revoke blocks
 	JournalCkptBlks = "jbd.checkpoint_blks" // blocks checkpointed to home location
+
+	// Destage counters (charged by internal/core's background destager).
+	// DestageQueueDepth is used as a gauge: +1 on enqueue, -1 on dequeue.
+	DestageQueueDepth = "destage.queue_depth"
+	DestageDone       = "destage.done"    // blocks written back by the destager
+	DestageDrop       = "destage.dropped" // write-back cleanings skipped (queue full)
 
 	// Workload-level counters (charged by drivers).
 	OpsWrite = "ops.write"

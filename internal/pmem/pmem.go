@@ -486,6 +486,23 @@ func (d *Device) Wear() (total int64, maxLine uint32) {
 	return total, maxLine
 }
 
+// WearRange returns the maximum per-line media-write count within
+// [off, off+n), for endurance accounting of a specific region (e.g. the
+// Head/Tail pointer lines).
+func (d *Device) WearRange(off, n int) (maxLine uint32) {
+	d.check(off, n)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	first := off / LineSize
+	last := (off + n - 1) / LineSize
+	for l := first; l <= last; l++ {
+		if d.wear[l] > maxLine {
+			maxLine = d.wear[l]
+		}
+	}
+	return maxLine
+}
+
 // WallTime is a convenience conversion used by drivers when reporting
 // simulated durations.
 func WallTime(ns int64) time.Duration { return time.Duration(ns) }

@@ -19,6 +19,40 @@
 // writes), sealed by the ring-buffer Tail pointer, and recoverable after a
 // power failure via sys.Crash / sys.Remount.
 //
+// # Concurrency and group commit
+//
+// The Cache and the Stack's FS are safe for concurrent use. Data-path
+// reads run under lock-striped shards and an FS read lock, so they scale
+// across goroutines; concurrently arriving Txn.Commit calls coalesce into
+// a single ring-buffer seal — one Tail flip and a handful of fences
+// amortized over the whole batch, with duplicate blocks absorbed into one
+// NVM write. The GroupCommit knob in CacheOptions (and StackConfig) tunes
+// batch formation:
+//
+//	sys, err := tinca.NewStack(tinca.StackConfig{
+//		Kind:        tinca.KindTinca,
+//		GroupCommit: tinca.GroupCommit{MaxBatch: 16, MaxWaitNS: 20_000},
+//	})
+//
+// MaxBatch bounds how many transactions one seal may coalesce (default 8);
+// MaxWaitNS optionally holds the seal leader back (real time) so a batch
+// can fill, trading commit latency for throughput. The zero value seals
+// opportunistically and is right for most workloads. Configurations are
+// validated eagerly: OpenCache and NewStack return descriptive errors for
+// nonsensical combinations instead of silently clamping.
+//
+// # Observability
+//
+// Each layer exposes a typed stats API — Cache.Stats, FS.Stats and
+// Stack.Stats return exported structs (CacheStats, FSStats, StackStats):
+//
+//	st := sys.Stats()
+//	fmt.Printf("commits=%d seals=%d avg batch=%.1f\n",
+//		st.Cache.Commits, st.Cache.GroupSeals, st.Cache.AvgGroupSize())
+//
+// The string-keyed Recorder/Snapshot registry remains available (the
+// experiment drivers still use it) but new code should prefer Stats.
+//
 // # Layers
 //
 // The exported names below are curated aliases over the implementation
@@ -73,6 +107,15 @@ type Txn = core.Txn
 func OpenCache(mem *NVM, disk *Disk, opts CacheOptions) (*Cache, error) {
 	return core.Open(mem, disk, opts)
 }
+
+// GroupCommit tunes how concurrently arriving Txn.Commit calls coalesce
+// into one ring-buffer seal. Set it via CacheOptions.GroupCommit or
+// StackConfig.GroupCommit; the zero value (opportunistic batching, max
+// batch 8) is right for most workloads. See the package comment.
+type GroupCommit = core.GroupCommit
+
+// CacheStats is the typed counter snapshot returned by Cache.Stats.
+type CacheStats = core.CacheStats
 
 // Ablation modes for the design-choice benches.
 const (
@@ -136,12 +179,21 @@ type Clock = sim.Clock
 var NewClock = sim.NewClock
 
 // Recorder counts clflush/sfence/disk-block/transaction events.
+//
+// Deprecated: new code should prefer the typed stats accessors —
+// Cache.Stats, FS.Stats and Stack.Stats — which return exported structs
+// instead of string-keyed counters. The Recorder remains fully supported
+// for the experiment drivers and custom instrumentation.
 type Recorder = metrics.Recorder
 
 // NewRecorder returns an empty counter registry.
 var NewRecorder = metrics.NewRecorder
 
 // Snapshot is an immutable copy of counter values; Sub computes deltas.
+//
+// Deprecated: prefer the typed CacheStats/FSStats/StackStats structs
+// returned by the Stats accessors; Snapshot remains for delta-based
+// experiment drivers.
 type Snapshot = metrics.Snapshot
 
 // Frequently needed counter names; the full list lives in the metrics
@@ -182,6 +234,9 @@ type FSOptions = fs.Options
 // FileInfo describes a file or directory.
 type FileInfo = fs.FileInfo
 
+// FSStats is the typed operation snapshot returned by FS.Stats.
+type FSStats = fs.FSStats
+
 // Common file-system errors.
 var (
 	ErrNotExist = fs.ErrNotExist
@@ -204,6 +259,9 @@ const (
 	KindClassic          = stack.Classic
 	KindClassicNoJournal = stack.ClassicNoJournal
 )
+
+// StackStats aggregates per-layer stats; returned by Stack.Stats.
+type StackStats = stack.Stats
 
 // NewStack builds a stack with a freshly formatted file system.
 var NewStack = stack.New
