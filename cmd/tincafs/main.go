@@ -12,7 +12,8 @@
 //	tinca> stats
 //
 // Commands: mkdir ls put cat append rm mv stat truncate sync crash recover
-// fsck stats time help quit.
+// fsck stats lat time help quit. Start with -observe (or -metrics-addr) to
+// record latency histograms; 'lat' prints the percentiles.
 package main
 
 import (
@@ -31,6 +32,8 @@ func main() {
 	kindFlag := flag.String("kind", "tinca", "stack kind: tinca | classic | nojournal")
 	nvmMB := flag.Int("nvm", 16, "NVM cache size (MB)")
 	fsMB := flag.Int("fs", 64, "file system size (MB)")
+	observe := flag.Bool("observe", false, "enable latency histograms (see the 'lat' command)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus) and /debug/pprof on this address (implies -observe)")
 	flag.Parse()
 
 	var kind = tinca.KindTinca
@@ -49,12 +52,21 @@ func main() {
 		Kind:     kind,
 		NVMBytes: *nvmMB << 20,
 		FSBlocks: uint64(*fsMB) << 20 / tinca.BlockSize,
+		Observe:  *observe || *metricsAddr != "",
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tincafs:", err)
 		os.Exit(1)
 	}
 	fmt.Printf("tincafs: %s stack, %dMB NVM cache, %dMB file system\n", *kindFlag, *nvmMB, *fsMB)
+	if *metricsAddr != "" {
+		addr, err := s.ServeMetrics(*metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tincafs:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("serving http://%s/metrics and /debug/pprof/\n", addr)
+	}
 
 	rng := sim.NewRand(1)
 	in := bufio.NewScanner(os.Stdin)
@@ -88,7 +100,7 @@ func run(s *tinca.Stack, cmd string, args []string, rng interface{ Int63n(int64)
 	}
 	switch cmd {
 	case "help":
-		fmt.Println("mkdir ls put cat append rm mv stat truncate sync crash recover fsck stats time help quit")
+		fmt.Println("mkdir ls put cat append rm mv stat truncate sync crash recover fsck stats lat time help quit")
 	case "quit", "exit":
 		return errQuit
 	case "mkdir":
@@ -188,6 +200,23 @@ func run(s *tinca.Stack, cmd string, args []string, rng interface{ Int63n(int64)
 		fmt.Println("clean")
 	case "stats":
 		fmt.Print(s.Rec.Snapshot())
+	case "lat":
+		if !s.Cfg.Observe {
+			return fmt.Errorf("latency histograms are off; restart with -observe")
+		}
+		st := s.Stats()
+		if st.FS.ReadLatency.Count > 0 {
+			fmt.Printf("%-18s %s\n", "fs read op", st.FS.ReadLatency)
+		}
+		if st.FS.WriteLatency.Count > 0 {
+			fmt.Printf("%-18s %s\n", "fs write op", st.FS.WriteLatency)
+		}
+		if st.Cache.CommitLatency.Count > 0 {
+			fmt.Printf("%-18s %s\n", "cache commit", st.Cache.CommitLatency)
+		}
+		for _, p := range st.Cache.CommitPhases {
+			fmt.Printf("  %-16s %s\n", p.Phase, p.LatencySummary)
+		}
 	case "time":
 		fmt.Println("simulated:", s.Clock.Now())
 	default:

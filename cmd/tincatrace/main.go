@@ -29,6 +29,9 @@ func main() {
 	synth := flag.Int("synth", 0, "synthesize this many records instead of reading a file")
 	writePct := flag.Int("writepct", 50, "write percentage for -synth")
 	seed := flag.Int64("seed", 42, "seed for -synth")
+	observe := flag.Bool("observe", false, "report per-op latency percentiles (simulated time)")
+	traceOut := flag.String("trace-out", "", "write commit spans as Chrome trace_event JSON to this file (implies -observe)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address during the replay (implies -observe)")
 	flag.Parse()
 
 	var recs []workload.TraceRecord
@@ -61,14 +64,26 @@ func main() {
 		fatal(fmt.Errorf("unknown -kind %q", *kindFlag))
 	}
 
-	s, err := tinca.NewStack(tinca.StackConfig{
+	cfg := tinca.StackConfig{
 		Kind:              kind,
 		NVMBytes:          *nvmMB << 20,
 		FSBlocks:          uint64(*fsMB) << 20 / tinca.BlockSize,
 		GroupCommitBlocks: 32,
-	})
+		Observe:           *observe || *metricsAddr != "",
+	}
+	if *traceOut != "" {
+		cfg.TraceEvents = 1 << 16
+	}
+	s, err := tinca.NewStack(cfg)
 	if err != nil {
 		fatal(err)
+	}
+	if *metricsAddr != "" {
+		addr, err := s.ServeMetrics(*metricsAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "serving http://%s/metrics and /debug/pprof/\n", addr)
 	}
 
 	before := s.Rec.Snapshot()
@@ -89,6 +104,37 @@ func main() {
 	fmt.Printf("clflush/IO:        %.1f\n", d.PerOp("nvm.clflush", ops))
 	fmt.Printf("disk blocks/IO:    write %.2f, read %.2f\n",
 		d.PerOp("disk.blocks_write", ops), d.PerOp("disk.blocks_read", ops))
+
+	if s.Cfg.Observe {
+		st := s.Stats()
+		if st.FS.ReadLatency.Count > 0 {
+			fmt.Printf("fs read op:        %s\n", st.FS.ReadLatency)
+		}
+		if st.FS.WriteLatency.Count > 0 {
+			fmt.Printf("fs write op:       %s\n", st.FS.WriteLatency)
+		}
+		if st.Cache.CommitLatency.Count > 0 {
+			fmt.Printf("cache commit:      %s\n", st.Cache.CommitLatency)
+			for _, p := range st.Cache.CommitPhases {
+				fmt.Printf("  %-18s %s\n", p.Phase, p.LatencySummary)
+			}
+		}
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := s.Tracer.WriteChromeTrace(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d spans to %s (load in chrome://tracing or ui.perfetto.dev)\n",
+			len(s.Tracer.Spans()), *traceOut)
+	}
+
 	if err := s.FS.Check(); err != nil {
 		fatal(fmt.Errorf("post-replay fsck: %w", err))
 	}

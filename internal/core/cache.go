@@ -75,6 +75,18 @@ type Options struct {
 	RotatePointers bool
 	// GroupCommit tunes batch formation for the group-commit seal.
 	GroupCommit GroupCommit
+	// Observe enables the commit-pipeline observability harness:
+	// per-phase latency histograms (recorded into the device's shared
+	// metrics.Recorder under the metrics.HistCommit* names) for the
+	// group-commit seal phases, the serial path, the destager and
+	// recovery. Off by default: the hot path then pays one nil check per
+	// site and the histograms do not exist.
+	Observe bool
+	// Tracer, when non-nil, additionally records structured span events
+	// (seal id, phase, simulated start/duration, goroutine) into the
+	// given fixed-size ring for Chrome trace_event export. Setting a
+	// Tracer implies Observe.
+	Tracer *metrics.Tracer
 	// DestageDepth, when positive, enables the background destage path:
 	// a bounded queue of that many blocks drained by a destager
 	// goroutine that writes committed blocks back to disk off the commit
@@ -218,6 +230,10 @@ type Cache struct {
 	destageWakeMu  sync.Mutex
 	destageWake    *sync.Cond
 
+	// obs is the observability harness (nil when Observe is off; every
+	// instrumentation site branches on that nil).
+	obs *obs
+
 	serial bool // legacy one-at-a-time commit path (ablation modes)
 }
 
@@ -253,6 +269,9 @@ func Open(mem *pmem.Device, disk *blockdev.Device, opts Options) (*Cache, error)
 	}
 	c.gcCond = sync.NewCond(&c.gcMu)
 	c.destageWake = sync.NewCond(&c.destageWakeMu)
+	if opts.Observe || opts.Tracer != nil {
+		c.obs = newObs(mem.Clock(), mem.Recorder(), opts.Tracer)
+	}
 	for i := range c.shards {
 		c.shards[i].hash = make(map[uint64]int32)
 		c.shards[i].lru = newLRU(lay.Capacity)

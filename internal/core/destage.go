@@ -96,6 +96,10 @@ func (c *Cache) destageOne(item destageItem) {
 	if !e.valid || e.role == RoleLog || !e.modified {
 		return
 	}
+	var t0 int64
+	if c.obs != nil {
+		t0 = c.obs.now()
+	}
 	buf := make([]byte, BlockSize)
 	c.mem.Load(c.lay.blockOff(e.cur), buf)
 	// The disk write completes before the modified bit clears; a crash
@@ -105,6 +109,9 @@ func (c *Cache) destageOne(item destageItem) {
 	e.modified = false
 	c.writeEntry(i, e)
 	c.rec.Inc(metrics.DestageDone)
+	if c.obs != nil {
+		c.obs.phase(c.obs.destage, item.no, spanDestage, t0, c.obs.gid())
+	}
 }
 
 // DrainDestage blocks until every queued destage has been processed (or

@@ -61,6 +61,10 @@ type commitReq struct {
 // crash panic captured by the leader.
 func (c *Cache) groupCommit(t *Txn) error {
 	req := &commitReq{t: t}
+	var tEnq int64
+	if c.obs != nil {
+		tEnq = c.obs.now()
+	}
 	c.gcMu.Lock()
 	c.gcQueue = append(c.gcQueue, req)
 	for !req.done {
@@ -70,6 +74,10 @@ func (c *Cache) groupCommit(t *Txn) error {
 		}
 		// Become the leader for the next batch.
 		c.gcBusy = true
+		var tWait int64
+		if c.obs != nil {
+			tWait = c.obs.now()
+		}
 		if w := c.opts.GroupCommit.MaxWaitNS; w > 0 && len(c.gcQueue) < c.opts.groupBatch() {
 			// Optional batch-formation window (real time; the simulated
 			// clock never advances while sleeping).
@@ -80,7 +88,18 @@ func (c *Cache) groupCommit(t *Txn) error {
 		batch := c.takeBatchLocked()
 		c.gcMu.Unlock()
 
-		pv := c.runBatch(batch)
+		// Observability: the leader stamps the batch-formation wait (sim
+		// time other goroutines charged while this leader held the window
+		// open), then times each seal phase inside runBatch.
+		var sealID uint64
+		var g int64
+		if c.obs != nil {
+			sealID = c.obs.seals.Add(1)
+			g = c.obs.gid()
+			c.obs.phase(c.obs.wait, sealID, spanWait, tWait, g)
+		}
+
+		pv := c.runBatch(batch, sealID, g)
 
 		c.gcMu.Lock()
 		for _, r := range batch {
@@ -97,6 +116,9 @@ func (c *Cache) groupCommit(t *Txn) error {
 		panic(req.pv)
 	}
 	t.done = true
+	if c.obs != nil {
+		c.obs.phase(c.obs.total, 0, spanCommit, tEnq, c.obs.gid())
+	}
 	return req.err
 }
 
@@ -136,8 +158,9 @@ type planBlock struct {
 // value (nil normally); per-request errors are stored in the requests.
 // Runs on the leader's goroutine and takes c.mu for the duration — reads
 // keep flowing through the shard locks; only other structural work
-// (misses, evictions, other seals) waits.
-func (c *Cache) runBatch(batch []*commitReq) (pv any) {
+// (misses, evictions, other seals) waits. sealID and g identify the seal
+// and leader goroutine for observability (both zero when Observe is off).
+func (c *Cache) runBatch(batch []*commitReq, sealID uint64, g int64) (pv any) {
 	defer func() {
 		if r := recover(); r != nil {
 			// A simulated power failure fired mid-seal. Poison the cache
@@ -149,6 +172,14 @@ func (c *Cache) runBatch(batch []*commitReq) (pv any) {
 	}()
 	c.mu.Lock()
 	defer c.mu.Unlock()
+
+	// Phase stamps: ts advances phase by phase; tSeal spans the whole
+	// batch. One nil check per phase when observability is off.
+	var ts, tSeal int64
+	if c.obs != nil {
+		ts = c.obs.now()
+		tSeal = ts
+	}
 
 	if c.closed.Load() {
 		for _, r := range batch {
@@ -219,6 +250,9 @@ planLoop:
 		}
 		return nil
 	}
+	if c.obs != nil {
+		ts = c.obs.phase(c.obs.absorb, sealID, spanAbsorb, ts, g)
+	}
 
 	// Phase A — data. Every target block is freshly allocated, so no
 	// reader can observe it yet; store + flush each, one fence for all.
@@ -228,6 +262,9 @@ planLoop:
 		c.mem.CLFlush(off, BlockSize)
 	}
 	c.mem.SFence()
+	if c.obs != nil {
+		ts = c.obs.phase(c.obs.data, sealID, spanData, ts, g)
+	}
 
 	// Phase B — entries, log role (16B atomic store + flush each, under
 	// the block's shard lock so concurrent readers never tear), one fence
@@ -246,6 +283,9 @@ planLoop:
 		}()
 	}
 	c.mem.SFence()
+	if c.obs != nil {
+		ts = c.obs.phase(c.obs.entries, sealID, spanEntries, ts, g)
+	}
 
 	// Phase C — ring records: every block number into consecutive ring
 	// slots, one fence, then ONE Head persist for the whole batch. (The
@@ -259,6 +299,9 @@ planLoop:
 	c.mem.SFence()
 	c.head += uint64(len(plan))
 	c.mem.Persist8(c.lay.headSlotOff(c.head), c.head)
+	if c.obs != nil {
+		ts = c.obs.phase(c.obs.ring, sealID, spanRing, ts, g)
+	}
 
 	// Phase D — role switches: flip every entry to buffer role, freeing
 	// the previous versions; one fence for all.
@@ -296,10 +339,19 @@ planLoop:
 		}
 		c.mem.SFence()
 	}
+	if c.obs != nil {
+		// The synchronous write-through propagation (when configured)
+		// bills to the switch phase: it sits between the role switches
+		// and the commit point.
+		ts = c.obs.phase(c.obs.roleSw, sealID, spanSwitch, ts, g)
+	}
 
 	// Phase E — the commit point: ONE Tail persist seals every
 	// transaction in the batch at once.
 	c.setTail(c.head)
+	if c.obs != nil {
+		c.obs.phase(c.obs.tail, sealID, spanTail, ts, g)
+	}
 
 	// Volatile epilogue: unpin, touch LRU (rule 2b: committed blocks are
 	// most recently used), hand off to the destager, book the counters.
@@ -333,6 +385,9 @@ planLoop:
 	c.rec.Inc(metrics.TxnGroupSeals)
 	c.rec.Add(metrics.TxnGroupSize, int64(len(batch)))
 	c.rec.Add(metrics.TxnAbsorbed, int64(absorbed))
+	if c.obs != nil {
+		c.obs.phase(c.obs.seal, sealID, spanSeal, tSeal, g)
+	}
 	return nil
 }
 

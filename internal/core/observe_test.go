@@ -1,0 +1,182 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"tinca/internal/metrics"
+)
+
+func commitSome(t *testing.T, c *Cache, workers, perWorker int) {
+	t.Helper()
+	var wg sync.WaitGroup
+	block := blockOf(0xAB)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				txn := c.Begin()
+				txn.Write(uint64(w*perWorker+i)%64, block)
+				txn.Write(uint64(w), block)
+				if err := txn.Commit(); err != nil {
+					panic(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestObservePhaseHistograms(t *testing.T) {
+	r := newRig(t, 8<<20, Options{Observe: true})
+	commitSome(t, r.cache, 4, 30)
+
+	st := r.cache.Stats()
+	if st.CommitLatency.Count != 120 {
+		t.Fatalf("commit latency count = %d", st.CommitLatency.Count)
+	}
+	if st.CommitLatency.P50NS <= 0 || st.CommitLatency.MaxNS < st.CommitLatency.P50NS {
+		t.Fatalf("implausible commit latency %+v", st.CommitLatency)
+	}
+	if len(st.CommitPhases) == 0 {
+		t.Fatal("no commit phases reported")
+	}
+	seen := map[string]LatencySummaryCheck{}
+	for _, p := range st.CommitPhases {
+		seen[p.Phase] = LatencySummaryCheck{p.Count, p.MaxNS}
+	}
+	// Every pipeline phase must have one sample per seal.
+	seals := seen[metrics.HistCommitSeal].Count
+	if seals == 0 {
+		t.Fatalf("no seals observed: %v", seen)
+	}
+	for _, name := range []string{
+		metrics.HistCommitWait, metrics.HistCommitData, metrics.HistCommitEntries,
+		metrics.HistCommitRing, metrics.HistCommitSwitch, metrics.HistCommitTail,
+	} {
+		if seen[name].Count != seals {
+			t.Fatalf("phase %s has %d samples, want %d (one per seal); phases=%v", name, seen[name].Count, seals, seen)
+		}
+	}
+	// The data phase writes blocks to NVM, so it must be the dominant one.
+	if seen[metrics.HistCommitData].MaxNS <= seen[metrics.HistCommitTail].MaxNS {
+		t.Fatalf("data phase (%d) not dominating tail flip (%d)",
+			seen[metrics.HistCommitData].MaxNS, seen[metrics.HistCommitTail].MaxNS)
+	}
+
+	// A fresh device formats; reopening the same device runs (and times)
+	// the Section 4.5 recovery pass.
+	if err := r.cache.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	r.reopen(t, Options{Observe: true})
+	if n := r.rec.HistSnapshot(metrics.HistRecovery).Count; n != 1 {
+		t.Fatalf("recovery samples = %d", n)
+	}
+	// NVM flush/fence cadence histograms are only armed via pmem
+	// Observe(), which the stack layer wires; the rig leaves them off.
+}
+
+type LatencySummaryCheck struct {
+	Count int64
+	MaxNS int64
+}
+
+func TestObserveOffIsFree(t *testing.T) {
+	r := newRig(t, 8<<20, Options{})
+	commitSome(t, r.cache, 2, 10)
+	st := r.cache.Stats()
+	if st.CommitLatency.Count != 0 || len(st.CommitPhases) != 0 {
+		t.Fatalf("observability off but stats populated: %+v", st.CommitLatency)
+	}
+	if hs := r.rec.HistSnapshots(); len(hs) != 0 {
+		t.Fatalf("histograms registered without Observe: %v", hs)
+	}
+}
+
+func TestObserveDoesNotPerturbSimulation(t *testing.T) {
+	// Same workload with and without observability must charge the exact
+	// same simulated time and counters: instrumentation is deltas only.
+	run := func(opts Options) (int64, int64) {
+		r := newRig(t, 8<<20, opts)
+		commitSome(t, r.cache, 1, 50)
+		if err := r.cache.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+		return int64(r.clock.Now()), r.rec.Get(metrics.NVMCLFlush)
+	}
+	t0, f0 := run(Options{})
+	t1, f1 := run(Options{Observe: true})
+	if t0 != t1 || f0 != f1 {
+		t.Fatalf("observe changed the simulation: time %d vs %d, clflush %d vs %d", t0, t1, f0, f1)
+	}
+}
+
+func TestTracerSpansFromCommits(t *testing.T) {
+	tr := metrics.NewTracer(1 << 12)
+	r := newRig(t, 8<<20, Options{Tracer: tr}) // Tracer implies Observe
+	commitSome(t, r.cache, 2, 20)
+
+	spans := tr.Spans()
+	if len(spans) == 0 {
+		t.Fatal("no spans recorded")
+	}
+	byName := map[string]int{}
+	for _, s := range spans {
+		byName[s.Name]++
+		if s.DurNS < 0 || s.StartNS < 0 {
+			t.Fatalf("negative span %+v", s)
+		}
+	}
+	for _, want := range []string{spanData, spanTail, spanSeal, spanCommit} {
+		if byName[want] == 0 {
+			t.Fatalf("no %q spans; have %v", want, byName)
+		}
+	}
+	// One whole-commit span per transaction.
+	if byName[spanCommit] != 40 {
+		t.Fatalf("commit spans = %d, want 40 (%v)", byName[spanCommit], byName)
+	}
+	// Spans carry the committing goroutine id.
+	for _, s := range spans {
+		if s.Name == spanSeal && s.G == 0 {
+			t.Fatalf("seal span without goroutine id: %+v", s)
+		}
+	}
+}
+
+func TestObserveSerialCommitPath(t *testing.T) {
+	// DisableTxnPin forces the legacy serial commit path; commit totals
+	// must still be recorded (as commit.serial spans / commit.total
+	// samples).
+	tr := metrics.NewTracer(1 << 10)
+	r := newRig(t, 8<<20, Options{Tracer: tr, DisableTxnPin: true})
+	commitSome(t, r.cache, 1, 10)
+	st := r.cache.Stats()
+	if st.CommitLatency.Count != 10 {
+		t.Fatalf("serial commit latency count = %d", st.CommitLatency.Count)
+	}
+	var serial int
+	for _, s := range tr.Spans() {
+		if s.Name == spanSerial {
+			serial++
+		}
+	}
+	if serial != 10 {
+		t.Fatalf("serial spans = %d", serial)
+	}
+}
+
+func TestObserveDestage(t *testing.T) {
+	r := newRig(t, 8<<20, Options{Observe: true, DestageDepth: 8})
+	commitSome(t, r.cache, 1, 20)
+	r.cache.DrainDestage()
+	if n := r.rec.HistSnapshot(metrics.HistDestageWrite).Count; n == 0 {
+		t.Fatal("no destage writes observed")
+	}
+	if n := r.rec.Get(metrics.DestageDone); n == 0 {
+		t.Fatal("destager did no work; test premise broken")
+	}
+}

@@ -30,6 +30,10 @@ import "fmt"
 // correct because no transaction in the batch was acknowledged before the
 // batch's single Tail flip.
 func (c *Cache) recover() error {
+	if c.obs != nil {
+		t0 := c.obs.now()
+		defer func() { c.obs.phase(c.obs.recovery, 0, spanRecover, t0, c.obs.gid()) }()
+	}
 	c.head = c.loadPointer(c.lay.HeadOff)
 	c.tail = c.loadPointer(c.lay.TailOff)
 	if c.head < c.tail {

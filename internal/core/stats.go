@@ -42,6 +42,14 @@ type CacheStats struct {
 	// Disk traffic.
 	DiskBlocksWritten int64
 	DiskBlocksRead    int64
+
+	// Commit latency (populated only when Options.Observe is on).
+	// CommitLatency digests per-transaction Commit latency (enqueue to
+	// acknowledgement, simulated ns); CommitPhases breaks the seal down
+	// into the pipeline's phases plus the destager and recovery, in
+	// pipeline order. Empty when observability is off.
+	CommitLatency metrics.LatencySummary
+	CommitPhases  []PhaseLatency
 }
 
 // AvgGroupSize reports the mean transactions per seal (0 when no seal has
@@ -58,7 +66,7 @@ func (s CacheStats) AvgGroupSize() float64 {
 // advance independently, as with metrics.Snapshot).
 func (c *Cache) Stats() CacheStats {
 	r := c.rec
-	return CacheStats{
+	st := CacheStats{
 		ReadHits:          r.Get(metrics.CacheReadHit),
 		ReadMisses:        r.Get(metrics.CacheReadMiss),
 		WriteHits:         r.Get(metrics.CacheWriteHit),
@@ -82,4 +90,9 @@ func (c *Cache) Stats() CacheStats {
 		DiskBlocksWritten: r.Get(metrics.DiskBlocksWrite),
 		DiskBlocksRead:    r.Get(metrics.DiskBlocksRead),
 	}
+	if c.obs != nil {
+		st.CommitLatency = c.obs.total.Snapshot().Summary()
+		st.CommitPhases = c.obs.phaseLatencies()
+	}
+	return st
 }

@@ -98,6 +98,10 @@ func (t *Txn) Commit() error {
 		return ErrTxnTooLarge
 	}
 	if c.serial {
+		var t0 int64
+		if c.obs != nil {
+			t0 = c.obs.now()
+		}
 		c.mu.Lock()
 		defer c.mu.Unlock()
 		if c.closed.Load() {
@@ -105,6 +109,9 @@ func (t *Txn) Commit() error {
 		}
 		err := c.commitSerialLocked(t)
 		t.done = true
+		if c.obs != nil {
+			c.obs.phase(c.obs.total, 0, spanSerial, t0, c.obs.gid())
+		}
 		return err
 	}
 	return c.groupCommit(t)

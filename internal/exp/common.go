@@ -35,6 +35,22 @@ func (m measured) per(name string, ops int64) float64 {
 	return m.snap.PerOp(name, ops)
 }
 
+// Observability is applied to every stack buildStack constructs. The
+// tincabench flags -observe/-trace-out/-metrics-addr set it before any
+// experiment runs; experiments execute sequentially, so the package-level
+// value is not raced. Drivers that assemble devices directly (the
+// commit-phase breakdown) manage their own observability.
+var Observability struct {
+	// Observe enables latency histograms in every stack layer.
+	Observe bool
+	// Tracer, when non-nil, is shared by every stack (implies Observe).
+	Tracer *metrics.Tracer
+	// Publish registers each stack's recorder (under its kind name) in
+	// the process-wide Prometheus registry, so a live -metrics-addr
+	// endpoint scrapes whatever run is in flight.
+	Publish bool
+}
+
 // buildStack constructs a stack of the given kind with experiment-default
 // sizing, letting mod override any field.
 func buildStack(kind stack.Kind, mod func(*stack.Config)) (*stack.Stack, error) {
@@ -52,10 +68,16 @@ func buildStack(kind stack.Kind, mod func(*stack.Config)) (*stack.Stack, error) 
 		// pair — runs continuously.
 		JournalBlocks: 512,
 	}
+	cfg.Observe = Observability.Observe
+	cfg.Tracer = Observability.Tracer
 	if mod != nil {
 		mod(&cfg)
 	}
-	return stack.New(cfg)
+	s, err := stack.New(cfg)
+	if err == nil && Observability.Publish {
+		metrics.Publish(kind.String(), s.Rec)
+	}
+	return s, err
 }
 
 // ratio returns a/b guarding division by zero.

@@ -23,7 +23,7 @@ func cellF(t *testing.T, tb *Table, row int, col string) float64 {
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"table1", "table2", "3a", "3b", "4", "7", "8", "10", "11", "12a", "12b", "12c", "13",
-		"recover", "ablate", "endurance", "clwb", "recovertime", "modes", "groupcommit"}
+		"recover", "ablate", "endurance", "clwb", "recovertime", "modes", "groupcommit", "phases"}
 	names := Names()
 	if len(names) != len(want) {
 		t.Fatalf("registry has %d entries, want %d: %v", len(names), len(want), names)
@@ -300,6 +300,34 @@ func TestGroupCommitScaling(t *testing.T) {
 	// Batching must actually have happened at 8 goroutines.
 	if ab := cellF(t, tb, 3, "avg batch"); ab <= 1.1 {
 		t.Fatalf("8-goroutine avg batch %.2f: no coalescing\n%s", ab, tb)
+	}
+}
+
+func TestCommitPhaseBreakdown(t *testing.T) {
+	tb, err := Run("phases", quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	systems := map[string]bool{}
+	phases := map[string]bool{}
+	for r, row := range tb.Rows {
+		systems[row[0]] = true
+		phases[tb.Cell(r, "phase")] = true
+		if n := cellF(t, tb, r, "count"); n <= 0 {
+			t.Fatalf("row %d (%s/%s): zero samples\n%s", r, row[0], tb.Cell(r, "phase"), tb)
+		}
+	}
+	if !systems["Tinca"] || !systems["Classic"] {
+		t.Fatalf("missing a system: %v", systems)
+	}
+	// The headline rows and the paper's pipeline phases must be present.
+	for _, p := range []string{"whole commit", "data", "tail+fence", "desc+log", "commit blk"} {
+		if !phases[p] {
+			t.Fatalf("phase %q missing: %v", p, phases)
+		}
+	}
+	if !strings.Contains(tb.String(), "==") {
+		t.Fatal("phases table rendered empty")
 	}
 }
 

@@ -32,6 +32,7 @@ var Registry = map[string]Runner{
 	"recovertime": RecoveryTime,
 	"modes":       JournalModes,
 	"groupcommit": GroupCommitScaling,
+	"phases":      CommitPhaseBreakdown,
 }
 
 // Names lists the registered experiments in a stable order.
@@ -83,6 +84,8 @@ func expOrder(n string) string {
 		return "95"
 	case "groupcommit":
 		return "96"
+	case "phases":
+		return "97"
 	default:
 		return "99" + n
 	}

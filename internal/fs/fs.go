@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"tinca/internal/metrics"
 	"tinca/internal/sim"
 )
 
@@ -48,6 +49,12 @@ type Options struct {
 	// OpCostNS is the CPU cost (syscall + VFS path) charged to the clock
 	// at the start of every file-system operation. Zero charges nothing.
 	OpCostNS int64
+	// Rec receives per-operation latency histograms (fs.read_ns /
+	// fs.write_ns, simulated time) when Observe is set. Both Rec and
+	// Clock must be non-nil for latency recording to happen; otherwise
+	// the hot path pays a single nil check.
+	Rec     *metrics.Recorder
+	Observe bool
 }
 
 // FS is a mounted file system. All methods are safe for concurrent use.
@@ -92,6 +99,11 @@ type FS struct {
 	nReadOps      atomic.Int64
 	nWriteOps     atomic.Int64
 	nGroupCommits atomic.Int64
+
+	// Per-operation latency histograms (simulated ns); nil unless
+	// Options.Observe with a Recorder and Clock.
+	hRead  *metrics.Histogram
+	hWrite *metrics.Histogram
 }
 
 // FSStats is a typed snapshot of file-system-level state and activity.
@@ -104,6 +116,11 @@ type FSStats struct {
 	WriteOps         int64  // mutating operations executed
 	GroupCommits     int64  // backend transactions committed
 	ConcurrentReads  bool   // reads bypass the exclusive FS lock
+
+	// Per-operation latency digests (simulated ns); zero unless the FS
+	// was mounted with Options.Observe, a Recorder, and a Clock.
+	ReadLatency  metrics.LatencySummary
+	WriteLatency metrics.LatencySummary
 }
 
 // Stats returns a typed snapshot of file-system counters. Safe for
@@ -111,7 +128,7 @@ type FSStats struct {
 func (f *FS) Stats() FSStats {
 	f.mu.RLock()
 	defer f.mu.RUnlock()
-	return FSStats{
+	st := FSStats{
 		FreeBlocks:       f.freeBlocks,
 		FreeInodes:       f.freeInodes,
 		StagedBlocks:     len(f.staged),
@@ -121,6 +138,11 @@ func (f *FS) Stats() FSStats {
 		GroupCommits:     f.nGroupCommits.Load(),
 		ConcurrentReads:  f.rlockOK,
 	}
+	if f.hRead != nil {
+		st.ReadLatency = f.hRead.Snapshot().Summary()
+		st.WriteLatency = f.hWrite.Snapshot().Summary()
+	}
+	return st
 }
 
 // Format writes a fresh file system over the backend and mounts it.
@@ -182,7 +204,7 @@ func newFS(b Backend, g geometry, opts Options) *FS {
 	if cr, ok := b.(ConcurrentReader); ok && cr.ConcurrentReads() {
 		rlockOK = true
 	}
-	return &FS{
+	f := &FS{
 		b:             b,
 		g:             g,
 		opts:          opts,
@@ -195,6 +217,11 @@ func newFS(b Backend, g geometry, opts Options) *FS {
 		pageCache:     newPageCache(pcBlocks),
 		allocHint:     g.dataStart,
 	}
+	if opts.Observe && opts.Rec != nil && opts.Clock != nil {
+		f.hRead = opts.Rec.Hist(metrics.HistFSRead)
+		f.hWrite = opts.Rec.Hist(metrics.HistFSWrite)
+	}
+	return f
 }
 
 func (f *FS) now() uint64 {
@@ -341,6 +368,10 @@ func (f *FS) runRead(body func(*opCtx) error) error {
 	if f.opts.Clock != nil && f.opts.OpCostNS > 0 {
 		f.opts.Clock.AdvanceNS(f.opts.OpCostNS)
 	}
+	if f.hRead != nil {
+		t0 := int64(f.opts.Clock.Now())
+		defer func() { f.hRead.Record(int64(f.opts.Clock.Now()) - t0) }()
+	}
 	return body(f.beginOp())
 }
 
@@ -348,6 +379,10 @@ func (f *FS) runOpLocked(force bool, body func(*opCtx) error) error {
 	f.nWriteOps.Add(1)
 	if f.opts.Clock != nil && f.opts.OpCostNS > 0 {
 		f.opts.Clock.AdvanceNS(f.opts.OpCostNS)
+	}
+	if f.hWrite != nil {
+		t0 := int64(f.opts.Clock.Now())
+		defer func() { f.hWrite.Record(int64(f.opts.Clock.Now()) - t0) }()
 	}
 	ctx := f.beginOp()
 	if err := body(ctx); err != nil {

@@ -23,6 +23,7 @@ import (
 
 	"tinca/internal/blockdev"
 	"tinca/internal/metrics"
+	"tinca/internal/sim"
 )
 
 // BlockSize is the journal block size (4KB, same as the file system).
@@ -95,6 +96,13 @@ type Journal struct {
 	pendingBy map[uint64]uint64 // home block -> seq of latest committer
 	live      []committedTxn
 
+	// Commit-phase observation (Options.Observe): simulated-ns histograms
+	// for the log-write phase, the commit record, checkpointing and the
+	// whole CommitTxn, mirroring the per-phase breakdown the Tinca commit
+	// pipeline records so the two designs can be compared phase by phase.
+	clock                          *sim.Clock
+	hLog, hCommitBlk, hCkpt, hTxn *metrics.Histogram
+
 	closed bool
 }
 
@@ -109,6 +117,14 @@ type Options struct {
 	// this fraction (default 0.5), modelling JBD2's background flush that
 	// keeps the journal from filling.
 	CheckpointFrac float64
+	// Observe enables commit-phase latency histograms (jbd.* names in the
+	// shared Recorder), measured on Clock. Both must be set; off by
+	// default, costing the commit path nothing.
+	Observe bool
+	// Clock is the simulated clock phases are measured on (required for
+	// Observe; the journal itself never charges time to it — the devices
+	// below do).
+	Clock *sim.Clock
 }
 
 // Open creates or recovers a journal on store. If the superblock is
@@ -128,6 +144,13 @@ func Open(store BlockStore, rec *metrics.Recorder, opts Options) (*Journal, erro
 		tailSeq:   1,
 		pending:   make(map[uint64][]byte),
 		pendingBy: make(map[uint64]uint64),
+	}
+	if opts.Observe && opts.Clock != nil {
+		j.clock = opts.Clock
+		j.hLog = rec.Hist(metrics.HistJBDLog)
+		j.hCommitBlk = rec.Hist(metrics.HistJBDCommitBlk)
+		j.hCkpt = rec.Hist(metrics.HistJBDCheckpoint)
+		j.hTxn = rec.Hist(metrics.HistJBDCommit)
 	}
 	buf := make([]byte, BlockSize)
 	if err := store.ReadBlock(j.start, buf); err != nil {
@@ -211,6 +234,11 @@ func (j *Journal) CommitTxn(txn Txn) error {
 	if need > j.area {
 		return ErrTooLarge
 	}
+	var tTxn int64
+	if j.clock != nil {
+		tTxn = int64(j.clock.Now())
+		defer func() { j.hTxn.Record(int64(j.clock.Now()) - tTxn) }()
+	}
 	for j.freeSpace() < need {
 		if err := j.checkpointOldest(); err != nil {
 			return err
@@ -225,6 +253,10 @@ func (j *Journal) CommitTxn(txn Txn) error {
 
 	// Descriptor blocks, each tagging up to tagsPerDesc updates, followed
 	// by the corresponding log blocks.
+	var tLog int64
+	if j.clock != nil {
+		tLog = int64(j.clock.Now())
+	}
 	buf := make([]byte, BlockSize)
 	for base := 0; base < len(updates); base += tagsPerDesc {
 		n := len(updates) - base
@@ -282,6 +314,12 @@ func (j *Journal) CommitTxn(txn Txn) error {
 		j.rec.Inc(metrics.JournalMeta)
 	}
 
+	var tCommitBlk int64
+	if j.clock != nil {
+		tCommitBlk = int64(j.clock.Now())
+		j.hLog.Record(tCommitBlk - tLog)
+	}
+
 	// Commit block seals the transaction. The store is synchronous, so
 	// everything above is durable before this write begins (the flush
 	// barrier JBD2 issues before its commit block).
@@ -297,6 +335,9 @@ func (j *Journal) CommitTxn(txn Txn) error {
 	j.head++
 	j.rec.Inc(metrics.JournalMeta)
 	j.rec.Inc(metrics.JournalCommit)
+	if j.clock != nil {
+		j.hCommitBlk.Record(int64(j.clock.Now()) - tCommitBlk)
+	}
 
 	// Bookkeeping: this transaction now owns the latest version of its
 	// blocks until a later transaction overwrites them; revoked blocks
@@ -324,6 +365,10 @@ func (j *Journal) CommitTxn(txn Txn) error {
 func (j *Journal) checkpointOldest() error {
 	if len(j.live) == 0 {
 		return errors.New("jbd: journal full with nothing to checkpoint")
+	}
+	if j.clock != nil {
+		t0 := int64(j.clock.Now())
+		defer func() { j.hCkpt.Record(int64(j.clock.Now()) - t0) }()
 	}
 	t := j.live[0]
 	for _, home := range t.homes {

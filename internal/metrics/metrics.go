@@ -1,9 +1,13 @@
-// Package metrics implements the counter registry used by every layer of
-// the storage stack. The evaluation in the paper compares systems on
-// normalized counter values (clflush per operation, disk blocks written per
-// transaction, ...), so counters are first-class here: cheap atomic
-// increments, snapshot/delta arithmetic, and stable names shared by the
-// experiment harness.
+// Package metrics implements the observability registry used by every
+// layer of the storage stack. The evaluation in the paper compares
+// systems on normalized counter values (clflush per operation, disk
+// blocks written per transaction, ...), so counters are first-class here:
+// cheap atomic increments, snapshot/delta arithmetic, and stable names
+// shared by the experiment harness. On top of counters the package
+// provides lock-free log-bucketed latency histograms (Histogram), a
+// fixed-ring structured span tracer with a Chrome trace_event exporter
+// (Tracer), and a Prometheus text exposition of everything a Recorder
+// holds (WritePrometheus / Handler) for live scraping.
 package metrics
 
 import (
@@ -72,28 +76,66 @@ const (
 	NetMessages = "net.messages"
 )
 
-// Recorder is a registry of named monotonic counters. The zero value is not
-// usable; construct with NewRecorder. All methods are safe for concurrent
-// use.
+// Canonical histogram names. Values are simulated nanoseconds unless the
+// name says otherwise. Commit-phase histograms are charged by
+// internal/core's group-commit pipeline (one sample per seal per phase);
+// jbd.* by the Classic journal; fs.* by the file-system operation layer.
+const (
+	// Group-commit seal phases (internal/core/group.go).
+	HistCommitWait    = "commit.wait_ns"    // leader batch-formation wait
+	HistCommitAbsorb  = "commit.absorb_ns"  // plan/merge/allocate (phase 0)
+	HistCommitData    = "commit.data_ns"    // NVM data writes (phase A)
+	HistCommitEntries = "commit.entries_ns" // log-role entry persists (phase B)
+	HistCommitRing    = "commit.ring_ns"    // ring records + Head persist (phase C)
+	HistCommitSwitch  = "commit.switch_ns"  // role switches (phase D)
+	HistCommitTail    = "commit.tail_ns"    // Tail flip + fence (phase E)
+	HistCommitSeal    = "commit.seal_ns"    // whole seal (phases 0–E)
+	HistCommitTotal   = "commit.total_ns"   // per-txn Commit latency (enqueue→ack)
+
+	// Destager and recovery (internal/core).
+	HistDestageWrite = "destage.write_ns" // one queued block written back
+	HistRecovery     = "recovery.ns"      // one full recovery pass
+
+	// NVM primitives (internal/pmem).
+	HistNVMFlushLines = "nvm.flush_lines"  // cache lines per CLFlush burst
+	HistNVMFenceGap   = "nvm.fence_gap_ns" // sim time between successive fences
+
+	// Classic journal commit phases (internal/jbd).
+	HistJBDLog        = "jbd.log_ns"        // descriptor + log + revoke writes
+	HistJBDCommitBlk  = "jbd.commit_blk_ns" // commit-record write
+	HistJBDCheckpoint = "jbd.checkpoint_ns" // checkpoint passes
+	HistJBDCommit     = "jbd.commit_ns"     // whole CommitTxn
+
+	// File-system operations (internal/fs).
+	HistFSRead  = "fs.read_ns"  // read-only operations
+	HistFSWrite = "fs.write_ns" // mutating operations
+)
+
+// Recorder is a registry of named counters and latency histograms. Most
+// counters are monotonic; a few are used as ±gauges (see Set and the
+// DestageQueueDepth convention above). The zero value is not usable;
+// construct with NewRecorder. All methods are safe for concurrent use.
+//
+// The data path calls Add/Inc/Observe concurrently from every layer of
+// the stack, so the name→cell lookup is a sync.Map read (lock-free after
+// the first touch of a name); allocation happens only the first time a
+// name appears.
 type Recorder struct {
-	mu       sync.Mutex
-	counters map[string]*atomic.Int64
+	counters sync.Map // string -> *atomic.Int64
+	hists    sync.Map // string -> *Histogram
 }
 
 // NewRecorder returns an empty counter registry.
 func NewRecorder() *Recorder {
-	return &Recorder{counters: make(map[string]*atomic.Int64)}
+	return &Recorder{}
 }
 
 func (r *Recorder) counter(name string) *atomic.Int64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	c, ok := r.counters[name]
-	if !ok {
-		c = new(atomic.Int64)
-		r.counters[name] = c
+	if c, ok := r.counters.Load(name); ok {
+		return c.(*atomic.Int64)
 	}
-	return c
+	c, _ := r.counters.LoadOrStore(name, new(atomic.Int64))
+	return c.(*atomic.Int64)
 }
 
 // Add increments the named counter by delta.
@@ -102,24 +144,64 @@ func (r *Recorder) Add(name string, delta int64) { r.counter(name).Add(delta) }
 // Inc increments the named counter by one.
 func (r *Recorder) Inc(name string) { r.counter(name).Add(1) }
 
+// Set overwrites the named counter, making it an explicit gauge. Counters
+// written with Set (or with mixed-sign Add deltas, as DestageQueueDepth
+// is) report a level, not a total; Snapshot.Sub deltas of gauges are
+// level changes and PerOp normalization of them is rarely meaningful.
+func (r *Recorder) Set(name string, v int64) { r.counter(name).Store(v) }
+
 // Get returns the current value of the named counter (zero if never used).
 func (r *Recorder) Get(name string) int64 {
-	r.mu.Lock()
-	c, ok := r.counters[name]
-	r.mu.Unlock()
-	if !ok {
-		return 0
+	if c, ok := r.counters.Load(name); ok {
+		return c.(*atomic.Int64).Load()
 	}
-	return c.Load()
+	return 0
 }
 
-// Reset zeroes all counters.
-func (r *Recorder) Reset() {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	for _, c := range r.counters {
-		c.Store(0)
+// Hist returns the named histogram, creating it on first use. Hot paths
+// should call this once and hold the pointer; Record on the result is
+// lock-free.
+func (r *Recorder) Hist(name string) *Histogram {
+	if h, ok := r.hists.Load(name); ok {
+		return h.(*Histogram)
 	}
+	h, _ := r.hists.LoadOrStore(name, NewHistogram(name))
+	return h.(*Histogram)
+}
+
+// Observe records one value (conventionally nanoseconds) into the named
+// histogram.
+func (r *Recorder) Observe(name string, v int64) { r.Hist(name).Record(v) }
+
+// HistSnapshot copies the named histogram's current state (empty snapshot
+// if never used).
+func (r *Recorder) HistSnapshot(name string) HistSnapshot {
+	if h, ok := r.hists.Load(name); ok {
+		return h.(*Histogram).Snapshot()
+	}
+	return HistSnapshot{Name: name}
+}
+
+// HistSnapshots copies every registered histogram, keyed by name.
+func (r *Recorder) HistSnapshots() map[string]HistSnapshot {
+	out := make(map[string]HistSnapshot)
+	r.hists.Range(func(k, v any) bool {
+		out[k.(string)] = v.(*Histogram).Snapshot()
+		return true
+	})
+	return out
+}
+
+// Reset zeroes all counters and histograms.
+func (r *Recorder) Reset() {
+	r.counters.Range(func(_, v any) bool {
+		v.(*atomic.Int64).Store(0)
+		return true
+	})
+	r.hists.Range(func(_, v any) bool {
+		v.(*Histogram).Reset()
+		return true
+	})
 }
 
 // Snapshot is an immutable copy of all counter values at one instant.
@@ -127,12 +209,11 @@ type Snapshot map[string]int64
 
 // Snapshot copies the current counter values.
 func (r *Recorder) Snapshot() Snapshot {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	s := make(Snapshot, len(r.counters))
-	for name, c := range r.counters {
-		s[name] = c.Load()
-	}
+	s := make(Snapshot)
+	r.counters.Range(func(k, v any) bool {
+		s[k.(string)] = v.(*atomic.Int64).Load()
+		return true
+	})
 	return s
 }
 

@@ -1,0 +1,140 @@
+package metrics
+
+import (
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestPromName(t *testing.T) {
+	if got := promName("nvm.clflush"); got != "tinca_nvm_clflush" {
+		t.Fatalf("promName = %q", got)
+	}
+	if got := promName("commit.total_ns"); got != "tinca_commit_total_ns" {
+		t.Fatalf("promName = %q", got)
+	}
+}
+
+func TestWritePrometheusCounters(t *testing.T) {
+	r := NewRecorder()
+	r.Add("nvm.clflush", 42)
+	r.Set("destage.queue_depth", 3)
+	var b strings.Builder
+	WritePrometheus(&b, r, "")
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE tinca_nvm_clflush gauge",
+		"tinca_nvm_clflush 42",
+		"tinca_destage_queue_depth 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestWritePrometheusLabels(t *testing.T) {
+	r := NewRecorder()
+	r.Inc("a")
+	r.Observe("h", 10)
+	var b strings.Builder
+	WritePrometheus(&b, r, `registry="x"`)
+	out := b.String()
+	if !strings.Contains(out, `tinca_a{registry="x"} 1`) {
+		t.Fatalf("counter label missing:\n%s", out)
+	}
+	if !strings.Contains(out, `tinca_h_bucket{registry="x",le="10"} 1`) {
+		t.Fatalf("histogram label missing:\n%s", out)
+	}
+}
+
+func TestWritePrometheusHistogramCumulative(t *testing.T) {
+	r := NewRecorder()
+	for _, v := range []int64{1, 2, 3, 1000, 100000} {
+		r.Observe("lat", v)
+	}
+	var b strings.Builder
+	WritePrometheus(&b, r, "")
+	out := b.String()
+	if !strings.Contains(out, "# TYPE tinca_lat histogram") {
+		t.Fatalf("no histogram TYPE line:\n%s", out)
+	}
+	// Bucket lines must be cumulative (non-decreasing) and end at +Inf
+	// with the total count.
+	re := regexp.MustCompile(`tinca_lat_bucket\{le="([^"]+)"\} (\d+)`)
+	ms := re.FindAllStringSubmatch(out, -1)
+	if len(ms) < 4 {
+		t.Fatalf("too few bucket lines:\n%s", out)
+	}
+	last := int64(-1)
+	for _, m := range ms {
+		n, _ := strconv.ParseInt(m[2], 10, 64)
+		if n < last {
+			t.Fatalf("buckets not cumulative at le=%s:\n%s", m[1], out)
+		}
+		last = n
+	}
+	if ms[len(ms)-1][1] != "+Inf" || ms[len(ms)-1][2] != "5" {
+		t.Fatalf("+Inf bucket wrong: %v", ms[len(ms)-1])
+	}
+	if !strings.Contains(out, "tinca_lat_count 5") {
+		t.Fatalf("count sample missing:\n%s", out)
+	}
+	if !strings.Contains(out, "tinca_lat_sum 101006") {
+		t.Fatalf("sum sample missing:\n%s", out)
+	}
+}
+
+func TestPublishAndHandler(t *testing.T) {
+	r := NewRecorder()
+	r.Inc("pub.counter")
+	Publish("test-reg", r)
+	defer Unpublish("test-reg")
+
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 1<<16)
+	n, _ := resp.Body.Read(buf)
+	out := string(buf[:n])
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.Contains(out, `tinca_pub_counter{registry="test-reg"} 1`) {
+		t.Fatalf("published counter missing:\n%s", out)
+	}
+
+	// Unpublish removes it from subsequent scrapes.
+	Unpublish("test-reg")
+	var b strings.Builder
+	WriteAllPrometheus(&b)
+	if strings.Contains(b.String(), "test-reg") {
+		t.Fatal("unpublished recorder still served")
+	}
+}
+
+func TestRecorderSetGauge(t *testing.T) {
+	r := NewRecorder()
+	r.Set("g", 10)
+	r.Set("g", 7)
+	if got := r.Get("g"); got != 7 {
+		t.Fatalf("gauge = %d", got)
+	}
+	// Mixed-sign Add keeps working as the ± gauge convention.
+	r.Add("g", -3)
+	if got := r.Get("g"); got != 4 {
+		t.Fatalf("gauge after -3 = %d", got)
+	}
+	// Sub deltas of gauges are level changes (possibly negative).
+	s0 := r.Snapshot()
+	r.Set("g", 1)
+	if d := r.Snapshot().Sub(s0); d.Get("g") != -3 {
+		t.Fatalf("gauge delta = %d", d.Get("g"))
+	}
+}

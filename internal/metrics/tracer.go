@@ -1,0 +1,175 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync/atomic"
+)
+
+// Span is one structured trace event: a named phase of some transaction
+// (or seal, or recovery pass) with its start time and duration on the
+// simulated clock, and the goroutine that executed it.
+type Span struct {
+	ID      uint64 // grouping id: seal number, txn id, 0 for singletons
+	Name    string // phase name, e.g. "seal.data"
+	StartNS int64  // simulated ns at phase start
+	DurNS   int64  // simulated ns spent in the phase
+	G       int64  // goroutine id of the executor
+}
+
+// Tracer is a fixed-size ring buffer of Spans. Emit claims a slot with
+// one atomic add and writes the span in place: no locks, no allocation,
+// and old spans are overwritten once the ring wraps, so a tracer can stay
+// attached to a long-running stack with bounded memory. A nil *Tracer is
+// valid and disabled, so hot paths pay exactly one branch:
+//
+//	if tr.Enabled() { tr.Emit(...) }
+//
+// Spans() and the exporters are snapshot operations intended for
+// quiescent moments (end of run, a scrape of a paused system); a span
+// being written concurrently with a snapshot may be read torn, which can
+// misreport that single span but never corrupts the tracer.
+type Tracer struct {
+	enabled atomic.Bool
+	pos     atomic.Uint64
+	ring    []Span
+	mask    uint64
+}
+
+// DefaultTraceEvents is the ring capacity NewTracer picks for n <= 0.
+const DefaultTraceEvents = 1 << 16
+
+// NewTracer returns an enabled tracer holding the last n spans (rounded
+// up to a power of two; n <= 0 picks DefaultTraceEvents).
+func NewTracer(n int) *Tracer {
+	if n <= 0 {
+		n = DefaultTraceEvents
+	}
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	t := &Tracer{ring: make([]Span, size), mask: uint64(size - 1)}
+	t.enabled.Store(true)
+	return t
+}
+
+// Enabled reports whether Emit records anything. Nil-safe: a nil tracer
+// is disabled.
+func (t *Tracer) Enabled() bool { return t != nil && t.enabled.Load() }
+
+// SetEnabled flips recording on or off (no-op on a nil tracer).
+func (t *Tracer) SetEnabled(on bool) {
+	if t != nil {
+		t.enabled.Store(on)
+	}
+}
+
+// Emit records one span. Safe for concurrent use; no-op when disabled.
+func (t *Tracer) Emit(id uint64, name string, startNS, durNS int64, g int64) {
+	if !t.Enabled() {
+		return
+	}
+	i := (t.pos.Add(1) - 1) & t.mask
+	t.ring[i] = Span{ID: id, Name: name, StartNS: startNS, DurNS: durNS, G: g}
+}
+
+// Spans returns the recorded spans, oldest first. Call at a quiescent
+// moment (see the type comment).
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	n := t.pos.Load()
+	out := make([]Span, 0, len(t.ring))
+	start := uint64(0)
+	if n > uint64(len(t.ring)) {
+		start = n - uint64(len(t.ring))
+	}
+	for p := start; p < n; p++ {
+		s := t.ring[p&t.mask]
+		if s.Name != "" {
+			out = append(out, s)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].StartNS < out[j].StartNS })
+	return out
+}
+
+// Len reports how many spans have ever been emitted (including ones the
+// ring has since overwritten).
+func (t *Tracer) Len() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.pos.Load()
+}
+
+// WriteChromeTrace exports the recorded spans as Chrome trace_event JSON
+// (the "X" complete-event form), loadable in chrome://tracing and
+// Perfetto. Timestamps are simulated microseconds; each goroutine becomes
+// a trace thread so concurrent seals render as parallel tracks.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	spans := t.Spans()
+	events := make([]chromeEvent, 0, len(spans))
+	for _, s := range spans {
+		events = append(events, chromeEvent{
+			Name: s.Name,
+			Ph:   "X",
+			TS:   float64(s.StartNS) / 1000,
+			Dur:  float64(s.DurNS) / 1000,
+			PID:  1,
+			TID:  s.G,
+			Args: map[string]uint64{"id": s.ID},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ns"})
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	PID  int               `json:"pid"`
+	TID  int64             `json:"tid"`
+	Args map[string]uint64 `json:"args,omitempty"`
+}
+
+// GoroutineID parses the running goroutine's id from its stack header.
+// It costs a runtime.Stack call (~µs), so instrumentation captures it
+// once per batch/span group, never per fine-grained event, and only when
+// tracing is enabled.
+func GoroutineID() int64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	// Header shape: "goroutine 123 [".
+	f := bytes.Fields(buf[:n])
+	if len(f) < 2 {
+		return 0
+	}
+	id, err := strconv.ParseInt(string(f[1]), 10, 64)
+	if err != nil {
+		return 0
+	}
+	return id
+}
+
+// String summarizes the tracer state.
+func (t *Tracer) String() string {
+	if t == nil {
+		return "tracer(nil)"
+	}
+	return fmt.Sprintf("tracer(cap=%d emitted=%d enabled=%v)", len(t.ring), t.pos.Load(), t.enabled.Load())
+}

@@ -1,0 +1,160 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestNilTracerIsDisabled(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer enabled")
+	}
+	tr.SetEnabled(true) // must not panic
+	tr.Emit(1, "x", 0, 1, 0)
+	if tr.Spans() != nil || tr.Len() != 0 {
+		t.Fatal("nil tracer recorded something")
+	}
+	if tr.String() != "tracer(nil)" {
+		t.Fatalf("nil String = %q", tr.String())
+	}
+}
+
+func TestEmitAndSpans(t *testing.T) {
+	tr := NewTracer(16)
+	tr.Emit(7, "seal.data", 100, 50, 3)
+	tr.Emit(7, "seal.tail", 150, 10, 3)
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("len = %d", len(spans))
+	}
+	if spans[0].Name != "seal.data" || spans[0].StartNS != 100 || spans[0].DurNS != 50 || spans[0].ID != 7 || spans[0].G != 3 {
+		t.Fatalf("span[0] = %+v", spans[0])
+	}
+	if spans[1].Name != "seal.tail" {
+		t.Fatalf("span[1] = %+v", spans[1])
+	}
+}
+
+func TestSpansSortedByStart(t *testing.T) {
+	tr := NewTracer(16)
+	tr.Emit(1, "b", 200, 1, 0)
+	tr.Emit(1, "a", 100, 1, 0)
+	spans := tr.Spans()
+	if spans[0].Name != "a" || spans[1].Name != "b" {
+		t.Fatalf("spans not time-ordered: %+v", spans)
+	}
+}
+
+func TestRingWrap(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Emit(uint64(i), "s", int64(i), 1, 0)
+	}
+	if tr.Len() != 10 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("ring kept %d spans", len(spans))
+	}
+	for i, s := range spans {
+		if s.ID != uint64(6+i) {
+			t.Fatalf("expected the last 4 spans, got ids %v", spans)
+		}
+	}
+}
+
+func TestCapacityRoundsUp(t *testing.T) {
+	tr := NewTracer(5)
+	for i := 0; i < 8; i++ {
+		tr.Emit(uint64(i), "s", int64(i), 1, 0)
+	}
+	if got := len(tr.Spans()); got != 8 {
+		t.Fatalf("capacity 5 should round to 8, kept %d", got)
+	}
+}
+
+func TestSetEnabled(t *testing.T) {
+	tr := NewTracer(8)
+	tr.SetEnabled(false)
+	tr.Emit(1, "x", 0, 1, 0)
+	if len(tr.Spans()) != 0 {
+		t.Fatal("disabled tracer recorded")
+	}
+	tr.SetEnabled(true)
+	tr.Emit(1, "x", 0, 1, 0)
+	if len(tr.Spans()) != 1 {
+		t.Fatal("re-enabled tracer did not record")
+	}
+}
+
+func TestConcurrentEmit(t *testing.T) {
+	tr := NewTracer(1 << 10)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Emit(1, "s", int64(i), 1, GoroutineID())
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Len() != 800 {
+		t.Fatalf("emitted %d", tr.Len())
+	}
+	if len(tr.Spans()) != 800 {
+		t.Fatalf("kept %d", len(tr.Spans()))
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Emit(9, "seal.data", 2000, 500, 4)
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			TS   float64           `json:"ts"`
+			Dur  float64           `json:"dur"`
+			PID  int               `json:"pid"`
+			TID  int64             `json:"tid"`
+			Args map[string]uint64 `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.TraceEvents) != 1 {
+		t.Fatalf("events = %d", len(doc.TraceEvents))
+	}
+	e := doc.TraceEvents[0]
+	// ts/dur are microseconds in the trace_event format.
+	if e.Name != "seal.data" || e.Ph != "X" || e.TS != 2.0 || e.Dur != 0.5 || e.TID != 4 || e.Args["id"] != 9 {
+		t.Fatalf("event = %+v", e)
+	}
+	if doc.DisplayTimeUnit != "ns" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+}
+
+func TestGoroutineID(t *testing.T) {
+	main := GoroutineID()
+	if main <= 0 {
+		t.Fatalf("GoroutineID = %d", main)
+	}
+	ch := make(chan int64)
+	go func() { ch <- GoroutineID() }()
+	if other := <-ch; other == main || other <= 0 {
+		t.Fatalf("other goroutine id %d vs %d", other, main)
+	}
+}

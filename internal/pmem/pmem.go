@@ -120,6 +120,16 @@ type Device struct {
 	// the countdown of persistence-relevant operations reaches zero.
 	crashArmed     bool
 	crashCountdown int64
+
+	// Flush/fence observation (Observe): distribution of cache lines per
+	// CLFlush burst and of the simulated time between successive fences —
+	// the two shapes that tell whether a commit path batches its persists
+	// or stutters them. Off by default; the hot path then pays one branch
+	// per CLFlush/SFence.
+	observe     bool
+	obsFlush    *metrics.Histogram
+	obsFence    *metrics.Histogram
+	lastFenceNS int64
 }
 
 // New creates a device of the given size (rounded up to a whole number of
@@ -145,6 +155,20 @@ func New(size int, prof Profile, clock *sim.Clock, rec *metrics.Recorder) *Devic
 		rec:      rec,
 		wear:     make([]uint32, nlines),
 		atomic16: make([]bool, size/8),
+	}
+}
+
+// Observe enables (or disables) flush/fence histograms: lines per CLFlush
+// burst into metrics.HistNVMFlushLines and simulated ns between fences
+// into metrics.HistNVMFenceGap, recorded in the device's Recorder.
+func (d *Device) Observe(on bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.observe = on
+	if on && d.obsFlush == nil {
+		d.obsFlush = d.rec.Hist(metrics.HistNVMFlushLines)
+		d.obsFence = d.rec.Hist(metrics.HistNVMFenceGap)
+		d.lastFenceNS = int64(d.clock.Now())
 	}
 }
 
@@ -290,6 +314,9 @@ func (d *Device) CLFlush(off, n int) {
 	lines := int64(last - first + 1)
 	d.rec.Add(metrics.NVMCLFlush, lines)
 	d.clock.AdvanceNS(lines * d.prof.LineFlushNS)
+	if d.observe {
+		d.obsFlush.Record(lines)
+	}
 }
 
 // SFence issues a store fence. In this synchronous simulation flushes are
@@ -302,6 +329,11 @@ func (d *Device) SFence() {
 	d.maybeCrash("sfence")
 	d.rec.Inc(metrics.NVMSFence)
 	d.clock.AdvanceNS(d.prof.FenceNS)
+	if d.observe {
+		now := int64(d.clock.Now())
+		d.obsFence.Record(now - d.lastFenceNS)
+		d.lastFenceNS = now
+	}
 }
 
 // PersistRange is the common {store, clflush, sfence} sequence: store p at

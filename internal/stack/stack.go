@@ -14,6 +14,7 @@ package stack
 import (
 	"fmt"
 	"math/rand"
+	"net/http"
 
 	"tinca/internal/blockdev"
 	"tinca/internal/classic"
@@ -118,6 +119,23 @@ type Config struct {
 	// FSOpCostNS is the per-operation CPU cost (syscall + VFS) charged to
 	// the simulated clock; default 2µs. Set negative to disable.
 	FSOpCostNS int64
+
+	// Observability knobs (DESIGN.md Section 9).
+	//
+	// Observe enables latency histograms across every layer: commit
+	// pipeline phases, destage, recovery, JBD log/commit/checkpoint, FS
+	// per-op read/write, and NVM flush/fence cadence. Durations are
+	// simulated-clock deltas, so enabling them never perturbs simulated
+	// results. Off by default; when off each instrumented site pays a
+	// single nil/bool check.
+	Observe bool
+	// TraceEvents, when positive, allocates a span tracer ring of that
+	// many events (rounded up to a power of two) and implies Observe.
+	// Export the ring with Stack.Tracer.WriteChromeTrace.
+	TraceEvents int
+	// Tracer supplies an external tracer ring instead of TraceEvents
+	// (implies Observe). Useful for sharing one ring across stacks.
+	Tracer *metrics.Tracer
 }
 
 // Validate reports a descriptive error for a nonsensical configuration
@@ -207,6 +225,13 @@ type Stack struct {
 	CCache  *classic.Cache // non-nil for Classic*
 	Journal *jbd.Journal   // non-nil for Classic
 	FS      *fs.FS
+
+	// Tracer is the span ring when Cfg.TraceEvents/Cfg.Tracer asked for
+	// one; nil otherwise. It survives Crash/Remount (spans are DRAM-side
+	// diagnostics, not simulated state).
+	Tracer *metrics.Tracer
+
+	metricsSrv *http.Server // non-nil while ServeMetrics is live
 }
 
 // New builds a stack with a freshly formatted file system. The config is
@@ -217,10 +242,17 @@ func New(cfg Config) (*Stack, error) {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
+	if cfg.Tracer == nil && cfg.TraceEvents > 0 {
+		cfg.Tracer = metrics.NewTracer(cfg.TraceEvents)
+	}
+	if cfg.Tracer != nil {
+		cfg.Observe = true
+	}
 	s := &Stack{
-		Cfg:   cfg,
-		Clock: sim.NewClock(),
-		Rec:   metrics.NewRecorder(),
+		Cfg:    cfg,
+		Clock:  sim.NewClock(),
+		Rec:    metrics.NewRecorder(),
+		Tracer: cfg.Tracer,
 	}
 	s.Mem = pmem.New(cfg.NVMBytes, cfg.NVMProfile, s.Clock, s.Rec)
 	diskBlocks := cfg.FSBlocks + cfg.JournalBlocks
@@ -232,12 +264,15 @@ func New(cfg Config) (*Stack, error) {
 // chooses Format vs Mount for the file system.
 func (s *Stack) bringUp(format bool) error {
 	cfg := s.Cfg
+	s.Mem.Observe(cfg.Observe)
 	fsOpts := fs.Options{
 		GroupCommitBlocks:     cfg.GroupCommitBlocks,
 		GroupCommitIntervalNS: cfg.GroupCommitIntervalNS,
 		PageCacheBlocks:       cfg.PageCacheBlocks,
 		Clock:                 s.Clock,
 		OpCostNS:              cfg.FSOpCostNS,
+		Rec:                   s.Rec,
+		Observe:               cfg.Observe,
 	}
 	var backend fs.Backend
 	switch cfg.Kind {
@@ -250,6 +285,8 @@ func (s *Stack) bringUp(format bool) error {
 			RotatePointers: cfg.RotatePointers,
 			GroupCommit:    cfg.GroupCommit,
 			DestageDepth:   cfg.DestageDepth,
+			Observe:        cfg.Observe,
+			Tracer:         s.Tracer,
 		})
 		if err != nil {
 			return err
@@ -274,8 +311,10 @@ func (s *Stack) bringUp(format bool) error {
 		s.CCache = cc
 		if cfg.Kind == Classic {
 			j, err := jbd.Open(cc, s.Rec, jbd.Options{
-				Start:  cfg.FSBlocks,
-				Blocks: cfg.JournalBlocks,
+				Start:   cfg.FSBlocks,
+				Blocks:  cfg.JournalBlocks,
+				Observe: cfg.Observe,
+				Clock:   s.Clock,
 			})
 			if err != nil {
 				return err
@@ -306,8 +345,12 @@ func (s *Stack) bringUp(format bool) error {
 	return nil
 }
 
-// Close flushes every layer down to the disk.
-func (s *Stack) Close() error { return s.FS.Close() }
+// Close flushes every layer down to the disk and stops the metrics
+// endpoint if one is serving.
+func (s *Stack) Close() error {
+	s.CloseMetrics()
+	return s.FS.Close()
+}
 
 // Stats is a typed snapshot across the stack's layers. Cache is populated
 // for the Tinca kind only (the Classic cache keeps its own counters in

@@ -53,6 +53,15 @@
 // The string-keyed Recorder/Snapshot registry remains available (the
 // experiment drivers still use it) but new code should prefer Stats.
 //
+// Deeper visibility is opt-in via StackConfig (DESIGN.md Section 9):
+// Observe enables latency histograms in every layer (commit pipeline
+// phases, destage, recovery, journal, per-op FS read/write), surfaced as
+// LatencySummary values in the Stats structs; TraceEvents allocates a
+// span ring exported as Chrome trace_event JSON (Stack.Tracer); and
+// Stack.ServeMetrics starts a live HTTP endpoint with Prometheus text
+// /metrics and net/http/pprof. All of it charges zero simulated time —
+// enabling observability never changes the simulated results.
+//
 // # Layers
 //
 // The exported names below are curated aliases over the implementation
@@ -195,6 +204,25 @@ var NewRecorder = metrics.NewRecorder
 // returned by the Stats accessors; Snapshot remains for delta-based
 // experiment drivers.
 type Snapshot = metrics.Snapshot
+
+// LatencySummary is a percentile digest (count/mean/p50/p95/p99/max, in
+// simulated ns) of one latency histogram; CacheStats and FSStats carry
+// them when the stack was built with Observe.
+type LatencySummary = metrics.LatencySummary
+
+// PhaseLatency names one commit-pipeline phase's latency digest
+// (CacheStats.CommitPhases).
+type PhaseLatency = core.PhaseLatency
+
+// Tracer is the fixed-size ring of structured span events recording the
+// commit pipeline's phases; export it with WriteChromeTrace for
+// chrome://tracing / Perfetto. Obtain one from StackConfig.TraceEvents
+// (Stack.Tracer) or NewTracer.
+type Tracer = metrics.Tracer
+
+// NewTracer allocates a span ring of n events (rounded up to a power of
+// two; n <= 0 picks the 65536-event default).
+var NewTracer = metrics.NewTracer
 
 // Frequently needed counter names; the full list lives in the metrics
 // package documentation.
