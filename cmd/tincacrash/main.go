@@ -2,111 +2,227 @@
 // Section 5.1 ("we set two scenarios of system failure ... each time Tinca
 // can recover and crash consistency of the system is never impaired").
 //
-// Each trial builds a full Tinca stack, runs a random write-heavy
-// workload, injects a power failure at a random operation boundary (the
-// crash image keeps a random subset of un-flushed CPU cache lines, the
-// adversarial model), remounts — running Tinca's recovery — and verifies:
+// Three modes:
 //
-//   - Tinca's structural invariants (ring quiescent, no log-role entries,
-//     exclusive NVM block ownership),
-//   - file-system consistency (full fsck walk),
-//   - durability of data committed before the crash window.
-//
-// Exit status is non-zero if any trial finds an inconsistency.
-//
-// Usage:
+// Random trials (default): each trial runs a random op trace against a
+// fresh stack, injects a power failure at a random NVM-operation boundary
+// (the crash image keeps a random subset of un-flushed cache lines, the
+// adversarial model), remounts, and verifies structural invariants, a
+// full fsck walk, and the durability/atomicity oracle of DESIGN.md §5.
 //
 //	tincacrash -trials 200 -seed 7 -evictp 0.5
+//
+// Exhaustive sweep (-sweep): counts every persist op the trace spans and
+// crashes one deterministic trial at *each* boundary, across an eviction
+// probability grid — no boundary left unsampled. With -group-blocks > 0
+// the sweep runs concurrent committers under group commit and applies
+// the batch prefix-atomicity oracle instead. On failure, the first
+// failing trial is shrunk to a minimal reproducer line.
+//
+//	tincacrash -sweep -kind tinca -ops 200
+//	tincacrash -sweep -kind classic -ops 100 -stride 3
+//	tincacrash -sweep -group-blocks 4 -fs-workers 4 -committers 2 -max-boundaries 200
+//	tincacrash -sweep -fault skip-data-flush -evictps 0   # harness self-test: must fail
+//
+// Replay (-replay): re-runs the trial a reproducer line describes.
+//
+//	tincacrash -replay 'kind=tinca boundary=137 evictp=0 fault=none seed=5 trace=c:/f0001|...'
+//
+// Exit status is non-zero if any trial finds an inconsistency.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
-	"tinca"
+	"tinca/internal/crash"
 	"tinca/internal/sim"
 )
 
 func main() {
-	trials := flag.Int("trials", 100, "number of crash/recover trials")
-	seed := flag.Int64("seed", 1, "random seed")
-	evictP := flag.Float64("evictp", -1, "probability an un-flushed line persists anyway (-1 = random per trial)")
-	verbose := flag.Bool("v", false, "log each trial")
+	var (
+		sweep  = flag.Bool("sweep", false, "exhaustive boundary sweep instead of random trials")
+		replay = flag.String("replay", "", "replay a failure reproducer line and exit")
+
+		kindF   = flag.String("kind", "tinca", "stack kind: tinca, classic, classic-nojournal")
+		seed    = flag.Int64("seed", 1, "random seed")
+		ops     = flag.Int("ops", 200, "ops per trace (per worker in group mode)")
+		evictPs = flag.String("evictps", "0,0.5,1", "comma-separated eviction probabilities (sweep mode)")
+		stride  = flag.Int64("stride", 1, "sweep every Nth boundary")
+		maxB    = flag.Int("max-boundaries", 0, "cap on boundaries swept, evenly subsampled (0 = exhaustive)")
+		workers = flag.Int("workers", 0, "parallel trial runners (0 = GOMAXPROCS)")
+		faultF  = flag.String("fault", "none", "injected protocol fault: none, skip-data-flush (harness self-test)")
+
+		groupBlocks = flag.Int("group-blocks", 0, "FS group-commit threshold; > 0 selects the group oracle")
+		fsWorkers   = flag.Int("fs-workers", 4, "concurrent FS op streams (group mode)")
+		committers  = flag.Int("committers", 2, "raw block-txn committers (group mode, tinca only)")
+		minimize    = flag.Bool("minimize", true, "shrink the first failure to a minimal reproducer (serial sweeps)")
+
+		trials = flag.Int("trials", 100, "random crash/recover trials (default mode)")
+		evictP = flag.Float64("evictp", -1, "eviction probability for random trials (-1 = random per trial)")
+
+		verbose = flag.Bool("v", false, "log each trial / every progress tick")
+	)
 	flag.Parse()
 
-	rng := sim.NewRand(*seed)
-	failures := 0
-	for trial := 0; trial < *trials; trial++ {
-		if err := runTrial(rng, *evictP); err != nil {
-			failures++
-			fmt.Fprintf(os.Stderr, "trial %d: INCONSISTENCY: %v\n", trial, err)
-		} else if *verbose {
-			fmt.Printf("trial %d: ok\n", trial)
-		}
-	}
-	fmt.Printf("tincacrash: %d trials, %d failures\n", *trials, failures)
-	if failures > 0 {
-		os.Exit(1)
+	switch {
+	case *replay != "":
+		os.Exit(runReplay(*replay))
+	case *sweep:
+		os.Exit(runSweep(sweepArgs{
+			kind: *kindF, seed: *seed, ops: *ops, evictPs: *evictPs,
+			stride: *stride, maxB: *maxB, workers: *workers, fault: *faultF,
+			groupBlocks: *groupBlocks, fsWorkers: *fsWorkers, committers: *committers,
+			minimize: *minimize, verbose: *verbose,
+		}))
+	default:
+		os.Exit(runRandomTrials(*kindF, *trials, *seed, *ops, *evictP, *verbose))
 	}
 }
 
-func runTrial(rng interface {
-	Intn(int) int
-	Float64() float64
-	Int63n(int64) int64
-}, evictP float64) error {
-	s, err := tinca.NewStack(tinca.StackConfig{
-		Kind:     tinca.KindTinca,
-		NVMBytes: 4 << 20,
-		FSBlocks: 4096,
-	})
+func fatalf(format string, args ...interface{}) int {
+	fmt.Fprintf(os.Stderr, "tincacrash: "+format+"\n", args...)
+	return 2
+}
+
+func runReplay(line string) int {
+	spec, err := crash.ParseReplaySpec(line)
 	if err != nil {
-		return err
+		return fatalf("%v", err)
 	}
-
-	// Data committed before the crash window must survive it.
-	marker := []byte("committed-before-crash")
-	if err := s.FS.WriteFile("/marker", marker); err != nil {
-		return err
-	}
-
-	s.Mem.ArmCrash(rng.Int63n(60000))
-	crashed, _ := tinca.CatchCrash(func() {
-		_, _ = tinca.RunFilebench(s.FS, tinca.FilebenchConfig{
-			Profile: tinca.Varmail, Files: 32, FileBytes: 16 << 10,
-			Ops: 500, Seed: rng.Int63n(1 << 30),
-		})
-	})
-	if !crashed {
-		s.Mem.DisarmCrash()
-	}
-
-	p := evictP
-	if p < 0 {
-		p = rng.Float64()
-	}
-	s.Crash(sim.NewRand(rng.Int63n(1<<30)), p)
-
-	if err := s.Remount(); err != nil {
-		return fmt.Errorf("remount: %w", err)
-	}
-	if err := s.TCache.CheckInvariants(); err != nil {
-		return fmt.Errorf("cache invariants: %w", err)
-	}
-	if err := s.FS.Check(); err != nil {
-		return fmt.Errorf("fsck: %w", err)
-	}
-	got, err := s.FS.ReadFile("/marker")
+	res, err := crash.Replay(spec)
 	if err != nil {
-		return fmt.Errorf("durability: marker lost: %w", err)
+		fmt.Printf("tincacrash: replay: crashed=%v acked=%d inflight=%q\n", res.Crashed, res.OpsAcked, res.Inflight)
+		fmt.Printf("tincacrash: INCONSISTENCY reproduced: %v\n", err)
+		return 1
 	}
-	if string(got) != string(marker) {
-		return fmt.Errorf("durability: marker corrupted: %q", got)
+	fmt.Printf("tincacrash: replay consistent (crashed=%v acked=%d)\n", res.Crashed, res.OpsAcked)
+	return 0
+}
+
+type sweepArgs struct {
+	kind, evictPs, fault               string
+	seed, stride                       int64
+	ops, maxB, workers                 int
+	groupBlocks, fsWorkers, committers int
+	minimize, verbose                  bool
+}
+
+func runSweep(a sweepArgs) int {
+	kind, err := crash.ParseKind(a.kind)
+	if err != nil {
+		return fatalf("%v", err)
 	}
-	// The recovered system must remain fully usable.
-	if err := s.FS.WriteFile("/post-recovery", []byte("alive")); err != nil {
-		return fmt.Errorf("post-recovery write: %w", err)
+	fault, err := crash.ParseFault(a.fault)
+	if err != nil {
+		return fatalf("%v", err)
 	}
-	return nil
+	var ps []float64
+	for _, f := range strings.Split(a.evictPs, ",") {
+		p, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil || p < 0 || p > 1 {
+			return fatalf("bad -evictps entry %q", f)
+		}
+		ps = append(ps, p)
+	}
+	cfg := crash.SweepConfig{
+		Kind:          kind,
+		Seed:          a.seed,
+		Ops:           a.ops,
+		EvictPs:       ps,
+		Stride:        a.stride,
+		MaxBoundaries: a.maxB,
+		Workers:       a.workers,
+		Fault:         fault,
+	}
+	if a.groupBlocks > 0 {
+		cfg.Group = crash.GroupConfig{Blocks: a.groupBlocks, FSWorkers: a.fsWorkers, RawCommitters: a.committers}
+	}
+	lastPct := -1
+	cfg.Progress = func(done, total, failures int) {
+		pct := done * 100 / total
+		if pct != lastPct && (a.verbose || pct%5 == 0 || done == total) {
+			lastPct = pct
+			fmt.Fprintf(os.Stderr, "\rtincacrash: sweep %d/%d trials (%d%%), %d failures", done, total, pct, failures)
+		}
+	}
+	res, err := crash.Sweep(cfg)
+	fmt.Fprintln(os.Stderr)
+	if err != nil {
+		return fatalf("%v", err)
+	}
+
+	mode := "serial"
+	if a.groupBlocks > 0 {
+		mode = fmt.Sprintf("group(blocks=%d,fs=%d,raw=%d)", a.groupBlocks, a.fsWorkers, a.committers)
+	}
+	fmt.Printf("tincacrash: %s %s sweep: %d boundaries of %d-op space x %d evictPs = %d trials, %d crashed, %d failures\n",
+		a.kind, mode, res.Boundaries, res.BoundarySpace, len(ps), res.Runs, res.Crashes, len(res.Failures))
+	if len(res.Failures) == 0 {
+		return 0
+	}
+
+	show := res.Failures
+	if len(show) > 5 {
+		show = show[:5]
+	}
+	for _, f := range show {
+		fmt.Printf("  FAIL boundary=%d evictp=%v: %v\n", f.Boundary, f.EvictP, f.Err)
+	}
+	if len(res.Failures) > len(show) {
+		fmt.Printf("  ... and %d more\n", len(res.Failures)-len(show))
+	}
+	switch {
+	case a.groupBlocks > 0:
+		fmt.Printf("group failures are scheduling-dependent; re-run: tincacrash -sweep -kind %s -seed %d -ops %d -group-blocks %d -fs-workers %d -committers %d\n",
+			a.kind, a.seed, a.ops, a.groupBlocks, a.fsWorkers, a.committers)
+	case a.minimize:
+		min, err := crash.Minimize(cfg, res.Failures[0])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tincacrash: minimize: %v\n", err)
+			fmt.Printf("replay: tincacrash -replay '%s'\n", cfg.ReplayLine(res.Failures[0]))
+		} else {
+			fmt.Printf("minimal reproducer: %d ops at boundary %d (%d shrink trials): %v\n",
+				len(min.Trace), min.Boundary, min.Trials, min.Err)
+			fmt.Printf("replay: tincacrash -replay '%s'\n", min.Spec)
+		}
+	default:
+		fmt.Printf("replay: tincacrash -replay '%s'\n", cfg.ReplayLine(res.Failures[0]))
+	}
+	return 1
+}
+
+func runRandomTrials(kindF string, trials int, seed int64, ops int, evictP float64, verbose bool) int {
+	kind, err := crash.ParseKind(kindF)
+	if err != nil {
+		return fatalf("%v", err)
+	}
+	rng := sim.NewRand(seed)
+	failures, crashes := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		p := evictP
+		if p < 0 {
+			p = rng.Float64()
+		}
+		tseed := rng.Int63()
+		res, err := crash.Trial(kind, tseed, ops, p)
+		if res.Crashed {
+			crashes++
+		}
+		if err != nil {
+			failures++
+			fmt.Fprintf(os.Stderr, "trial %d (seed=%d evictp=%v acked=%d inflight=%q): INCONSISTENCY: %v\n",
+				trial, tseed, p, res.OpsAcked, res.Inflight, err)
+		} else if verbose {
+			fmt.Printf("trial %d: ok (crashed=%v acked=%d)\n", trial, res.Crashed, res.OpsAcked)
+		}
+	}
+	fmt.Printf("tincacrash: %d trials, %d crashed, %d failures\n", trials, crashes, failures)
+	if failures > 0 {
+		return 1
+	}
+	return 0
 }

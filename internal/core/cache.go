@@ -47,6 +47,23 @@ type GroupCommit struct {
 // DefaultGroupBatch is the default cap on transactions per seal.
 const DefaultGroupBatch = 8
 
+// Fault selects a deliberate violation of the commit protocol's persist
+// ordering, used exclusively to validate the crash harness: a sweep that
+// cannot catch a cache that skips a required flush is not testing
+// anything. Never set a fault in a real configuration.
+type Fault int
+
+const (
+	// FaultNone is the correct protocol.
+	FaultNone Fault = iota
+	// FaultSkipDataFlush omits the cache-line flushes of committed block
+	// data (phase A of the seal; step 1 of the serial protocol). The
+	// entries and ring records still persist in order, so after a crash
+	// with no lucky evictions the metadata points at garbage data — the
+	// classic "logged before flushed" bug the sweep must detect.
+	FaultSkipDataFlush
+)
+
 // Options configure a Cache.
 type Options struct {
 	// RingBytes is the ring buffer size; the paper's default (1MB) when 0.
@@ -87,6 +104,17 @@ type Options struct {
 	// given fixed-size ring for Chrome trace_event export. Setting a
 	// Tracer implies Observe.
 	Tracer *metrics.Tracer
+	// Fault injects a deliberate persist-ordering violation (see Fault).
+	// Harness self-validation only.
+	Fault Fault
+	// SealHook, when non-nil, is called immediately after every commit
+	// point (the Tail persist that seals a batch or serial transaction)
+	// with that seal's sequence number, while the commit lock is still
+	// held. Sequence numbers are assigned when a seal starts and are
+	// strictly increasing, so the largest value a hook observed before a
+	// crash is exactly the prefix of seals that reached their commit
+	// point. The hook must be fast and must not call back into the cache.
+	SealHook func(seq uint64)
 	// DestageDepth, when positive, enables the background destage path:
 	// a bounded queue of that many blocks drained by a destager
 	// goroutine that writes committed blocks back to disk off the commit
@@ -122,6 +150,9 @@ func (o Options) Validate() error {
 	}
 	if o.DestageDepth < 0 {
 		return fmt.Errorf("core: DestageDepth %d is negative", o.DestageDepth)
+	}
+	if o.Fault < FaultNone || o.Fault > FaultSkipDataFlush {
+		return fmt.Errorf("core: unknown fault %d", int(o.Fault))
 	}
 	if o.DestageDepth > 0 && o.Ablation != AblationNone {
 		return errors.New("core: DestageDepth requires the paper's commit path (AblationNone)")
@@ -205,6 +236,10 @@ type Cache struct {
 	tick  atomic.Int64
 
 	head, tail uint64 // cached copies of the persistent pointers
+
+	// sealSeq numbers commit-point seals for Options.SealHook; assigned
+	// when a seal starts, reported after its Tail persist. Guarded by mu.
+	sealSeq uint64
 
 	// pinned holds the entry slots of the committing batch (replacement
 	// rule 2, Section 4.6): neither copy of a committing block may be

@@ -254,12 +254,25 @@ planLoop:
 		ts = c.obs.phase(c.obs.absorb, sealID, spanAbsorb, ts, g)
 	}
 
+	// The batch is one seal: claim its sequence number before any persist
+	// so a harness can match the claimed transactions against the largest
+	// sequence whose commit point was reached (Options.SealHook).
+	c.sealSeq++
+	seq := c.sealSeq
+	for _, r := range batch {
+		r.t.sealSeq = seq
+	}
+
 	// Phase A — data. Every target block is freshly allocated, so no
 	// reader can observe it yet; store + flush each, one fence for all.
+	// (FaultSkipDataFlush, harness validation only, leaves the stores
+	// volatile while the protocol proceeds.)
 	for _, pb := range plan {
 		off := c.lay.blockOff(pb.nb)
 		c.mem.Store(off, pb.data)
-		c.mem.CLFlush(off, BlockSize)
+		if c.opts.Fault != FaultSkipDataFlush {
+			c.mem.CLFlush(off, BlockSize)
+		}
 	}
 	c.mem.SFence()
 	if c.obs != nil {
@@ -349,6 +362,9 @@ planLoop:
 	// Phase E — the commit point: ONE Tail persist seals every
 	// transaction in the batch at once.
 	c.setTail(c.head)
+	if c.opts.SealHook != nil {
+		c.opts.SealHook(seq)
+	}
 	if c.obs != nil {
 		c.obs.phase(c.obs.tail, sealID, spanTail, ts, g)
 	}

@@ -73,18 +73,30 @@ func (c *Cache) recover() error {
 			}
 			slots = append(slots, i)
 		}
-		for _, i := range slots {
-			e := c.readEntry(i)
-			if e.role != RoleLog {
-				continue // already switched before the crash
+		if redo {
+			for _, i := range slots {
+				if e := c.readEntry(i); e.role == RoleLog {
+					c.recoverSwitch(i, e)
+				}
 			}
-			if redo {
-				c.recoverSwitch(i, e)
-			} else {
-				c.recoverRevoke(i, e, byDisk)
+			c.setTail(c.head)
+		} else {
+			// Undo. Persist Tail over the range *before* revoking: Tail
+			// only moves forward, so the wear-leveled pointer slots make
+			// it durable, and if recovery itself crashes mid-revocation
+			// the next pass sees Head == Tail and the stray-log sweep
+			// below finishes the undo. Revoking first would be misread
+			// by that re-run: a half-revoked range contains buffer-role
+			// entries, indistinguishable from a half-switched commit,
+			// and the remaining log entries would be wrongly redone —
+			// resurrecting half of a transaction that was being revoked.
+			c.setTail(c.head)
+			for _, i := range slots {
+				if e := c.readEntry(i); e.role == RoleLog {
+					c.recoverRevoke(i, e, byDisk)
+				}
 			}
 		}
-		c.setTail(c.head)
 	}
 
 	// Sweep for stray log entries: a crash after persisting block entries
@@ -131,7 +143,11 @@ func (c *Cache) recoverRevoke(i int32, e entry, byDisk map[uint64]int32) {
 
 // revokeRange is the live (mid-commit) revocation used when an allocation
 // fails partway through a serial commit: exactly recovery's undo, but
-// keeping the DRAM structures in sync. Caller holds c.mu.
+// keeping the DRAM structures in sync. The caller must have persisted
+// Tail past the range first (see the abort path in commit): Head is never
+// rolled back, because the wear-leveled pointer slots recover via max, so
+// a smaller Head could not be made durable — the consumed ring slots are
+// simply wasted and reused on the ring's next lap. Caller holds c.mu.
 func (c *Cache) revokeRange(from, to uint64) {
 	for p := from; p < to; p++ {
 		no := c.mem.Load8(c.lay.ringSlotOff(p))
@@ -160,8 +176,6 @@ func (c *Cache) revokeRange(from, to uint64) {
 		sh.mu.Unlock()
 		c.freeBlocks = append(c.freeBlocks, e.cur)
 	}
-	c.head = from
-	c.mem.Persist8(c.lay.headSlotOff(c.head), c.head)
 }
 
 // rebuildVolatile reconstructs the DRAM hash shards, LRU lists, free block

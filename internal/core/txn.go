@@ -16,7 +16,20 @@ type Txn struct {
 	blocks map[uint64][]byte
 	order  []uint64
 	done   bool
+
+	// sealSeq is the sequence number of the seal this transaction was
+	// committed under (0 until a seal claims it). Written under c.mu.
+	sealSeq uint64
 }
+
+// SealSeq returns the sequence number of the seal that committed (or was
+// committing) this transaction, or 0 if no seal has claimed it yet. A
+// crash harness compares it against the largest value Options.SealHook
+// reported: seals at or below that value reached their commit point, so
+// every transaction they claimed must be durable; transactions with a
+// larger (or zero) SealSeq must be absent. Read it only after Commit
+// returned or after the committing goroutines were joined.
+func (t *Txn) SealSeq() uint64 { return t.sealSeq }
 
 // Begin initiates a running transaction (tinca_init_txn).
 func (c *Cache) Begin() *Txn {
@@ -121,15 +134,23 @@ func (t *Txn) Commit() error {
 // serves the ablation configurations and the group path's fallback when a
 // merged batch cannot be allocated. Caller holds c.mu.
 func (c *Cache) commitSerialLocked(t *Txn) error {
+	c.sealSeq++
+	t.sealSeq = c.sealSeq
 	touched := make([]int32, 0, len(t.order))
 	for _, no := range t.order {
 		slot, err := c.commitBlock(no, t.blocks[no])
 		if err != nil {
 			// Allocation failure mid-commit: the blocks committed so far
-			// carry the log role; revoke them exactly as crash recovery
-			// would, leaving the cache at the pre-transaction state.
-			c.revokeRange(c.tail, c.head)
+			// carry the log role. Persist Tail over the consumed ring
+			// range first — Tail is monotonic, so the advance survives a
+			// crash, after which the blocks are stray log entries that
+			// recovery's sweep revokes; then revoke them live. Head
+			// stays where it is: a rollback could not be made durable
+			// through the max-recovered pointer slots, and a stale
+			// larger Head over revoked entries would fail recovery.
+			start := c.tail
 			c.setTail(c.head)
+			c.revokeRange(start, c.head)
 			c.rec.Inc(metrics.TxnAbort)
 			return err
 		}
@@ -164,6 +185,9 @@ func (c *Cache) commitSerialLocked(t *Txn) error {
 
 	// Step 5: Tail catches up with Head; this ends the transaction.
 	c.setTail(c.head)
+	if c.opts.SealHook != nil {
+		c.opts.SealHook(t.sealSeq)
+	}
 
 	// Committed blocks become the most recently used (Section 4.6 rule 2b).
 	// With pinning disabled (ablation) a touched slot may have been
@@ -232,7 +256,7 @@ func (c *Cache) commitBlock(no uint64, data []byte) (int32, error) {
 			if err != nil {
 				return 0, err
 			}
-			c.mem.PersistRange(c.lay.blockOff(nb), data)
+			c.persistBlockData(c.lay.blockOff(nb), data)
 			func() {
 				sh.mu.Lock()
 				defer sh.mu.Unlock()
@@ -249,7 +273,7 @@ func (c *Cache) commitBlock(no uint64, data []byte) (int32, error) {
 		if err != nil {
 			return 0, err
 		}
-		c.mem.PersistRange(c.lay.blockOff(nb), data)
+		c.persistBlockData(c.lay.blockOff(nb), data)
 		i := c.allocSlot()
 		func() {
 			sh.mu.Lock()
@@ -305,6 +329,18 @@ func (c *Cache) roleSwitch(slot int32) {
 	if prev != Fresh {
 		c.freeBlocks = append(c.freeBlocks, prev)
 	}
+}
+
+// persistBlockData makes committed block data durable at off — unless the
+// harness-validation fault asked for the flush to be (incorrectly)
+// skipped, leaving the store volatile while the rest of the protocol
+// proceeds as if it were durable.
+func (c *Cache) persistBlockData(off int, data []byte) {
+	if c.opts.Fault == FaultSkipDataFlush {
+		c.mem.Store(off, data)
+		return
+	}
+	c.mem.PersistRange(off, data)
 }
 
 // setTail persists Tail = p. Caller holds c.mu.

@@ -19,9 +19,10 @@ import (
 	"bytes"
 	"fmt"
 	"math/rand"
+	"sort"
+	"strings"
 
 	"tinca/internal/fs"
-	"tinca/internal/pmem"
 	"tinca/internal/stack"
 )
 
@@ -41,15 +42,22 @@ var opNames = [...]string{"create", "write", "append", "truncate", "remove", "re
 
 // Op is one file-system operation.
 type Op struct {
-	Kind  int
-	Path  string
-	Path2 string // rename target
-	Off   uint64
-	Data  []byte
-	Size  uint64 // truncate
+	Kind    int
+	Path    string
+	Path2   string // rename/link target
+	Off     uint64
+	Data    []byte
+	Size    uint64 // truncate
+	WantErr bool   // the FS must reject this op (e.g. link over an existing name)
 }
 
 func (o Op) String() string {
+	if o.Path2 != "" {
+		if o.WantErr {
+			return fmt.Sprintf("%s!(%s,%s)", opNames[o.Kind], o.Path, o.Path2)
+		}
+		return fmt.Sprintf("%s(%s,%s)", opNames[o.Kind], o.Path, o.Path2)
+	}
 	return fmt.Sprintf("%s(%s)", opNames[o.Kind], o.Path)
 }
 
@@ -83,8 +91,13 @@ func (m Model) Clone() Model {
 	return c
 }
 
-// Apply updates the model with op's effect.
+// Apply updates the model with op's effect. Ops carrying WantErr are
+// expected to be rejected by the file system, so they leave the model
+// unchanged.
 func (m Model) Apply(o Op) {
+	if o.WantErr {
+		return
+	}
 	switch o.Kind {
 	case opCreate:
 		var d []byte
@@ -116,7 +129,14 @@ func (m Model) Apply(o Op) {
 	case opRemove:
 		delete(m.files, o.Path)
 	case opRename:
-		m.files[o.Path2] = m.files[o.Path]
+		src := m.files[o.Path]
+		if dst, ok := m.files[o.Path2]; ok && dst == src {
+			// POSIX rename(2): source and target are the same inode
+			// (hard links, or the same path) — no-op, both names remain.
+			return
+		}
+		// Renaming onto an existing name atomically replaces the target.
+		m.files[o.Path2] = src
 		delete(m.files, o.Path)
 	case opLink:
 		m.files[o.Path2] = m.files[o.Path]
@@ -148,11 +168,28 @@ func Issue(f *fs.FS, o Op) error {
 // Generator produces a random valid operation against the current model.
 type Generator struct {
 	rng    *rand.Rand
+	ns     string // path namespace prefix; "" for the classic flat layout
 	nextID int
 }
 
 // NewGenerator seeds a generator.
 func NewGenerator(rng *rand.Rand) *Generator { return &Generator{rng: rng} }
+
+// NewGeneratorNS seeds a generator whose paths all carry the namespace
+// prefix "/<ns>-", so several concurrent generators can share one file
+// system without colliding (the group-commit oracle verifies each
+// namespace independently).
+func NewGeneratorNS(rng *rand.Rand, ns string) *Generator {
+	return &Generator{rng: rng, ns: ns}
+}
+
+func (g *Generator) newPath(class string) string {
+	g.nextID++
+	if g.ns == "" {
+		return fmt.Sprintf("/%s%04d", class, g.nextID)
+	}
+	return fmt.Sprintf("/%s-%s%04d", g.ns, class, g.nextID)
+}
 
 // Next returns a random operation valid for the model.
 func (g *Generator) Next(m Model) Op {
@@ -161,7 +198,7 @@ func (g *Generator) Next(m Model) Op {
 		paths = append(paths, p)
 	}
 	// Sort for determinism of the pick across map iteration orders.
-	sortStrings(paths)
+	sort.Strings(paths)
 
 	kind := g.rng.Intn(numOps)
 	if len(paths) == 0 || (len(paths) < 4 && g.rng.Intn(2) == 0) {
@@ -169,8 +206,7 @@ func (g *Generator) Next(m Model) Op {
 	}
 	switch kind {
 	case opCreate:
-		g.nextID++
-		return Op{Kind: opCreate, Path: fmt.Sprintf("/f%04d", g.nextID)}
+		return Op{Kind: opCreate, Path: g.newPath("f")}
 	default:
 		p := paths[g.rng.Intn(len(paths))]
 		switch kind {
@@ -185,11 +221,23 @@ func (g *Generator) Next(m Model) Op {
 		case opRemove:
 			return Op{Kind: opRemove, Path: p}
 		case opLink:
-			g.nextID++
-			return Op{Kind: opLink, Path: p, Path2: fmt.Sprintf("/l%04d", g.nextID)}
+			if len(paths) >= 2 && g.rng.Intn(4) == 0 {
+				// Link onto an existing name (possibly an alias of the
+				// source): POSIX link(2) refuses it, so this probes the
+				// FS error path without changing any state.
+				return Op{Kind: opLink, Path: p,
+					Path2: paths[g.rng.Intn(len(paths))], WantErr: true}
+			}
+			return Op{Kind: opLink, Path: p, Path2: g.newPath("l")}
 		default: // rename
-			g.nextID++
-			return Op{Kind: opRename, Path: p, Path2: fmt.Sprintf("/r%04d", g.nextID)}
+			if len(paths) >= 2 && g.rng.Intn(3) == 0 {
+				// Rename onto an existing name: POSIX rename(2)
+				// atomically replaces the target, or no-ops when source
+				// and target are hard links of the same inode.
+				return Op{Kind: opRename, Path: p,
+					Path2: paths[g.rng.Intn(len(paths))]}
+			}
+			return Op{Kind: opRename, Path: p, Path2: g.newPath("r")}
 		}
 	}
 }
@@ -201,14 +249,6 @@ func patterned(r *rand.Rand, n int) []byte {
 		d[i] = stamp ^ byte(i)
 	}
 	return d
-}
-
-func sortStrings(s []string) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
 }
 
 // Result summarizes one trial.
@@ -223,79 +263,31 @@ type Result struct {
 // recovery, and full verification. A nil error means the trial was
 // consistent.
 func Trial(kind stack.Kind, seed int64, ops int, evictP float64) (Result, error) {
+	trace := GenTrace(seed, ops)
 	rng := rand.New(rand.NewSource(seed))
-	s, err := stack.New(stack.Config{
-		Kind:          kind,
-		NVMBytes:      4 << 20,
-		FSBlocks:      8192,
-		JournalBlocks: 256,
-		// Per-op commits make the atomicity oracle exact.
-		GroupCommitBlocks: 0,
+	out, err := runSerialTrial(trialSpec{
+		kind:      kind,
+		trace:     trace,
+		boundary:  rng.Int63n(int64(ops)*100) + 50,
+		evictP:    evictP,
+		imageSeed: rng.Int63(),
 	})
-	if err != nil {
-		return Result{}, err
+	res := Result{Crashed: out.crashed, OpsAcked: out.acked}
+	if out.inflight != nil {
+		res.Inflight = out.inflight.String()
 	}
-
-	model := NewModel()
-	gen := NewGenerator(rng)
-	var res Result
-	var inflight *Op
-
-	s.Mem.ArmCrash(rng.Int63n(int64(ops)*100) + 50)
-	crashed, _ := pmem.CatchCrash(func() {
-		for i := 0; i < ops; i++ {
-			o := gen.Next(model)
-			inflight = &o
-			if err := Issue(s.FS, o); err != nil {
-				panic(fmt.Sprintf("op %v failed: %v", o, err))
-			}
-			model.Apply(o)
-			inflight = nil
-			res.OpsAcked++
-		}
-	})
-	res.Crashed = crashed
-	if !crashed {
-		s.Mem.DisarmCrash()
-		inflight = nil
-	}
-	if inflight != nil {
-		res.Inflight = inflight.String()
-	}
-
-	s.Crash(rng, evictP)
-	if err := s.Remount(); err != nil {
-		return res, fmt.Errorf("remount: %w", err)
-	}
-	if err := s.FS.Check(); err != nil {
-		return res, fmt.Errorf("fsck: %w", err)
-	}
-	if s.TCache != nil {
-		if err := s.TCache.CheckInvariants(); err != nil {
-			return res, fmt.Errorf("cache invariants: %w", err)
-		}
-	}
-
-	// The observed state must match the model either before or after the
-	// in-flight operation.
-	if err := Verify(s.FS, model); err == nil {
-		return res, nil
-	} else if inflight == nil {
-		return res, fmt.Errorf("acked state diverged: %w", err)
-	}
-	after := model.Clone()
-	after.Apply(*inflight)
-	if err := Verify(s.FS, after); err != nil {
-		errBefore := Verify(s.FS, model)
-		return res, fmt.Errorf("state matches neither side of in-flight %v:\n  before: %v\n  after: %v",
-			*inflight, errBefore, err)
-	}
-	return res, nil
+	return res, err
 }
 
 // Verify compares the file system against the model exactly: every model
 // file exists with identical contents, and no unexpected files exist.
-func Verify(f *fs.FS, m Model) error {
+func Verify(f *fs.FS, m Model) error { return VerifyPrefix(f, m, "/") }
+
+// VerifyPrefix compares the subset of the file system whose paths start
+// with prefix against the model: every model file exists with identical
+// contents, and no unexpected files exist under the prefix. The
+// group-commit oracle uses one namespace prefix per concurrent worker.
+func VerifyPrefix(f *fs.FS, m Model, prefix string) error {
 	names, err := f.ReadDir("/")
 	if err != nil {
 		return err
@@ -303,6 +295,9 @@ func Verify(f *fs.FS, m Model) error {
 	seen := map[string]bool{}
 	for _, n := range names {
 		p := "/" + n
+		if !strings.HasPrefix(p, prefix) {
+			continue
+		}
 		info, err := f.Stat(p)
 		if err != nil {
 			return fmt.Errorf("stat %s: %w", p, err)

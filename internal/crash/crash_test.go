@@ -22,16 +22,89 @@ func TestModelApplySelfConsistent(t *testing.T) {
 		rng := sim.NewRand(seed)
 		gen := NewGenerator(rng)
 		model := NewModel()
+		wantErrs := 0
 		for i := 0; i < 150; i++ {
 			o := gen.Next(model)
-			if err := Issue(s.FS, o); err != nil {
+			err := Issue(s.FS, o)
+			if o.WantErr {
+				if err == nil {
+					t.Fatalf("seed %d op %v succeeded, want error", seed, o)
+				}
+				wantErrs++
+			} else if err != nil {
 				t.Fatalf("seed %d op %v: %v", seed, o, err)
 			}
 			model.Apply(o)
 		}
+		t.Logf("seed %d: %d expected-failure ops", seed, wantErrs)
 		if err := Verify(s.FS, model); err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
+	}
+}
+
+// TestModelAliasSemantics pins the POSIX corner cases the generator now
+// reaches: rename onto an existing name replaces it, rename between hard
+// links of the same inode is a no-op, and link onto an existing name is
+// rejected without side effects. Model and FS must agree on each.
+func TestModelAliasSemantics(t *testing.T) {
+	s, err := stack.New(stack.Config{Kind: stack.Tinca, NVMBytes: 4 << 20, FSBlocks: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewModel()
+	steps := []Op{
+		{Kind: opCreate, Path: "/a"},
+		{Kind: opAppend, Path: "/a", Data: []byte("alpha")},
+		{Kind: opCreate, Path: "/b"},
+		{Kind: opAppend, Path: "/b", Data: []byte("beta")},
+		{Kind: opLink, Path: "/a", Path2: "/a2"},               // alias of /a
+		{Kind: opLink, Path: "/b", Path2: "/a", WantErr: true}, // collision: rejected
+		{Kind: opRename, Path: "/a", Path2: "/a2"},             // same inode: no-op, both stay
+		{Kind: opRename, Path: "/b", Path2: "/a"},              // replaces /a; /a2 keeps "alpha"
+	}
+	for i, o := range steps {
+		err := Issue(s.FS, o)
+		if o.WantErr {
+			if err == nil {
+				t.Fatalf("step %d %v succeeded, want error", i, o)
+			}
+		} else if err != nil {
+			t.Fatalf("step %d %v: %v", i, o, err)
+		}
+		m.Apply(o)
+	}
+	want := map[string]string{"/a": "beta", "/a2": "alpha"}
+	if m.Len() != len(want) {
+		t.Fatalf("model has %d paths, want %d", m.Len(), len(want))
+	}
+	for p, v := range want {
+		cell, ok := m.files[p]
+		if !ok || string(*cell) != v {
+			t.Fatalf("model %s = %v, want %q", p, cell, v)
+		}
+	}
+	if err := Verify(s.FS, m); err != nil {
+		t.Fatalf("FS diverged from model: %v", err)
+	}
+}
+
+// TestGeneratorCoversAliasOps fails if the generator stops producing the
+// rename-onto-existing and link-over-existing ops this PR added: absent
+// coverage, the POSIX replace/no-op paths go untested again.
+func TestGeneratorCoversAliasOps(t *testing.T) {
+	renameOver, linkOver := 0, 0
+	for _, o := range GenTrace(42, 800) {
+		switch {
+		case o.Kind == opRename && o.Path2[1] != 'r':
+			renameOver++
+		case o.Kind == opLink && o.WantErr:
+			linkOver++
+		}
+	}
+	if renameOver == 0 || linkOver == 0 {
+		t.Fatalf("800-op trace has %d rename-onto-existing and %d link-over-existing ops; generator lost coverage",
+			renameOver, linkOver)
 	}
 }
 

@@ -1,0 +1,294 @@
+package crash
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"tinca/internal/core"
+	"tinca/internal/pmem"
+	"tinca/internal/sim"
+	"tinca/internal/stack"
+)
+
+// TestSweepSerialExhaustive crashes a trace at every persist-op boundary
+// it spans, across the evictP grid, for both stack kinds. This is the
+// exhaustive counterpart of the random Trial tests: no boundary is left
+// unsampled, so an ordering bug cannot hide between random draws.
+func TestSweepSerialExhaustive(t *testing.T) {
+	for _, kind := range []stack.Kind{stack.Tinca, stack.Classic} {
+		res, err := Sweep(SweepConfig{Kind: kind, Seed: 11, Ops: 15})
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if len(res.Failures) != 0 {
+			f := res.Failures[0]
+			t.Fatalf("%v: %d failures; first at boundary %d evictP %v: %v",
+				kind, len(res.Failures), f.Boundary, f.EvictP, f.Err)
+		}
+		if res.BoundarySpace == 0 || res.Boundaries != int(res.BoundarySpace) {
+			t.Fatalf("%v: swept %d of %d boundaries", kind, res.Boundaries, res.BoundarySpace)
+		}
+		// Every in-stream boundary must actually fire: 3 evictPs per
+		// boundary, all crashing.
+		if res.Crashes != res.Runs {
+			t.Fatalf("%v: only %d/%d trials crashed; boundary space over-counted", kind, res.Crashes, res.Runs)
+		}
+		t.Logf("%v: %d boundaries x 3 evictPs = %d trials, all consistent", kind, res.Boundaries, res.Runs)
+	}
+}
+
+// TestSweepGroupCommit runs the group-commit-aware oracle: concurrent
+// namespaced FS workers plus raw core.Txn committers under
+// GroupCommitBlocks > 0, crashed across the boundary space. Verifies
+// batch prefix-atomicity per worker and block-level txn atomicity for
+// the raw streams.
+func TestSweepGroupCommit(t *testing.T) {
+	for _, tc := range []struct {
+		kind stack.Kind
+		raw  int
+	}{
+		{stack.Tinca, 2},
+		{stack.Classic, 0},
+	} {
+		res, err := Sweep(SweepConfig{
+			Kind:          tc.kind,
+			Seed:          23,
+			Ops:           10,
+			MaxBoundaries: 50,
+			Group:         GroupConfig{Blocks: 4, FSWorkers: 4, RawCommitters: tc.raw},
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", tc.kind, err)
+		}
+		if len(res.Failures) != 0 {
+			f := res.Failures[0]
+			t.Fatalf("%v: %d failures; first at boundary %d evictP %v: %v",
+				tc.kind, len(res.Failures), f.Boundary, f.EvictP, f.Err)
+		}
+		if res.Crashes == 0 {
+			t.Fatalf("%v: no group trial crashed; sweep is vacuous", tc.kind)
+		}
+		t.Logf("%v: %d trials (%d crashed) over %d-op boundary space, all consistent",
+			tc.kind, res.Runs, res.Crashes, res.BoundarySpace)
+	}
+}
+
+// TestSweepCatchesInjectedFault validates the harness itself: a cache
+// that skips the committed-data flushes (FaultSkipDataFlush) must be
+// caught by the sweep at evictP 0, then shrunk to a tiny deterministic
+// reproducer whose replay line fails on its own.
+func TestSweepCatchesInjectedFault(t *testing.T) {
+	cfg := SweepConfig{
+		Kind:    stack.Tinca,
+		Seed:    5,
+		Ops:     25,
+		EvictPs: []float64{0},
+		Fault:   core.FaultSkipDataFlush,
+	}
+	res, err := Sweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failures) == 0 {
+		t.Fatal("sweep missed the injected skip-data-flush fault; the oracle is vacuous")
+	}
+	t.Logf("fault caught at %d/%d trials; first: boundary %d: %v",
+		len(res.Failures), res.Runs, res.Failures[0].Boundary, res.Failures[0].Err)
+
+	min, err := Minimize(cfg, res.Failures[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(min.Trace) > 10 {
+		t.Fatalf("minimizer left %d ops, want <= 10: %v", len(min.Trace), min.Trace)
+	}
+	t.Logf("minimized to %d ops (boundary %d) in %d trials: %s",
+		len(min.Trace), min.Boundary, min.Trials, min.Spec)
+
+	// The reproducer line must round-trip and still fail.
+	line := min.Spec.String()
+	spec, err := ParseReplaySpec(line)
+	if err != nil {
+		t.Fatalf("reproducer line does not parse: %v\n%s", err, line)
+	}
+	if _, err := Replay(spec); err == nil {
+		t.Fatalf("reproducer does not reproduce: %s", line)
+	}
+
+	// And the same sweep without the fault must be clean — the failures
+	// above are the fault, not harness noise.
+	cfg.Fault = core.FaultNone
+	res, err = Sweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failures) != 0 {
+		t.Fatalf("fault-free control sweep failed: %v", res.Failures[0].Err)
+	}
+}
+
+// TestTraceEncodeDecodeRoundTrip covers the reproducer encoding over the
+// full op mix the generator produces.
+func TestTraceEncodeDecodeRoundTrip(t *testing.T) {
+	trace := GenTrace(99, 400)
+	line, err := EncodeTrace(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeTrace(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(trace, back) {
+		t.Fatal("trace does not round-trip through its encoding")
+	}
+	// Arbitrary (non-patterned) data must survive via the hex fallback.
+	odd := Op{Kind: opWrite, Path: "/x", Off: 7, Data: []byte{1, 1, 2, 3, 5, 8}}
+	tok, err := EncodeOp(odd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tok, "x010102030508") {
+		t.Fatalf("non-patterned data not hex-encoded: %q", tok)
+	}
+	got, err := DecodeOp(tok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(odd, got) {
+		t.Fatalf("op %v decoded as %v", odd, got)
+	}
+}
+
+// TestReplaySpecRoundTrip pins the full reproducer-line format.
+func TestReplaySpecRoundTrip(t *testing.T) {
+	spec := ReplaySpec{
+		Kind:     stack.Classic,
+		Boundary: -1,
+		EvictP:   0.25,
+		Fault:    core.FaultNone,
+		Seed:     1234,
+		Trace:    GenTrace(3, 20),
+	}
+	back, err := ParseReplaySpec(spec.String())
+	if err != nil {
+		t.Fatalf("%v\n%s", err, spec.String())
+	}
+	if !reflect.DeepEqual(spec, back) {
+		t.Fatalf("spec does not round-trip:\n  %s\n  %s", spec.String(), back.String())
+	}
+	if _, err := ParseReplaySpec("kind=tinca boundary=1"); err == nil {
+		t.Fatal("traceless spec accepted")
+	}
+	if _, err := ParseReplaySpec("kind=nope trace=c:/f0001"); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+// TestRecoveryCrashIdempotence crashes the workload, then keeps crashing
+// *recovery itself* at successive persist-op boundaries — re-crashing the
+// half-recovered image each time — until a recovery pass runs to
+// completion. The final state must still satisfy the before/after oracle:
+// recovery must be idempotent under repeated failure.
+//
+// Recovery only persists when it finds repair work (an interrupted
+// transaction or stray log entries), so a workload crash at a quiescent
+// boundary yields a persist-free recovery that no armed crash can hit.
+// The test therefore spreads workload crashes over many boundaries and
+// requires that crashing recovery was exercised at least once overall.
+func TestRecoveryCrashIdempotence(t *testing.T) {
+	for _, kind := range []stack.Kind{stack.Tinca, stack.Classic} {
+		total := 0
+		for wb := int64(50); wb <= 1000; wb += 50 {
+			total += recoveryCrashScenario(t, kind, wb)
+		}
+		if total == 0 {
+			t.Fatalf("%v: no workload boundary produced a crashable recovery; test is vacuous", kind)
+		}
+		t.Logf("%v: consistent through %d crashes during recovery across workload boundaries", kind, total)
+	}
+}
+
+// recoveryCrashScenario runs one workload crash at boundary wb followed
+// by the crash-every-recovery-boundary loop, verifying the oracle at the
+// end. It returns how many recovery passes were themselves crashed.
+func recoveryCrashScenario(t *testing.T, kind stack.Kind, wb int64) int {
+	t.Helper()
+	trace := GenTrace(17, 30)
+	sp := trialSpec{kind: kind, trace: trace}
+	s, err := stack.New(sp.stackConfig(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	model := NewModel()
+	var inflight *Op
+	var opErr error
+	s.Mem.ArmCrash(wb)
+	crashed, _ := pmem.CatchCrash(func() {
+		for i := range trace {
+			o := trace[i]
+			inflight = &o
+			err := Issue(s.FS, o)
+			if o.WantErr {
+				if err == nil {
+					opErr = fmt.Errorf("op %d %v succeeded, want error", i, o)
+					return
+				}
+			} else if err != nil {
+				opErr = fmt.Errorf("op %d %v: %v", i, o, err)
+				return
+			}
+			model.Apply(o)
+			inflight = nil
+		}
+	})
+	if opErr != nil {
+		t.Fatalf("%v wb=%d: %v", kind, wb, opErr)
+	}
+	if !crashed {
+		s.Mem.DisarmCrash()
+		inflight = nil
+	}
+	s.Crash(sim.NewRand(wb), 0.5)
+
+	// Crash recovery at boundary 0, 1, 2, ... of the (progressively
+	// re-crashed) image until one pass completes untouched.
+	reRng := sim.NewRand(wb * 31)
+	recoveryCrashes := 0
+	for b := int64(0); ; b++ {
+		if b > 1_000_000 {
+			t.Fatalf("%v wb=%d: recovery never completed", kind, wb)
+		}
+		var remountErr error
+		s.Mem.ArmCrash(b)
+		crashed, _ := pmem.CatchCrash(func() { remountErr = s.Remount() })
+		if !crashed {
+			s.Mem.DisarmCrash()
+			if remountErr != nil {
+				t.Fatalf("%v wb=%d: remount after %d recovery crashes: %v", kind, wb, recoveryCrashes, remountErr)
+			}
+			break
+		}
+		recoveryCrashes++
+		s.Crash(reRng, 0.5)
+	}
+
+	if err := checkStructure(s); err != nil {
+		t.Fatalf("%v wb=%d after %d recovery crashes: %v", kind, wb, recoveryCrashes, err)
+	}
+	if err := Verify(s.FS, model); err != nil {
+		if inflight == nil {
+			t.Fatalf("%v wb=%d: acked state diverged after %d recovery crashes: %v", kind, wb, recoveryCrashes, err)
+		}
+		after := model.Clone()
+		after.Apply(*inflight)
+		if err2 := Verify(s.FS, after); err2 != nil {
+			t.Fatalf("%v wb=%d: state matches neither side of in-flight %v after %d recovery crashes:\n  before: %v\n  after: %v",
+				kind, wb, *inflight, recoveryCrashes, err, err2)
+		}
+	}
+	return recoveryCrashes
+}

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"tinca/internal/metrics"
+	"tinca/internal/pmem"
 	"tinca/internal/sim"
 )
 
@@ -93,6 +94,14 @@ type FS struct {
 	pageCache *pageCache
 
 	lastCommit int64 // simulated ns of the last group commit
+
+	// crashed carries the injected-crash panic after a simulated power
+	// failure unwound an operation: the failure may have left the DRAM
+	// mirrors and the open group transaction mid-update, so every later
+	// operation re-raises the crash instead of running on that state
+	// (exactly as core.Cache poisons itself). Only Crash+Remount — which
+	// build a fresh FS — clear it.
+	crashed atomic.Value
 
 	// Operation counters for Stats (atomic: read ops bump them under the
 	// shared lock).
@@ -342,7 +351,30 @@ func (f *FS) beginOp() *opCtx {
 func (f *FS) runOp(force bool, body func(*opCtx) error) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	f.checkCrashed()
+	defer f.poisonOnCrash()
 	return f.runOpLocked(force, body)
+}
+
+// checkCrashed re-raises a previously observed injected-crash panic: after
+// a (simulated) power failure nothing may keep mutating this mount.
+func (f *FS) checkCrashed() {
+	if pv := f.crashed.Load(); pv != nil {
+		panic(pv)
+	}
+}
+
+// poisonOnCrash (deferred) records an injected-crash panic unwinding
+// through this operation, then lets it continue to the harness.
+func (f *FS) poisonOnCrash() {
+	pv := recover()
+	if pv == nil {
+		return
+	}
+	if _, ok := pv.(pmem.ErrCrash); ok {
+		f.crashed.CompareAndSwap(nil, pv)
+	}
+	panic(pv)
 }
 
 // runRead executes a read-only operation body. When the backend supports
@@ -364,6 +396,8 @@ func (f *FS) runRead(body func(*opCtx) error) error {
 		return f.runOp(false, body)
 	}
 	defer f.mu.RUnlock()
+	f.checkCrashed()
+	defer f.poisonOnCrash()
 	f.nReadOps.Add(1)
 	if f.opts.Clock != nil && f.opts.OpCostNS > 0 {
 		f.opts.Clock.AdvanceNS(f.opts.OpCostNS)

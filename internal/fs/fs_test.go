@@ -278,6 +278,109 @@ func TestRename(t *testing.T) {
 	}
 }
 
+func TestRenameOverExistingReplacesTarget(t *testing.T) {
+	// POSIX rename(2): an existing target is replaced atomically and its
+	// storage released when the replaced name was the last link.
+	f := newFSForTest(t, 1<<15, Options{})
+	f.Create("/src")
+	f.WriteAt("/src", 0, []byte("source"))
+	f.Create("/dst")
+	f.WriteAt("/dst", 0, make([]byte, 8*BlockSize))
+	free0 := f.FreeBlockCount()
+	freeIno0 := f.Stats().FreeInodes
+	if err := f.Rename("/src", "/dst"); err != nil {
+		t.Fatalf("rename over existing: %v", err)
+	}
+	if f.Exists("/src") {
+		t.Fatal("source name survived rename")
+	}
+	got, err := f.ReadFile("/dst")
+	if err != nil || string(got) != "source" {
+		t.Fatalf("target contents: %q %v", got, err)
+	}
+	if f.FreeBlockCount() <= free0 {
+		t.Fatal("replaced target's blocks were not freed")
+	}
+	if f.Stats().FreeInodes != freeIno0+1 {
+		t.Fatal("replaced target's inode was not freed")
+	}
+	if err := f.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenameOverHardLinkDecrementsNlink(t *testing.T) {
+	// Replacing one name of a multiply linked target only drops a link;
+	// the other name keeps the contents.
+	f := newFSForTest(t, 4096, Options{})
+	f.Create("/src")
+	f.WriteAt("/src", 0, []byte("new"))
+	f.Create("/a")
+	f.WriteAt("/a", 0, []byte("shared"))
+	if err := f.Link("/a", "/b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Rename("/src", "/b"); err != nil {
+		t.Fatalf("rename over hard link: %v", err)
+	}
+	got, _ := f.ReadFile("/a")
+	if string(got) != "shared" {
+		t.Fatalf("surviving link contents: %q", got)
+	}
+	info, err := f.Stat("/a")
+	if err != nil || info.Nlink != 1 {
+		t.Fatalf("surviving link nlink = %d (%v), want 1", info.Nlink, err)
+	}
+	got, _ = f.ReadFile("/b")
+	if string(got) != "new" {
+		t.Fatalf("replaced name contents: %q", got)
+	}
+	if err := f.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenameSameInodeIsNoop(t *testing.T) {
+	// POSIX: when old and new are hard links to the same inode, rename
+	// does nothing and both names remain. Same for renaming onto itself.
+	f := newFSForTest(t, 4096, Options{})
+	f.Create("/a")
+	f.WriteAt("/a", 0, []byte("alias"))
+	if err := f.Link("/a", "/b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Rename("/a", "/b"); err != nil {
+		t.Fatalf("same-inode rename: %v", err)
+	}
+	for _, p := range []string{"/a", "/b"} {
+		got, err := f.ReadFile(p)
+		if err != nil || string(got) != "alias" {
+			t.Fatalf("%s after same-inode rename: %q %v", p, got, err)
+		}
+	}
+	if err := f.Rename("/a", "/a"); err != nil {
+		t.Fatalf("self rename: %v", err)
+	}
+	if err := f.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenameDirectoryConflicts(t *testing.T) {
+	f := newFSForTest(t, 4096, Options{})
+	f.Mkdir("/d")
+	f.Create("/f")
+	if err := f.Rename("/f", "/d"); err != ErrIsDir {
+		t.Fatalf("file over directory: %v, want ErrIsDir", err)
+	}
+	if err := f.Rename("/d", "/f"); err != ErrNotDir {
+		t.Fatalf("directory over file: %v, want ErrNotDir", err)
+	}
+	if err := f.Rename("/missing", "/x"); err != ErrNotExist {
+		t.Fatalf("missing source: %v, want ErrNotExist", err)
+	}
+}
+
 func TestTruncateFreesBlocks(t *testing.T) {
 	f := newFSForTest(t, 4096, Options{})
 	f.Create("/t")

@@ -216,21 +216,75 @@ func (f *FS) Readlink(path string) (string, error) {
 	return target, err
 }
 
-// Rename moves oldPath to newPath (dirent move; newPath must not exist).
+// Rename moves oldPath to newPath with POSIX rename(2) semantics: an
+// existing newPath file is replaced atomically (its last link released);
+// if both paths are hard links to the same inode (or the same path), the
+// rename succeeds without doing anything. Renaming onto an existing
+// directory is not supported (ErrIsDir), nor is renaming a directory onto
+// a file (ErrNotDir).
 func (f *FS) Rename(oldPath, newPath string) error {
 	return f.runOp(false, func(ctx *opCtx) error {
 		oldDir, oldName, err := ctx.resolveParent(oldPath)
 		if err != nil {
 			return err
 		}
+		srcIno, err := ctx.lookupDir(oldDir, oldName)
+		if err != nil {
+			return err
+		}
+		if srcIno == 0 {
+			return ErrNotExist
+		}
 		newDir, newName, err := ctx.resolveParent(newPath)
 		if err != nil {
 			return err
 		}
-		if existing, err := ctx.lookupDir(newDir, newName); err != nil {
+		existing, err := ctx.lookupDir(newDir, newName)
+		if err != nil {
 			return err
-		} else if existing != 0 {
-			return ErrExist
+		}
+		if existing == srcIno {
+			// POSIX: oldpath and newpath name the same inode — do nothing
+			// and report success; both names remain.
+			return nil
+		}
+		if existing != 0 {
+			src, err := ctx.readInode(srcIno)
+			if err != nil {
+				return err
+			}
+			tgt, err := ctx.readInode(existing)
+			if err != nil {
+				return err
+			}
+			if tgt.mode == ModeDir {
+				return ErrIsDir
+			}
+			if src.mode == ModeDir {
+				return ErrNotDir
+			}
+			// Replace the target: unlink it under the new name, releasing
+			// the inode and blocks when this was its last link (the same
+			// sequence Remove uses).
+			if _, err := ctx.removeDirent(newDir, newName); err != nil {
+				return err
+			}
+			if tgt.mode == ModeFile && tgt.nlink > 1 {
+				tgt.nlink--
+				if err := ctx.writeInode(existing, tgt); err != nil {
+					return err
+				}
+			} else {
+				if err := ctx.freeFileBlocks(tgt); err != nil {
+					return err
+				}
+				if err := ctx.writeInode(existing, inode{}); err != nil {
+					return err
+				}
+				if err := ctx.freeInode(existing); err != nil {
+					return err
+				}
+			}
 		}
 		ino, err := ctx.removeDirent(oldDir, oldName)
 		if err != nil {
@@ -469,6 +523,8 @@ func (f *FS) Fsync(path string) error {
 func (f *FS) Sync() error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	f.checkCrashed()
+	defer f.poisonOnCrash()
 	if err := f.commitGroup(); err != nil {
 		return err
 	}

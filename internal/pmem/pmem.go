@@ -118,8 +118,12 @@ type Device struct {
 
 	// Crash injection: when armed, the device panics with ErrCrash after
 	// the countdown of persistence-relevant operations reaches zero.
+	// persistOps counts every persistence-relevant operation (stores,
+	// flushes, fences) unconditionally, so harnesses can enumerate the
+	// crash-boundary space of a workload.
 	crashArmed     bool
 	crashCountdown int64
+	persistOps     int64
 
 	// Flush/fence observation (Observe): distribution of cache lines per
 	// CLFlush burst and of the simulated time between successive fences —
@@ -191,6 +195,7 @@ func (d *Device) check(off, n int) {
 }
 
 func (d *Device) maybeCrash(op string) {
+	d.persistOps++
 	if !d.crashArmed {
 		return
 	}
@@ -420,6 +425,7 @@ func (d *Device) Crash(r *rand.Rand, evictP float64) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.crashArmed = false
+	d.crashCountdown = 0
 	for l := 0; l < d.nlines; l++ {
 		if !d.dirty[l] {
 			continue
@@ -445,6 +451,12 @@ func (d *Device) Crash(r *rand.Rand, evictP float64) {
 		}
 		d.dirty[l] = false
 	}
+	// The 16B-atomicity marks describe stores from *before* this failure;
+	// carrying them into the torn-write model of a subsequent crash would
+	// promise atomicity the next power cycle never earned.
+	for w := range d.atomic16 {
+		d.atomic16[w] = false
+	}
 	copy(d.volatile, d.persist)
 }
 
@@ -459,11 +471,26 @@ func (d *Device) ArmCrash(n int64) {
 	d.crashCountdown = n
 }
 
-// DisarmCrash cancels a pending armed crash.
+// DisarmCrash cancels a pending armed crash. The countdown is reset too:
+// a later ArmCrash-free sequence must never inherit a stale fuse.
 func (d *Device) DisarmCrash() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.crashArmed = false
+	d.crashCountdown = 0
+}
+
+// PersistOps reports the total number of persistence-relevant operations
+// (stores, flushes, fences — exactly the operations an armed crash counts)
+// the device has executed since creation. ArmCrash(n) fires on the
+// (n+1)th subsequent such operation, so a workload spanning operations
+// [a, b) of this counter has crash boundaries ArmCrash(a+k) for
+// k in [0, b-a). Exhaustive sweeps use the delta to enumerate every
+// boundary instead of sampling one.
+func (d *Device) PersistOps() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.persistOps
 }
 
 // CatchCrash runs fn and absorbs an injected-crash panic raised by an armed

@@ -300,6 +300,100 @@ func TestPersistRangeDurableProperty(t *testing.T) {
 	}
 }
 
+func TestCrashClearsAtomic16Marks(t *testing.T) {
+	// Regression: Crash must not carry 16B-atomicity marks across the
+	// failure. A Store16 from before crash #1 must not make the adversary
+	// treat the same words as an atomic pair during crash #2.
+	d, _, _ := newDev(t, 4096, NVDIMM)
+	d.Store16(0, [16]byte{1, 2, 3})
+	d.Store16(256, [16]byte{4, 5, 6})
+	d.Crash(sim.NewRand(9), 0.5)
+	for w, marked := range d.atomic16 {
+		if marked {
+			t.Fatalf("atomic16 mark for word %d survived Crash", w)
+		}
+	}
+	// The next crash's torn-write model must be free to tear those words:
+	// write a plain multi-word store over the formerly-atomic range and
+	// check the adversary tears it at least once across trials.
+	sawTear := false
+	for trial := 0; trial < 200 && !sawTear; trial++ {
+		d2, _, _ := newDev(t, 4096, NVDIMM)
+		d2.Store16(0, [16]byte{0xAA, 0xAA})
+		d2.Crash(sim.NewRand(int64(trial)), 0.5)
+		d2.Store(0, bytes.Repeat([]byte{0x55}, 16))
+		d2.Crash(sim.NewRand(int64(trial)*7+1), 0.5)
+		p := make([]byte, 16)
+		d2.Load(0, p)
+		if (p[0] == 0x55) != (p[8] == 0x55) {
+			sawTear = true
+		}
+	}
+	if !sawTear {
+		t.Fatal("second crash never tore the rewritten range; stale atomic16 mark suspected")
+	}
+}
+
+func TestDisarmResetsCountdown(t *testing.T) {
+	// Regression: DisarmCrash must clear the stale fuse, not just the
+	// armed flag.
+	d, _, _ := newDev(t, 4096, NVDIMM)
+	d.ArmCrash(3)
+	d.Store(0, []byte{1}) // burn one tick
+	d.DisarmCrash()
+	d.mu.Lock()
+	if d.crashCountdown != 0 {
+		d.mu.Unlock()
+		t.Fatalf("crashCountdown = %d after DisarmCrash, want 0", d.crashCountdown)
+	}
+	d.mu.Unlock()
+	// Re-arming after a disarm fires at exactly the new fuse.
+	d.ArmCrash(2)
+	n := 0
+	crashed, _ := CatchCrash(func() {
+		for i := 0; i < 10; i++ {
+			d.Store(0, []byte{byte(i)})
+			n++
+		}
+	})
+	if !crashed || n != 2 {
+		t.Fatalf("re-armed crash: crashed=%v after %d ops, want crash on op 3", crashed, n)
+	}
+}
+
+func TestPersistOpsCountsBoundarySpace(t *testing.T) {
+	d, _, _ := newDev(t, 4096, NVDIMM)
+	if d.PersistOps() != 0 {
+		t.Fatal("fresh device has nonzero PersistOps")
+	}
+	d.Store(0, []byte{1})      // 1
+	d.Store8(8, 7)             // 2
+	d.Store16(16, [16]byte{})  // 3
+	d.CLFlush(0, 64)           // 4
+	d.SFence()                 // 5
+	d.Load(0, make([]byte, 8)) // loads are not persistence-relevant
+	if got := d.PersistOps(); got != 5 {
+		t.Fatalf("PersistOps = %d, want 5", got)
+	}
+	// The counter and ArmCrash agree on the boundary space: arming at
+	// boundary b (ops so far) fires on the very next persist op; arming
+	// at b+k fires after k more.
+	base := d.PersistOps()
+	_ = base
+	d.ArmCrash(2)
+	crashed, _ := CatchCrash(func() {
+		d.Store(0, []byte{1})
+		d.SFence()
+		d.CLFlush(0, 64) // fires here: the (2+1)th op after arming
+	})
+	if !crashed {
+		t.Fatal("crash did not fire at the enumerated boundary")
+	}
+	if got := d.PersistOps(); got != 5+3 {
+		t.Fatalf("PersistOps after crash = %d, want 8 (the firing op counts)", got)
+	}
+}
+
 func TestTornCrashPreservesAtomicUnits(t *testing.T) {
 	// Property: under word-torn crashes, an un-flushed Store16 never
 	// half-persists, while a multi-word Store can.

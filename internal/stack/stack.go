@@ -99,6 +99,14 @@ type Config struct {
 	// DestageDepth enables the asynchronous disk write-back queue of that
 	// many blocks (0 = synchronous write-back, the paper's prototype).
 	DestageDepth int
+	// Fault injects a deliberate persist-ordering violation into the
+	// Tinca commit path (see core.Fault). Exists so the crash harness can
+	// prove it catches broken protocols; never set otherwise.
+	Fault core.Fault
+	// SealHook, when non-nil, is invoked with the seal sequence number at
+	// every Tinca commit point (see core.Options.SealHook). Crash-harness
+	// instrumentation.
+	SealHook func(seq uint64)
 
 	// WriteThrough selects write-through instead of the paper's default
 	// write-back policy, for either cache kind.
@@ -161,12 +169,19 @@ func (c Config) Validate() error {
 			RotatePointers: c.RotatePointers,
 			GroupCommit:    c.GroupCommit,
 			DestageDepth:   c.DestageDepth,
+			Fault:          c.Fault,
 		}).Validate(); err != nil {
 			return err
 		}
 	}
 	if c.Kind != Tinca && c.DestageDepth != 0 {
 		return fmt.Errorf("stack: DestageDepth applies only to the Tinca kind, not %v", c.Kind)
+	}
+	if c.Kind != Tinca && c.Fault != core.FaultNone {
+		return fmt.Errorf("stack: Fault applies only to the Tinca kind, not %v", c.Kind)
+	}
+	if c.Kind != Tinca && c.SealHook != nil {
+		return fmt.Errorf("stack: SealHook applies only to the Tinca kind, not %v", c.Kind)
 	}
 	if c.JournalMode < DataJournal || c.JournalMode > Ordered {
 		return fmt.Errorf("stack: unknown journal mode %d", int(c.JournalMode))
@@ -285,6 +300,8 @@ func (s *Stack) bringUp(format bool) error {
 			RotatePointers: cfg.RotatePointers,
 			GroupCommit:    cfg.GroupCommit,
 			DestageDepth:   cfg.DestageDepth,
+			Fault:          cfg.Fault,
+			SealHook:       cfg.SealHook,
 			Observe:        cfg.Observe,
 			Tracer:         s.Tracer,
 		})
