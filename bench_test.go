@@ -148,6 +148,14 @@ func BenchmarkGroupCommitScaling(b *testing.B) {
 	runExperiment(b, "groupcommit", "speedup", "speedup_8g_x")
 }
 
+// BenchmarkMissPathScaling runs the "fig: miss-path scaling" bench
+// (read-miss throughput at 1/4/8 concurrent readers, serial vs
+// concurrent miss path); reports the 8-goroutine concurrent-path
+// speedup over the serial miss path.
+func BenchmarkMissPathScaling(b *testing.B) {
+	runExperiment(b, "misspath", "speedup", "miss_speedup_8g_x")
+}
+
 // BenchmarkCommitLatency measures the latency (simulated work) of one
 // 8-block Tinca commit at the API level — the core operation of the paper.
 func BenchmarkCommitLatency(b *testing.B) {

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
@@ -35,8 +36,11 @@ func main() {
 	observe := flag.Bool("observe", false, "enable latency histograms in every stack (DESIGN.md §9)")
 	traceOut := flag.String("trace-out", "", "write commit spans as Chrome trace_event JSON to this file (implies -observe)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus) and /debug/pprof on this address while running (implies -observe)")
+	benchJSON := flag.String("bench-json", "", "write each experiment's machine-readable metrics as JSON to this file (e.g. BENCH_core.json)")
+	maxDirectEvict := flag.Float64("max-direct-evict-pct", -1, "fail (exit 1) if any experiment reports a direct_evict_pct above this percentage; <0 disables")
 	flag.Parse()
 	outputCSV = *format == "csv"
+	defer finish(*benchJSON, *maxDirectEvict)
 
 	var tracer *metrics.Tracer
 	if *traceOut != "" {
@@ -69,6 +73,36 @@ func main() {
 }
 
 var outputCSV bool
+
+// benchMetrics accumulates each experiment's Table.Metrics for the
+// -bench-json export and the -max-direct-evict-pct gate.
+var benchMetrics = make(map[string]map[string]float64)
+
+// finish writes the accumulated metrics and enforces the direct-eviction
+// gate. Runs deferred from main so both -fig and -all paths share it.
+func finish(benchJSON string, maxDirectEvict float64) {
+	if benchJSON != "" {
+		data, err := json.MarshalIndent(benchMetrics, "", "  ")
+		if err == nil {
+			err = os.WriteFile(benchJSON, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tincabench: -bench-json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "tincabench: wrote metrics for %d experiments to %s\n", len(benchMetrics), benchJSON)
+	}
+	if maxDirectEvict >= 0 {
+		for name, m := range benchMetrics {
+			if pct, ok := m["direct_evict_pct"]; ok && pct > maxDirectEvict {
+				fmt.Fprintf(os.Stderr,
+					"tincabench: %s: direct evictions were %.2f%% of evictions (max allowed %.2f%%) — the watermark evictor fell behind\n",
+					name, pct, maxDirectEvict)
+				os.Exit(1)
+			}
+		}
+	}
+}
 
 // serveMetrics exposes the process-wide published recorders (each stack an
 // experiment brings up publishes its own) plus net/http/pprof. The server
@@ -121,6 +155,9 @@ func runOne(name string, o exp.Options) {
 			fmt.Print(t)
 		}
 		os.Exit(1)
+	}
+	if len(t.Metrics) > 0 {
+		benchMetrics[name] = t.Metrics
 	}
 	if outputCSV {
 		fmt.Printf("# %s\n%s\n", t.Title, t.CSV())

@@ -1,0 +1,35 @@
+// Package bufpool recycles the 4KB block-sized scratch buffers the cache
+// layers burn through on every miss fill, eviction write-back, destage and
+// checkpoint. The simulated devices copy into or out of the buffer
+// synchronously, so a buffer's lifetime never outlives the call that
+// borrowed it — exactly the shape sync.Pool wants. Callers must not keep a
+// reference after Put, and must not Put a buffer they did not Get (the
+// pool assumes every buffer is exactly BlockSize long).
+package bufpool
+
+import "sync"
+
+// BlockSize matches the cache/FS/disk transfer unit (4KB).
+const BlockSize = 4096
+
+var pool = sync.Pool{
+	New: func() any {
+		b := make([]byte, BlockSize)
+		return &b
+	},
+}
+
+// Get borrows a BlockSize scratch buffer. Contents are arbitrary (the
+// previous user's data); overwrite before reading.
+func Get() []byte {
+	return *pool.Get().(*[]byte)
+}
+
+// Put returns a buffer obtained from Get. Putting a slice of the wrong
+// length would poison later Gets, so it is rejected loudly.
+func Put(b []byte) {
+	if len(b) != BlockSize {
+		panic("bufpool: Put of non-BlockSize buffer")
+	}
+	pool.Put(&b)
+}

@@ -3,10 +3,12 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"tinca/internal/blockdev"
+	"tinca/internal/bufpool"
 	"tinca/internal/metrics"
 	"tinca/internal/pmem"
 )
@@ -125,6 +127,32 @@ type Options struct {
 	// committer blocks until the queue drains). Zero keeps all disk
 	// write-back synchronous, as the paper's prototype does.
 	DestageDepth int
+	// DestageWorkers is how many destager goroutines drain the destage
+	// queue (DestageDepth must be positive). Zero means one, the
+	// historical behaviour; more workers let independent blocks' disk
+	// write-backs overlap on media that overlap them (Profile.Parallel).
+	DestageWorkers int
+	// EvictLowWater, when positive, enables the background watermark
+	// evictor: whenever the free block pool drops below this many blocks,
+	// a background goroutine batch-evicts the globally coldest victims
+	// (writing dirty ones back outside any lock) until the pool is back
+	// above EvictLowWater + EvictBatch. Foreground allocations then almost
+	// never pay an eviction scan or a synchronous disk write; they fall
+	// back to a direct one-victim evict only when the pool is completely
+	// empty. Zero (the default) keeps all eviction synchronous on the
+	// allocating goroutine, as the paper's prototype does — and keeps
+	// single-threaded workloads deterministic for the crash sweeps.
+	EvictLowWater int
+	// EvictBatch is how many victims one background eviction pass
+	// reclaims (the hysteresis above the low watermark). Zero picks a
+	// default; meaningless without EvictLowWater.
+	EvictBatch int
+	// SerialMiss forces read-miss fills through the legacy globally-locked
+	// path even in concurrent mode (misses on distinct blocks then
+	// serialize, and the fill's disk read happens under the global lock).
+	// This is the pre-concurrent-pipeline behaviour, kept as the baseline
+	// the miss-path scaling figure compares against.
+	SerialMiss bool
 }
 
 // Validate reports a descriptive error for a nonsensical configuration
@@ -156,6 +184,24 @@ func (o Options) Validate() error {
 	}
 	if o.DestageDepth > 0 && o.Ablation != AblationNone {
 		return errors.New("core: DestageDepth requires the paper's commit path (AblationNone)")
+	}
+	if o.DestageWorkers < 0 {
+		return fmt.Errorf("core: DestageWorkers %d is negative", o.DestageWorkers)
+	}
+	if o.DestageWorkers > 1 && o.DestageDepth == 0 {
+		return errors.New("core: DestageWorkers > 1 requires DestageDepth > 0 (there is no queue to drain)")
+	}
+	if o.EvictLowWater < 0 {
+		return fmt.Errorf("core: EvictLowWater %d is negative", o.EvictLowWater)
+	}
+	if o.EvictBatch < 0 {
+		return fmt.Errorf("core: EvictBatch %d is negative", o.EvictBatch)
+	}
+	if o.EvictBatch > 0 && o.EvictLowWater == 0 {
+		return errors.New("core: EvictBatch without EvictLowWater (no watermark to maintain)")
+	}
+	if o.EvictLowWater > 0 && o.serialOnly() {
+		return errors.New("core: EvictLowWater requires the concurrent commit path (no ablations, txn pinning on)")
 	}
 	return nil
 }
@@ -200,6 +246,29 @@ type shard struct {
 	mu   sync.Mutex
 	hash map[uint64]int32 // disk block -> entry slot
 	lru  *lruList         // per-shard LRU over entry slots
+
+	// pinned holds the entry slots of a committing transaction mapped to
+	// this shard (replacement rule 2, Section 4.6): neither copy of a
+	// committing block may be evicted until the whole commit — role
+	// switch *and* Tail flip — is durable. Guarded by mu.
+	pinned map[int32]bool
+
+	// wb marks entry slots whose contents are currently in flight to disk
+	// (eviction write-back, destage, flush or write-through propagation).
+	// The flag serializes write-backers of one slot without holding mu
+	// across the disk write: whoever sets it owns the slot's disk traffic
+	// until it clears it, so an older version can never land over a newer
+	// one. Guarded by mu; wbCond is signalled on every clear.
+	wb     map[int32]bool
+	wbCond *sync.Cond
+
+	// evictGen counts evictions of ever-dirty slots in this shard. An
+	// optimistic miss fill snapshots it before its disk read and aborts
+	// the install if it moved: the eviction's write-back may have changed
+	// the disk after the fill's read started. Evictions of never-dirty
+	// blocks leave it alone (their disk copy cannot have changed), so
+	// read-mostly workloads see no spurious retries. Written under mu.
+	evictGen atomic.Uint64
 }
 
 // Cache is a transactional NVM disk cache (Tinca). It caches 4KB blocks of
@@ -223,11 +292,17 @@ type Cache struct {
 	opts Options
 
 	// DRAM auxiliary structures (Section 4.6); rebuilt on startup.
-	// hash and lru live in the shards; the free monitors are global
-	// under mu.
-	shards     [shardCount]shard
-	freeBlocks []uint32 // free NVM data blocks (free block monitor)
-	freeSlots  []int32  // free entry-table slots
+	// hash and lru live in the shards; the free block/slot monitors live
+	// in the sharded allocator and never require mu.
+	shards [shardCount]shard
+	alloc  allocator
+
+	// dirtied records, per entry slot, whether the slot's block has ever
+	// been committed (and hence whether its disk copy may have been
+	// rewritten by a write-back) since it was cached. Feeds the shards'
+	// evictGen: only evicting an ever-dirty slot invalidates optimistic
+	// miss fills. Guarded by the slot's shard lock.
+	dirtied []bool
 
 	// atime records a monotonic access tick per entry slot (guarded by
 	// the slot's shard lock); eviction compares shard LRU tails by tick
@@ -241,10 +316,13 @@ type Cache struct {
 	// when a seal starts, reported after its Tail persist. Guarded by mu.
 	sealSeq uint64
 
-	// pinned holds the entry slots of the committing batch (replacement
-	// rule 2, Section 4.6): neither copy of a committing block may be
-	// evicted until its role switch is durable. Guarded by mu.
-	pinned map[int32]bool
+	// Watermark-evictor state (evictWake nil when EvictLowWater == 0).
+	evictLow    int
+	evictHigh   int
+	evictBatchN int
+	evictWake   chan struct{}
+	evictStop   chan struct{}
+	evictWG     sync.WaitGroup
 
 	closed atomic.Bool
 	// poisoned carries the injected-crash panic value after a crash
@@ -293,23 +371,28 @@ func Open(mem *pmem.Device, disk *blockdev.Device, opts Options) (*Cache, error)
 		return nil, err
 	}
 	c := &Cache{
-		mem:    mem,
-		disk:   disk,
-		lay:    lay,
-		rec:    mem.Recorder(),
-		opts:   opts,
-		atime:  make([]int64, lay.Capacity),
-		pinned: make(map[int32]bool),
-		serial: opts.serialOnly(),
+		mem:     mem,
+		disk:    disk,
+		lay:     lay,
+		rec:     mem.Recorder(),
+		opts:    opts,
+		atime:   make([]int64, lay.Capacity),
+		dirtied: make([]bool, lay.Capacity),
+		serial:  opts.serialOnly(),
 	}
+	c.alloc.init(mem.Recorder())
 	c.gcCond = sync.NewCond(&c.gcMu)
 	c.destageWake = sync.NewCond(&c.destageWakeMu)
 	if opts.Observe || opts.Tracer != nil {
 		c.obs = newObs(mem.Clock(), mem.Recorder(), opts.Tracer)
 	}
 	for i := range c.shards {
-		c.shards[i].hash = make(map[uint64]int32)
-		c.shards[i].lru = newLRU(lay.Capacity)
+		sh := &c.shards[i]
+		sh.hash = make(map[uint64]int32)
+		sh.lru = newLRU(lay.Capacity)
+		sh.pinned = make(map[int32]bool)
+		sh.wb = make(map[int32]bool)
+		sh.wbCond = sync.NewCond(&sh.mu)
 	}
 	if c.isFormatted() {
 		if err := c.recover(); err != nil {
@@ -319,11 +402,38 @@ func Open(mem *pmem.Device, disk *blockdev.Device, opts Options) (*Cache, error)
 		c.format()
 	}
 	if opts.DestageDepth > 0 {
+		workers := opts.DestageWorkers
+		if workers == 0 {
+			workers = 1
+		}
 		c.destageCh = make(chan destageItem, opts.DestageDepth)
-		c.destageWG.Add(1)
-		go c.destager()
+		for i := 0; i < workers; i++ {
+			c.destageWG.Add(1)
+			go c.destager()
+		}
+	}
+	if opts.EvictLowWater > 0 {
+		c.evictLow = opts.EvictLowWater
+		if c.evictLow > lay.Capacity/2 {
+			// A watermark above half the cache would thrash; clamp it.
+			c.evictLow = lay.Capacity / 2
+		}
+		c.evictBatchN = opts.EvictBatch
+		if c.evictBatchN == 0 {
+			c.evictBatchN = defaultEvictBatch
+		}
+		c.evictHigh = c.evictLow + c.evictBatchN
+		c.evictWake = make(chan struct{}, 1)
+		c.evictStop = make(chan struct{})
+		c.evictWG.Add(1)
+		go c.evictor()
 	}
 	return c, nil
+}
+
+// shardIdx returns the shard index (allocator affinity hint) for block no.
+func shardIdx(no uint64) int {
+	return int(no & (shardCount - 1))
 }
 
 // shardOf returns the shard responsible for disk block no.
@@ -398,8 +508,8 @@ func (c *Cache) format() {
 	c.mem.Persist8(c.lay.HeaderOff+hdrMagic, layoutMagic)
 	c.head, c.tail = 0, 0
 	for b := c.lay.Capacity - 1; b >= 0; b-- {
-		c.freeBlocks = append(c.freeBlocks, uint32(b))
-		c.freeSlots = append(c.freeSlots, int32(b))
+		c.alloc.pushBlock(uint32(b))
+		c.alloc.pushSlot(int32(b))
 	}
 }
 
@@ -411,9 +521,7 @@ func (c *Cache) Capacity() int { return c.lay.Capacity }
 
 // FreeBlocks reports how many NVM data blocks are currently unused.
 func (c *Cache) FreeBlocks() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.freeBlocks)
+	return int(c.alloc.freeBlocks())
 }
 
 // readEntry loads and decodes entry slot i from NVM.
@@ -440,108 +548,76 @@ func (c *Cache) clearEntry(i int32) {
 	c.mem.Persist16(c.lay.entryOff(int(i)), [16]byte{})
 }
 
-// allocBlock returns a free NVM data block, evicting if necessary.
-// Caller holds c.mu.
-func (c *Cache) allocBlock() (uint32, error) {
-	if n := len(c.freeBlocks); n > 0 {
-		b := c.freeBlocks[n-1]
-		c.freeBlocks = c.freeBlocks[:n-1]
+// allocBlock returns a free NVM data block, preferring shard h's local
+// free cache. When the pool is empty it falls back to a direct one-victim
+// eviction (the paper's synchronous behaviour); with the watermark
+// evictor enabled that fallback is the rare slow path. Performs no disk
+// I/O unless the pool is empty. May be called with or without c.mu, but
+// never with a shard lock held (the direct fallback takes shard locks).
+func (c *Cache) allocBlock(h int) (uint32, error) {
+	if b, ok := c.alloc.popBlock(h); ok {
+		c.maybeWakeEvictor()
 		return b, nil
 	}
-	if err := c.evictOne(); err != nil {
-		return 0, err
+	if c.evictLow > 0 {
+		// Empty pool with the watermark evictor configured: it has been
+		// woken but may simply not have been scheduled yet (a tight miss
+		// loop on few cores never yields). Give it one turn before
+		// falling back to a foreground eviction — a scheduler yield is
+		// far cheaper than a cross-shard victim scan, and it keeps
+		// reclaim on the batched background path.
+		c.maybeWakeEvictor()
+		runtime.Gosched()
+		if b, ok := c.alloc.popBlock(h); ok {
+			return b, nil
+		}
 	}
-	n := len(c.freeBlocks)
-	b := c.freeBlocks[n-1]
-	c.freeBlocks = c.freeBlocks[:n-1]
-	return b, nil
+	var scratch []victim
+	for spin := 0; ; spin++ {
+		evicted, saw := c.evictBatch(directEvictBatch, true, &scratch)
+		if b, ok := c.alloc.popBlock(h); ok {
+			c.maybeWakeEvictor()
+			return b, nil
+		}
+		if evicted == 0 && !saw {
+			// A full scan found nothing evictable: every resident block
+			// is pinned or mid-seal. That is a genuine out-of-space
+			// condition, not a race.
+			return 0, ErrNoSpace
+		}
+		if spin >= 1<<12 {
+			// Livelock backstop: concurrent allocators keep stealing
+			// whatever we free. Unreachable in practice.
+			return 0, ErrNoSpace
+		}
+	}
 }
 
 // allocSlot returns a free entry-table slot. The entry table has exactly
 // one slot per data block and every cached block consumes at least one
 // data block, so a successful allocBlock guarantees a slot exists.
-func (c *Cache) allocSlot() int32 {
-	n := len(c.freeSlots)
-	if n == 0 {
-		panic("core: entry table exhausted before data area")
-	}
-	s := c.freeSlots[n-1]
-	c.freeSlots = c.freeSlots[:n-1]
-	return s
+func (c *Cache) allocSlot(h int) int32 {
+	return c.alloc.popSlot(h)
 }
 
-// evictCandidate describes the best victim a shard offers.
-type evictCandidate struct {
-	sh    *shard
-	slot  int32
-	atime int64
-}
-
-// evictOne selects a victim approximating global LRU order — the oldest
-// access tick among the shard LRU tails — skipping blocks pinned by the
-// committing transaction (replacement rules of Section 4.6), and evicts
-// it, writing it back to disk first when dirty. Caller holds c.mu.
-func (c *Cache) evictOne() error {
-	best := evictCandidate{slot: lruNil}
-	for s := range c.shards {
-		sh := &c.shards[s]
-		sh.mu.Lock()
-		for i := sh.lru.tail; i != lruNil; i = sh.lru.prev[i] {
-			e := c.readEntry(i)
-			if !e.valid {
-				panic(fmt.Sprintf("core: invalid entry %d on LRU list", i))
-			}
-			if !c.opts.DisableTxnPin && (e.role == RoleLog || c.pinned[i]) {
-				// Rule 2: blocks of the committing transaction (and
-				// their previous versions, which these entries still
-				// reference) stay.
-				continue
-			}
-			if best.slot == lruNil || c.atime[i] < best.atime {
-				best = evictCandidate{sh: sh, slot: i, atime: c.atime[i]}
-			}
-			break // older slots in this shard are all pinned or absent
-		}
-		sh.mu.Unlock()
+// allocPair allocates the (data block, entry slot) pair a fill or write
+// miss of disk block no needs. Never called with a shard lock held.
+func (c *Cache) allocPair(no uint64) (uint32, int32, error) {
+	h := shardIdx(no)
+	b, err := c.allocBlock(h)
+	if err != nil {
+		return 0, 0, err
 	}
-	if best.slot == lruNil {
-		return ErrNoSpace
-	}
-	best.sh.mu.Lock()
-	defer best.sh.mu.Unlock()
-	e := c.readEntry(best.slot)
-	c.evictEntry(best.sh, best.slot, e)
-	return nil
-}
-
-// evictEntry removes entry i from the cache. Caller holds c.mu and sh.mu;
-// sh must be the shard of e.disk.
-func (c *Cache) evictEntry(sh *shard, i int32, e entry) {
-	if e.modified {
-		buf := make([]byte, BlockSize)
-		c.mem.Load(c.lay.blockOff(e.cur), buf)
-		c.disk.WriteBlock(e.disk, buf)
-		c.rec.Inc(metrics.CacheEvictDirty)
-	}
-	c.rec.Inc(metrics.CacheEvict)
-	// Crash ordering: the disk write above is durable before the entry is
-	// invalidated, so a crash in between only leaves a redundant dirty
-	// entry, never a lost block.
-	c.clearEntry(i)
-	sh.lru.remove(i)
-	delete(sh.hash, e.disk)
-	c.freeSlots = append(c.freeSlots, i)
-	c.freeBlocks = append(c.freeBlocks, e.cur)
-	if e.prev != Fresh {
-		// Only possible when txn pinning is disabled (ablation mode).
-		c.freeBlocks = append(c.freeBlocks, e.prev)
-	}
+	return b, c.allocSlot(h), nil
 }
 
 // Read copies the current committed contents of disk block no into p
 // (BlockSize bytes). A miss populates the cache from disk (the cache
 // serves reads as well as writes, Section 4.6). Read hits touch only the
-// block's shard lock, so concurrent readers scale across shards.
+// block's shard lock, so concurrent readers scale across shards; in
+// concurrent mode misses on distinct blocks proceed in parallel too — the
+// fill's disk read happens before any lock is taken and the install is
+// an optimistic first-installer-wins race.
 func (c *Cache) Read(no uint64, p []byte) error {
 	if len(p) != BlockSize {
 		return fmt.Errorf("core: Read buffer must be %d bytes", BlockSize)
@@ -555,45 +631,59 @@ func (c *Cache) Read(no uint64, p []byte) error {
 		// reads keep the paper's full serialization.
 		c.mu.Lock()
 		defer c.mu.Unlock()
-		return c.readInner(no, p, false)
+		if c.readResident(no, p) {
+			c.rec.Inc(metrics.CacheReadHit)
+			return nil
+		}
+		c.rec.Inc(metrics.CacheReadMiss)
+		return c.fillSerialLocked(no, p)
 	}
-	return c.readInner(no, p, true)
-}
-
-// readInner is the shared read path. takeGlobal selects whether the miss
-// path acquires c.mu itself (concurrent mode) or the caller already holds
-// it (serial mode).
-func (c *Cache) readInner(no uint64, p []byte, takeGlobal bool) error {
-	if hit, err := c.tryReadHit(no, p); hit {
-		return err
+	if c.readResident(no, p) {
+		c.rec.Inc(metrics.CacheReadHit)
+		return nil
 	}
-	if takeGlobal {
+	if c.opts.SerialMiss {
+		// Legacy baseline: the miss path serializes on the global lock
+		// and its disk read happens under it.
 		c.mu.Lock()
 		defer c.mu.Unlock()
-	}
-	if c.closed.Load() {
-		return ErrClosed
-	}
-	// Double-check under the structural lock: a racing miss may have
-	// filled the block already.
-	if hit, err := c.tryReadHit(no, p); hit {
-		return err
+		if c.closed.Load() {
+			return ErrClosed
+		}
+		// Double-check under the structural lock: a racing miss may have
+		// filled the block already.
+		if c.readResident(no, p) {
+			c.rec.Inc(metrics.CacheReadHit)
+			return nil
+		}
+		c.rec.Inc(metrics.CacheReadMiss)
+		return c.fillSerialLocked(no, p)
 	}
 	c.rec.Inc(metrics.CacheReadMiss)
-	return c.fillFromDisk(no, p)
+	return c.fillConcurrent(no, p)
 }
 
 // tryReadHit serves no from the cache if resident, reporting whether it
-// did. A block mid-seal (log role) is served from its last sealed
+// did, and counts the hit.
+func (c *Cache) tryReadHit(no uint64, p []byte) (bool, error) {
+	if c.readResident(no, p) {
+		c.rec.Inc(metrics.CacheReadHit)
+		return true, nil
+	}
+	return false, nil
+}
+
+// readResident serves no from the cache if resident, without touching any
+// counter. A block mid-seal (log role) is served from its last sealed
 // version: the previous COW copy, or — for a fresh write not yet sealed —
 // the disk, read around the cache.
-func (c *Cache) tryReadHit(no uint64, p []byte) (bool, error) {
+func (c *Cache) readResident(no uint64, p []byte) bool {
 	sh := c.shardOf(no)
 	sh.mu.Lock()
 	i, ok := sh.hash[no]
 	if !ok {
 		sh.mu.Unlock()
-		return false, nil
+		return false
 	}
 	e := c.readEntry(i)
 	if e.role == RoleLog {
@@ -602,38 +692,37 @@ func (c *Cache) tryReadHit(no uint64, p []byte) (bool, error) {
 			// still whatever the disk holds.
 			sh.mu.Unlock()
 			c.disk.ReadBlock(no, p)
-			c.rec.Inc(metrics.CacheReadHit)
-			return true, nil
+			return true
 		}
 		// Serve the pre-seal version; no LRU touch while committing.
 		c.mem.Load(c.lay.blockOff(e.prev), p)
 		sh.mu.Unlock()
-		c.rec.Inc(metrics.CacheReadHit)
-		return true, nil
+		return true
 	}
 	c.mem.Load(c.lay.blockOff(e.cur), p)
 	c.touchLocked(sh, i)
 	sh.mu.Unlock()
-	c.rec.Inc(metrics.CacheReadHit)
-	return true, nil
+	return true
 }
 
-// fillFromDisk reads block no from disk, installs it clean in the cache
-// and copies it to p if non-nil. Caller holds c.mu.
-func (c *Cache) fillFromDisk(no uint64, p []byte) error {
-	buf := make([]byte, BlockSize)
+// fillSerialLocked reads block no from disk, installs it clean in the
+// cache and copies it to p if non-nil. Caller holds c.mu (serial mode or
+// the SerialMiss baseline), which excludes every concurrent installer.
+func (c *Cache) fillSerialLocked(no uint64, p []byte) error {
+	buf := bufpool.Get()
+	defer bufpool.Put(buf)
 	c.disk.ReadBlock(no, buf)
 	if p != nil {
 		copy(p, buf)
 	}
-	b, err := c.allocBlock()
+	b, err := c.allocBlock(shardIdx(no))
 	if err != nil {
 		return err
 	}
 	// Persist the data before the entry that points at it; otherwise a
 	// crash could leave a clean-looking entry over garbage.
 	c.mem.PersistRange(c.lay.blockOff(b), buf)
-	i := c.allocSlot()
+	i := c.allocSlot(shardIdx(no))
 	sh := c.shardOf(no)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -641,6 +730,97 @@ func (c *Cache) fillFromDisk(no uint64, p []byte) error {
 	sh.hash[no] = i
 	c.pushFrontLocked(sh, i)
 	return nil
+}
+
+// maxOptimisticFills bounds how often a concurrent fill retries after
+// losing to an eviction-generation bump before switching to the
+// pessimistic shard-locked fill.
+const maxOptimisticFills = 3
+
+// fillConcurrent is the concurrent miss path: read the disk block before
+// taking any lock, then install it with a lost-race check — the first
+// installer wins and the loser frees its block. An eviction-generation
+// check closes the one window optimism leaves open: if an ever-dirty
+// block was evicted from this shard while our disk read was in flight,
+// the read may predate that eviction's write-back, so the copy is thrown
+// away and the fill retries. After repeated losses it degrades to a
+// pessimistic fill that holds the shard lock across the disk read.
+func (c *Cache) fillConcurrent(no uint64, p []byte) error {
+	sh := c.shardOf(no)
+	buf := bufpool.Get()
+	defer bufpool.Put(buf)
+	for attempt := 0; ; attempt++ {
+		if attempt >= maxOptimisticFills {
+			b, s, err := c.allocPair(no)
+			if err != nil {
+				return err
+			}
+			sh.mu.Lock()
+			if _, ok := sh.hash[no]; ok {
+				sh.mu.Unlock()
+				c.alloc.pushBlock(b)
+				c.alloc.pushSlot(s)
+				c.rec.Inc(metrics.CacheFillRace)
+				if c.readResident(no, p) {
+					return nil
+				}
+				continue // evicted again before we could serve it
+			}
+			// Holding sh.mu across the disk read excludes every eviction
+			// and install in this shard: slow, but guaranteed to finish.
+			c.disk.ReadBlock(no, buf)
+			c.mem.PersistRange(c.lay.blockOff(b), buf)
+			c.writeEntry(s, entry{valid: true, role: RoleBuffer, modified: false, disk: no, prev: Fresh, cur: b})
+			sh.hash[no] = s
+			c.pushFrontLocked(sh, s)
+			sh.mu.Unlock()
+			if p != nil {
+				copy(p, buf)
+			}
+			return nil
+		}
+
+		gen := sh.evictGen.Load()
+		c.disk.ReadBlock(no, buf)
+		b, s, err := c.allocPair(no)
+		if err != nil {
+			return err
+		}
+		// Persist the data before the entry that points at it; otherwise
+		// a crash could leave a clean-looking entry over garbage.
+		c.mem.PersistRange(c.lay.blockOff(b), buf)
+		sh.mu.Lock()
+		if _, ok := sh.hash[no]; ok {
+			// Lost the install race: a concurrent fill (or a committing
+			// transaction) beat us to it. First installer wins; free our
+			// copy and serve theirs.
+			sh.mu.Unlock()
+			c.alloc.pushBlock(b)
+			c.alloc.pushSlot(s)
+			c.rec.Inc(metrics.CacheFillRace)
+			if c.readResident(no, p) {
+				return nil
+			}
+			continue // it was evicted again already; start over
+		}
+		if sh.evictGen.Load() != gen {
+			// An ever-dirty block left this shard while our disk read was
+			// in flight; the read may be stale. Retry with a fresh read.
+			sh.mu.Unlock()
+			c.alloc.pushBlock(b)
+			c.alloc.pushSlot(s)
+			c.rec.Inc(metrics.CacheFillRace)
+			continue
+		}
+		c.writeEntry(s, entry{valid: true, role: RoleBuffer, modified: false, disk: no, prev: Fresh, cur: b})
+		sh.hash[no] = s
+		c.pushFrontLocked(sh, s)
+		sh.mu.Unlock()
+		if p != nil {
+			copy(p, buf)
+		}
+		return nil
+	}
 }
 
 // Contains reports whether disk block no is resident (for tests).
@@ -652,29 +832,81 @@ func (c *Cache) Contains(no uint64) bool {
 	return ok
 }
 
+// writeBack writes slot's current contents to disk and clears its
+// modified bit: the shared engine of the destager, FlushAll and the
+// write-through propagation. The caller names the (no, slot) pair it
+// believes dirty; everything is re-validated under the shard lock, the
+// disk write happens outside it under the slot's wb flag (so concurrent
+// write-backers of one slot serialize and an older version can never
+// land over a newer one), and the modified bit is cleared only if the
+// written version is still the current one. Reports whether a disk write
+// was performed. buf is BlockSize scratch; never takes c.mu.
+func (c *Cache) writeBack(sh *shard, no uint64, slot int32, buf []byte) bool {
+	sh.mu.Lock()
+	locked := true
+	defer func() {
+		if locked {
+			sh.mu.Unlock()
+		}
+	}()
+	for sh.wb[slot] {
+		sh.wbCond.Wait()
+	}
+	if i, ok := sh.hash[no]; !ok || i != slot {
+		return false // evicted (and possibly reused) since enqueue
+	}
+	e := c.readEntry(slot)
+	if !e.valid || e.role == RoleLog || !e.modified {
+		return false
+	}
+	c.mem.Load(c.lay.blockOff(e.cur), buf)
+	sh.wb[slot] = true
+	locked = false
+	sh.mu.Unlock()
+	c.disk.WriteBlock(no, buf)
+	sh.mu.Lock()
+	locked = true
+	delete(sh.wb, slot)
+	sh.wbCond.Broadcast()
+	if i, ok := sh.hash[no]; !ok || i != slot {
+		return true // evicted while in flight; the write was harmless
+	}
+	// A commit may have COWed a newer version while ours was in flight:
+	// then the entry stays dirty and the NVM remains authoritative.
+	if e2 := c.readEntry(slot); e2.valid && e2.role != RoleLog && e2.modified && e2.cur == e.cur {
+		e2.modified = false
+		c.writeEntry(slot, e2)
+	}
+	return true
+}
+
 // FlushAll writes every dirty cached block back to disk and marks it
 // clean. It is the orderly-shutdown / drain path; crash consistency never
-// depends on it.
+// depends on it. The dirty set is snapshotted per shard under the shard
+// lock and written back outside it, so reads and commits keep flowing
+// while the flush's disk writes are in flight; writeBack re-validates
+// every item before clearing its modified bit.
 func (c *Cache) FlushAll() error {
 	if c.closed.Load() {
 		return ErrClosed
 	}
 	c.DrainDestage()
-	buf := make([]byte, BlockSize)
+	buf := bufpool.Get()
+	defer bufpool.Put(buf)
+	var dirty []destageItem
 	for s := range c.shards {
 		sh := &c.shards[s]
 		sh.mu.Lock()
+		dirty = dirty[:0]
 		for no, i := range sh.hash {
-			e := c.readEntry(i)
-			if !e.modified || e.role == RoleLog {
-				continue
+			if e := c.readEntry(i); e.modified && e.role != RoleLog {
+				dirty = append(dirty, destageItem{no: no, slot: i})
 			}
-			c.mem.Load(c.lay.blockOff(e.cur), buf)
-			c.disk.WriteBlock(no, buf)
-			e.modified = false
-			c.writeEntry(i, e)
 		}
 		sh.mu.Unlock()
+		for _, it := range dirty {
+			c.writeBack(sh, it.no, it.slot, buf)
+		}
 	}
 	return nil
 }
@@ -686,9 +918,14 @@ func (c *Cache) Close() error {
 	}
 	c.closed.Store(true)
 	// Barrier: wait for any in-flight commit batch to finish before the
-	// destager goes away (batches enqueue destage work under c.mu).
+	// background workers go away (batches enqueue destage work under c.mu).
 	c.mu.Lock()
 	c.mu.Unlock() //nolint:staticcheck // empty critical section is the barrier
+	if c.evictStop != nil {
+		close(c.evictStop)
+		c.evictWG.Wait()
+		c.evictStop = nil
+	}
 	if c.destageCh != nil {
 		close(c.destageCh)
 		c.destageWG.Wait()

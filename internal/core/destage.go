@@ -1,6 +1,7 @@
 package core
 
 import (
+	"tinca/internal/bufpool"
 	"tinca/internal/metrics"
 )
 
@@ -54,16 +55,21 @@ func (c *Cache) destageEnqueue(no uint64, slot int32) {
 	}
 }
 
-// destager is the background drain loop. Each item is processed under the
-// block's shard lock only — the destager never takes c.mu, so commits and
-// destages overlap freely. An injected crash during the entry update
-// poisons the cache and the loop degrades to draining (so a blocked
-// write-through committer is released) until the channel closes.
+// destager is one background drain worker; Options.DestageWorkers of them
+// share the queue. Each item is processed under the block's shard lock
+// only — a destager never takes c.mu, so commits and destages overlap
+// freely, and with several workers the disk write-backs of independent
+// blocks overlap each other (the wb flag in writeBack keeps same-block
+// write-backs ordered). An injected crash during the entry update poisons
+// the cache and the loop degrades to draining (so a blocked write-through
+// committer is released) until the channel closes.
 func (c *Cache) destager() {
 	defer c.destageWG.Done()
+	buf := bufpool.Get()
+	defer bufpool.Put(buf)
 	for item := range c.destageCh {
 		if c.poisoned.Load() == nil {
-			c.destageOne(item)
+			c.destageOne(item, buf)
 		}
 		c.rec.Add(metrics.DestageQueueDepth, -1)
 		// Decrement and broadcast under the drain mutex so a drainer
@@ -77,40 +83,27 @@ func (c *Cache) destager() {
 
 // destageOne writes one queued block back to disk and marks it clean,
 // skipping items invalidated since they were queued (evicted, re-sealed,
-// or already cleaned). Panics from the simulated NVM (injected crashes)
-// poison the cache instead of killing the process.
-func (c *Cache) destageOne(item destageItem) {
+// or already cleaned) — writeBack performs all of that validation and the
+// disk write happens outside the shard lock. Panics from the simulated
+// NVM (injected crashes) poison the cache instead of killing the process.
+func (c *Cache) destageOne(item destageItem, buf []byte) {
 	defer func() {
 		if r := recover(); r != nil {
 			c.poison(r)
 		}
 	}()
-	sh := c.shardOf(item.no)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	i, ok := sh.hash[item.no]
-	if !ok || i != item.slot {
-		return
-	}
-	e := c.readEntry(i)
-	if !e.valid || e.role == RoleLog || !e.modified {
-		return
-	}
 	var t0 int64
 	if c.obs != nil {
 		t0 = c.obs.now()
 	}
-	buf := make([]byte, BlockSize)
-	c.mem.Load(c.lay.blockOff(e.cur), buf)
 	// The disk write completes before the modified bit clears; a crash
 	// between the two leaves a dirty entry over an already-current disk
 	// block, which is merely a redundant future write-back.
-	c.disk.WriteBlock(item.no, buf)
-	e.modified = false
-	c.writeEntry(i, e)
-	c.rec.Inc(metrics.DestageDone)
-	if c.obs != nil {
-		c.obs.phase(c.obs.destage, item.no, spanDestage, t0, c.obs.gid())
+	if c.writeBack(c.shardOf(item.no), item.no, item.slot, buf) {
+		c.rec.Inc(metrics.DestageDone)
+		if c.obs != nil {
+			c.obs.phase(c.obs.destage, item.no, spanDestage, t0, c.obs.gid())
+		}
 	}
 }
 

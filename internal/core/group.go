@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"tinca/internal/bufpool"
 	"tinca/internal/metrics"
 )
 
@@ -224,19 +225,22 @@ planLoop:
 				panic("core: live log-role entry outside a seal")
 			}
 			pb.hit, pb.slot, pb.prev = true, i, e.cur
-			c.pinned[i] = true
+			// Pin inside the same critical section as the lookup: the
+			// background evictor only honours pins it can observe under
+			// the shard lock.
+			sh.pinned[i] = true
 		} else {
 			pb.prev = Fresh
 		}
 		sh.mu.Unlock()
-		nb, err := c.allocBlock()
+		nb, err := c.allocBlock(shardIdx(pb.no))
 		if err != nil {
 			ok = false
 			break planLoop
 		}
 		pb.nb = nb
 		if !hit {
-			pb.slot = c.allocSlot()
+			pb.slot = c.allocSlot(shardIdx(pb.no))
 		}
 		pb.allocated = true
 	}
@@ -288,11 +292,23 @@ planLoop:
 			sh := c.shardOf(pb.no)
 			sh.mu.Lock()
 			defer sh.mu.Unlock()
-			c.storeEntry(pb.slot, entry{valid: true, role: RoleLog, modified: true, disk: pb.no, prev: pb.prev, cur: pb.nb})
 			if !pb.hit {
+				if j, ok := sh.hash[pb.no]; ok {
+					// A concurrent read fill installed this block between
+					// the plan phase (which decided "miss") and now. The
+					// commit's version supersedes the clean filled copy.
+					c.dropFilledLocked(sh, pb.no, j)
+				}
 				sh.hash[pb.no] = pb.slot
 				c.pushFrontLocked(sh, pb.slot)
+				// Misses are pinned from insertion: after the phase-D role
+				// switch the entry looks like an ordinary dirty buffer, but
+				// it must not be evicted (with its disk write-back!) before
+				// the Tail flip makes the whole batch durable.
+				sh.pinned[pb.slot] = true
 			}
+			c.storeEntry(pb.slot, entry{valid: true, role: RoleLog, modified: true, disk: pb.no, prev: pb.prev, cur: pb.nb})
+			c.dirtied[pb.slot] = true
 		}()
 	}
 	c.mem.SFence()
@@ -329,7 +345,7 @@ planLoop:
 			c.storeEntry(pb.slot, e)
 		}()
 		if pb.prev != Fresh {
-			c.freeBlocks = append(c.freeBlocks, pb.prev)
+			c.alloc.pushBlock(pb.prev)
 		}
 	}
 	c.mem.SFence()
@@ -337,19 +353,14 @@ planLoop:
 	// Write-through without a destager propagates synchronously, before
 	// the commit point, exactly as the serial path does.
 	if c.opts.WriteThrough && c.destageCh == nil {
-		buf := make([]byte, BlockSize)
+		buf := bufpool.Get()
 		for _, pb := range plan {
-			func() {
-				sh := c.shardOf(pb.no)
-				sh.mu.Lock()
-				defer sh.mu.Unlock()
-				e := c.readEntry(pb.slot)
-				c.mem.Load(c.lay.blockOff(e.cur), buf)
-				c.disk.WriteBlock(pb.no, buf)
-				e.modified = false
-				c.storeEntry(pb.slot, e)
-			}()
+			// writeBack performs the disk write outside the shard lock
+			// under the slot's wb flag, so it coordinates with any
+			// write-back the background evictor may have in flight.
+			c.writeBack(c.shardOf(pb.no), pb.no, pb.slot, buf)
 		}
+		bufpool.Put(buf)
 		c.mem.SFence()
 	}
 	if c.obs != nil {
@@ -374,9 +385,7 @@ planLoop:
 	for _, pb := range plan {
 		sh := c.shardOf(pb.no)
 		sh.mu.Lock()
-		if pb.hit {
-			delete(c.pinned, pb.slot)
-		}
+		delete(sh.pinned, pb.slot)
 		c.touchLocked(sh, pb.slot)
 		sh.mu.Unlock()
 	}
@@ -412,13 +421,36 @@ planLoop:
 func (c *Cache) unwindPlan(plan []*planBlock) {
 	for _, pb := range plan {
 		if pb.hit {
-			delete(c.pinned, pb.slot)
+			sh := c.shardOf(pb.no)
+			sh.mu.Lock()
+			delete(sh.pinned, pb.slot)
+			sh.mu.Unlock()
 		}
 		if pb.allocated {
-			c.freeBlocks = append(c.freeBlocks, pb.nb)
+			c.alloc.pushBlock(pb.nb)
 			if !pb.hit {
-				c.freeSlots = append(c.freeSlots, pb.slot)
+				c.alloc.pushSlot(pb.slot)
 			}
 		}
 	}
+}
+
+// dropFilledLocked removes a clean read-fill entry that raced in between
+// a commit's plan phase (which decided its block was a write miss) and
+// the entry install. Only a concurrent fill can have installed it — every
+// other writer serializes on c.mu, which the caller holds — so it is
+// always a clean RoleBuffer entry whose loss loses nothing; dropping a
+// committed version here would be a protocol break, hence the panic.
+// Caller holds sh.mu.
+func (c *Cache) dropFilledLocked(sh *shard, no uint64, i int32) {
+	e := c.readEntry(i)
+	if !e.valid || e.modified || e.role == RoleLog || e.prev != Fresh {
+		panic("core: raced-in entry is not a clean read fill")
+	}
+	c.clearEntry(i)
+	sh.lru.remove(i)
+	delete(sh.hash, no)
+	c.dirtied[i] = false
+	c.alloc.pushSlot(i)
+	c.alloc.pushBlock(e.cur)
 }

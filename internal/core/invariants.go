@@ -80,19 +80,34 @@ func (c *Cache) CheckInvariants() error {
 		return fmt.Errorf("invariant: LRU shards link %d slots, entry table has %d valid entries", linked, valid)
 	}
 
-	// Free monitor and referenced blocks must partition the data area.
-	if len(c.freeBlocks)+len(usedBlock) != c.lay.Capacity {
-		return fmt.Errorf("invariant: free (%d) + used (%d) != capacity (%d)",
-			len(c.freeBlocks), len(usedBlock), c.lay.Capacity)
+	// No pins may survive a quiescent cache: every commit unpins in its
+	// epilogue (or its unwind/abort path).
+	for s := range c.shards {
+		if n := len(c.shards[s].pinned); n != 0 {
+			return fmt.Errorf("invariant: shard %d holds %d leftover pins while quiescent", s, n)
+		}
 	}
-	for _, b := range c.freeBlocks {
+
+	// Free monitor and referenced blocks must partition the data area.
+	// Every allocator push during an eviction happens under the victim's
+	// shard lock, so holding all shard locks (plus c.mu against commits
+	// and fills) makes the snapshot consistent.
+	freeB, freeS := c.alloc.snapshot()
+	if len(freeB)+len(usedBlock) != c.lay.Capacity {
+		return fmt.Errorf("invariant: free (%d) + used (%d) != capacity (%d)",
+			len(freeB), len(usedBlock), c.lay.Capacity)
+	}
+	for _, b := range freeB {
 		if _, used := usedBlock[b]; used {
 			return fmt.Errorf("invariant: NVM block %d both free and referenced", b)
 		}
 	}
-	if len(c.freeSlots)+valid != c.lay.Capacity {
+	if len(freeS)+valid != c.lay.Capacity {
 		return fmt.Errorf("invariant: free slots (%d) + valid entries (%d) != capacity (%d)",
-			len(c.freeSlots), valid, c.lay.Capacity)
+			len(freeS), valid, c.lay.Capacity)
+	}
+	if got := c.alloc.freeBlocks(); got != int64(len(freeB)) {
+		return fmt.Errorf("invariant: free-block counter %d drifted from pool contents %d", got, len(freeB))
 	}
 	return nil
 }

@@ -81,6 +81,10 @@ func (l *lruList) touch(i int32) {
 // len reports how many slots are linked.
 func (l *lruList) len() int { return l.size }
 
+// olderToNewer steps from slot i toward the MRU end — the direction the
+// eviction scan walks, starting at the LRU tail.
+func (l *lruList) olderToNewer(i int32) int32 { return l.prev[i] }
+
 // validate walks the list and panics on any inconsistency (test helper).
 func (l *lruList) validate(tag string) {
 	n := 0

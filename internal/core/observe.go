@@ -29,7 +29,7 @@ type obs struct {
 	seals atomic.Uint64 // seal ids for span grouping
 
 	wait, absorb, data, entries, ring, roleSw, tail, seal *metrics.Histogram
-	total, destage, recovery                              *metrics.Histogram
+	total, destage, evict, recovery                       *metrics.Histogram
 }
 
 // newObs resolves every histogram once so the hot path never touches the
@@ -48,6 +48,7 @@ func newObs(clock *sim.Clock, rec *metrics.Recorder, tr *metrics.Tracer) *obs {
 		seal:     rec.Hist(metrics.HistCommitSeal),
 		total:    rec.Hist(metrics.HistCommitTotal),
 		destage:  rec.Hist(metrics.HistDestageWrite),
+		evict:    rec.Hist(metrics.HistEvictBatch),
 		recovery: rec.Hist(metrics.HistRecovery),
 	}
 }
@@ -78,18 +79,19 @@ func (o *obs) phase(h *metrics.Histogram, id uint64, name string, startNS int64,
 // Span/phase names used by the tracer (histograms use the metrics.Hist*
 // constants; spans use short names so trace viewers stay readable).
 const (
-	spanWait    = "seal.wait"
-	spanAbsorb  = "seal.absorb"
-	spanData    = "seal.data"
-	spanEntries = "seal.entries"
-	spanRing    = "seal.ring"
-	spanSwitch  = "seal.switch"
-	spanTail    = "seal.tail"
-	spanSeal    = "seal"
-	spanCommit  = "commit"
-	spanSerial  = "commit.serial"
-	spanDestage = "destage.write"
-	spanRecover = "recovery"
+	spanWait       = "seal.wait"
+	spanAbsorb     = "seal.absorb"
+	spanData       = "seal.data"
+	spanEntries    = "seal.entries"
+	spanRing       = "seal.ring"
+	spanSwitch     = "seal.switch"
+	spanTail       = "seal.tail"
+	spanSeal       = "seal"
+	spanCommit     = "commit"
+	spanSerial     = "commit.serial"
+	spanDestage    = "destage.write"
+	spanEvictBatch = "evict.batch"
+	spanRecover    = "recovery"
 )
 
 // PhaseLatency is one named histogram digest surfaced through CacheStats.
@@ -105,7 +107,7 @@ func (o *obs) phaseLatencies() []PhaseLatency {
 	if o == nil {
 		return nil
 	}
-	hs := []*metrics.Histogram{o.wait, o.absorb, o.data, o.entries, o.ring, o.roleSw, o.tail, o.seal, o.total, o.destage, o.recovery}
+	hs := []*metrics.Histogram{o.wait, o.absorb, o.data, o.entries, o.ring, o.roleSw, o.tail, o.seal, o.total, o.destage, o.evict, o.recovery}
 	out := make([]PhaseLatency, 0, len(hs))
 	for _, h := range hs {
 		s := h.Snapshot()

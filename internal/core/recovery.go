@@ -167,14 +167,16 @@ func (c *Cache) revokeRange(from, to uint64) {
 			c.clearEntry(i)
 			sh.lru.remove(i)
 			delete(sh.hash, no)
+			c.dirtied[i] = false
+			c.alloc.pushSlot(i)
+			c.alloc.pushBlock(e.cur)
 			sh.mu.Unlock()
-			c.freeSlots = append(c.freeSlots, i)
-			c.freeBlocks = append(c.freeBlocks, e.cur)
 			continue
 		}
 		c.writeEntry(i, entry{valid: true, role: RoleBuffer, modified: true, disk: no, prev: Fresh, cur: e.prev})
+		c.dirtied[i] = true
+		c.alloc.pushBlock(e.cur)
 		sh.mu.Unlock()
-		c.freeBlocks = append(c.freeBlocks, e.cur)
 	}
 }
 
@@ -187,23 +189,26 @@ func (c *Cache) rebuildVolatile() {
 		c.shards[s].hash = make(map[uint64]int32)
 		c.shards[s].lru = newLRU(c.lay.Capacity)
 	}
-	c.freeBlocks = c.freeBlocks[:0]
-	c.freeSlots = c.freeSlots[:0]
+	c.alloc.reset()
 	used := make([]bool, c.lay.Capacity)
 	for i := 0; i < c.lay.Capacity; i++ {
 		e := c.readEntry(int32(i))
 		if !e.valid {
-			c.freeSlots = append(c.freeSlots, int32(i))
+			c.dirtied[i] = false
+			c.alloc.pushSlot(int32(i))
 			continue
 		}
 		sh := c.shardOf(e.disk)
 		sh.hash[e.disk] = int32(i)
 		c.pushFrontLocked(sh, int32(i))
 		used[e.cur] = true
+		// Dirty entries may be written back later; their eviction must
+		// then invalidate optimistic fills in flight (see shard.evictGen).
+		c.dirtied[i] = e.modified
 	}
 	for b := c.lay.Capacity - 1; b >= 0; b-- {
 		if !used[b] {
-			c.freeBlocks = append(c.freeBlocks, uint32(b))
+			c.alloc.pushBlock(uint32(b))
 		}
 	}
 }

@@ -16,6 +16,13 @@ type CacheStats struct {
 	// Eviction and residency.
 	Evictions      int64
 	DirtyEvictions int64
+	// Concurrent miss pipeline: who reclaimed (background watermark
+	// evictor vs. foreground direct fallback), how often optimistic miss
+	// fills lost a race or retried, and allocator refill traffic.
+	BgEvictions     int64
+	DirectEvictions int64
+	FillRaces       int64
+	AllocRefills    int64
 
 	// Transactions.
 	Commits   int64
@@ -73,6 +80,10 @@ func (c *Cache) Stats() CacheStats {
 		WriteMisses:       r.Get(metrics.CacheWriteMiss),
 		Evictions:         r.Get(metrics.CacheEvict),
 		DirtyEvictions:    r.Get(metrics.CacheEvictDirty),
+		BgEvictions:       r.Get(metrics.CacheEvictBg),
+		DirectEvictions:   r.Get(metrics.CacheEvictDirect),
+		FillRaces:         r.Get(metrics.CacheFillRace),
+		AllocRefills:      r.Get(metrics.CacheAllocRefill),
 		Commits:           r.Get(metrics.TxnCommit),
 		Aborts:            r.Get(metrics.TxnAbort),
 		Blocks:            r.Get(metrics.TxnBlocks),

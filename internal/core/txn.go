@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"tinca/internal/bufpool"
 	"tinca/internal/metrics"
 )
 
@@ -136,7 +137,22 @@ func (t *Txn) Commit() error {
 func (c *Cache) commitSerialLocked(t *Txn) error {
 	c.sealSeq++
 	t.sealSeq = c.sealSeq
+	// Every slot this commit touches stays pinned (in its block's shard)
+	// until the Tail flip below is durable: after the role switch an
+	// entry looks like an ordinary dirty buffer, but evicting it — with
+	// its disk write-back — before the commit point would let a crash
+	// observe a half-committed transaction. unpin releases them, keyed by
+	// the block number the pin was registered under (the slot alone is
+	// not enough once DisableTxnPin allows mid-commit reuse).
 	touched := make([]int32, 0, len(t.order))
+	unpin := func() {
+		for k, slot := range touched {
+			sh := c.shardOf(t.order[k])
+			sh.mu.Lock()
+			delete(sh.pinned, slot)
+			sh.mu.Unlock()
+		}
+	}
 	for _, no := range t.order {
 		slot, err := c.commitBlock(no, t.blocks[no])
 		if err != nil {
@@ -148,6 +164,7 @@ func (c *Cache) commitSerialLocked(t *Txn) error {
 			// stays where it is: a rollback could not be made durable
 			// through the max-recovered pointer slots, and a stale
 			// larger Head over revoked entries would fail recovery.
+			unpin()
 			start := c.tail
 			c.setTail(c.head)
 			c.revokeRange(start, c.head)
@@ -164,23 +181,18 @@ func (c *Cache) commitSerialLocked(t *Txn) error {
 
 	// Write-through mode: propagate the committed blocks to disk now and
 	// mark them clean; the NVM copy remains authoritative for reads.
+	// writeBack coordinates with any write-back the background evictor or
+	// destager may have in flight for the same slot.
 	if c.opts.WriteThrough {
-		buf := make([]byte, BlockSize)
+		buf := bufpool.Get()
 		for _, slot := range touched {
 			e := c.readEntry(slot)
 			if !e.valid {
 				continue
 			}
-			func() {
-				sh := c.shardOf(e.disk)
-				sh.mu.Lock()
-				defer sh.mu.Unlock()
-				c.mem.Load(c.lay.blockOff(e.cur), buf)
-				c.disk.WriteBlock(e.disk, buf)
-				e.modified = false
-				c.writeEntry(slot, e)
-			}()
+			c.writeBack(c.shardOf(e.disk), e.disk, slot, buf)
 		}
+		bufpool.Put(buf)
 	}
 
 	// Step 5: Tail catches up with Head; this ends the transaction.
@@ -201,6 +213,7 @@ func (c *Cache) commitSerialLocked(t *Txn) error {
 			sh.mu.Unlock()
 		}
 	}
+	unpin()
 
 	c.rec.Inc(metrics.TxnCommit)
 	c.rec.Add(metrics.TxnBlocks, int64(len(t.order)))
@@ -212,12 +225,23 @@ func (c *Cache) commitSerialLocked(t *Txn) error {
 // holds c.mu.
 func (c *Cache) commitBlock(no uint64, data []byte) (int32, error) {
 	var slot int32
+	h := shardIdx(no)
 	sh := c.shardOf(no)
 	sh.mu.Lock()
 	i, hit := sh.hash[no]
 	var old entry
 	if hit {
 		old = c.readEntry(i)
+		if old.role == RoleLog {
+			sh.mu.Unlock()
+			panic("core: block committed twice in one transaction")
+		}
+		// Rule 2 (Section 4.6): pin the hit target inside the same
+		// critical section as the lookup — the background evictor only
+		// honours pins it can observe under the shard lock, and the
+		// allocation below may need to evict. The pin stays until
+		// commitSerialLocked's epilogue (or is removed here on failure).
+		sh.pinned[i] = true
 	}
 	sh.mu.Unlock()
 	if hit {
@@ -225,23 +249,18 @@ func (c *Cache) commitBlock(no uint64, data []byte) (int32, error) {
 		// goes to a newly allocated NVM block; the entry records both
 		// locations in one atomic 16B store.
 		c.rec.Inc(metrics.CacheWriteHit)
-		if old.role == RoleLog {
-			panic("core: block committed twice in one transaction")
-		}
-		// Rule 2 (Section 4.6): the allocation below may need to evict,
-		// and the hit target's entry still carries the buffer role until
-		// the log entry is persisted — pin it for the duration.
-		c.pinned[i] = true
-		defer delete(c.pinned, i)
 		if c.opts.Ablation == AblationUBJ {
 			// UBJ-style commit-in-place: before overwriting the frozen
 			// block, copy it aside inside NVM (the memcpy on the critical
 			// path the paper criticizes), then update in place.
-			nb, err := c.allocBlock()
+			nb, err := c.allocBlock(h)
 			if err != nil {
+				sh.mu.Lock()
+				delete(sh.pinned, i)
+				sh.mu.Unlock()
 				return 0, err
 			}
-			tmp := make([]byte, BlockSize)
+			tmp := bufpool.Get()
 			func() {
 				sh.mu.Lock()
 				defer sh.mu.Unlock()
@@ -249,11 +268,16 @@ func (c *Cache) commitBlock(no uint64, data []byte) (int32, error) {
 				c.mem.PersistRange(c.lay.blockOff(nb), tmp) // preserve old version
 				c.mem.PersistRange(c.lay.blockOff(old.cur), data)
 				c.writeEntry(i, entry{valid: true, role: RoleLog, modified: true, disk: no, prev: nb, cur: old.cur})
+				c.dirtied[i] = true
 			}()
+			bufpool.Put(tmp)
 			slot = i
 		} else {
-			nb, err := c.allocBlock()
+			nb, err := c.allocBlock(h)
 			if err != nil {
+				sh.mu.Lock()
+				delete(sh.pinned, i)
+				sh.mu.Unlock()
 				return 0, err
 			}
 			c.persistBlockData(c.lay.blockOff(nb), data)
@@ -261,6 +285,7 @@ func (c *Cache) commitBlock(no uint64, data []byte) (int32, error) {
 				sh.mu.Lock()
 				defer sh.mu.Unlock()
 				c.writeEntry(i, entry{valid: true, role: RoleLog, modified: true, disk: no, prev: old.cur, cur: nb})
+				c.dirtied[i] = true
 			}()
 			slot = i
 		}
@@ -269,18 +294,26 @@ func (c *Cache) commitBlock(no uint64, data []byte) (int32, error) {
 		// Write miss: no previous version; the entry is created with the
 		// FRESH tag so recovery knows to delete rather than roll back.
 		c.rec.Inc(metrics.CacheWriteMiss)
-		nb, err := c.allocBlock()
+		nb, err := c.allocBlock(h)
 		if err != nil {
 			return 0, err
 		}
 		c.persistBlockData(c.lay.blockOff(nb), data)
-		i := c.allocSlot()
+		i := c.allocSlot(h)
 		func() {
 			sh.mu.Lock()
 			defer sh.mu.Unlock()
+			if j, ok := sh.hash[no]; ok {
+				// A concurrent read fill installed this block between the
+				// lookup above and now. The commit's version supersedes
+				// the clean filled copy.
+				c.dropFilledLocked(sh, no, j)
+			}
 			c.writeEntry(i, entry{valid: true, role: RoleLog, modified: true, disk: no, prev: Fresh, cur: nb})
 			sh.hash[no] = i
 			c.pushFrontLocked(sh, i)
+			sh.pinned[i] = true
+			c.dirtied[i] = true
 		}()
 		slot = i
 	}
@@ -290,9 +323,9 @@ func (c *Cache) commitBlock(no uint64, data []byte) (int32, error) {
 		// second, redundant copy of the block (the log copy a journal
 		// would keep). The copy is immediately freed; only the cost is
 		// modeled, matching what the role switch saves.
-		if nb, err := c.allocBlock(); err == nil {
+		if nb, err := c.allocBlock(h); err == nil {
 			c.mem.PersistRange(c.lay.blockOff(nb), data)
-			c.freeBlocks = append(c.freeBlocks, nb)
+			c.alloc.pushBlock(nb)
 		}
 	}
 
@@ -327,7 +360,7 @@ func (c *Cache) roleSwitch(slot int32) {
 		c.writeEntry(slot, e)
 	}()
 	if prev != Fresh {
-		c.freeBlocks = append(c.freeBlocks, prev)
+		c.alloc.pushBlock(prev)
 	}
 }
 

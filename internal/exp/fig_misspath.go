@@ -1,0 +1,138 @@
+package exp
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"tinca/internal/blockdev"
+	"tinca/internal/core"
+	"tinca/internal/metrics"
+	"tinca/internal/pmem"
+	"tinca/internal/sim"
+)
+
+// MissPathScaling is the "fig: miss-path scaling" bench: read-miss
+// throughput of the transactional cache at 1/4/8 concurrent readers on a
+// span four times the cache capacity, so nearly every read is a miss
+// that must fill from disk and evict a victim. The serial rows force the
+// legacy miss path (disk read under the global lock, foreground
+// eviction); the concurrent rows run the miss pipeline (fill reads
+// before any lock, per-shard free caches, background watermark
+// eviction), on a disk that overlaps queued reads (NCQ depth 8, the
+// hardware the pipeline exists to keep busy). Throughput is
+// simulated-time work per read, so the row ratios isolate the locking
+// structure from host scheduling noise.
+func MissPathScaling(o Options) (*Table, error) {
+	o = o.withDefaults()
+	t := NewTable("fig: miss-path scaling — read-miss throughput vs concurrent readers",
+		"miss path", "goroutines", "reads/s (sim)", "sim ns/op", "hit %", "speedup")
+
+	total := o.scaled(8000, 1500)
+	workerCounts := []int{1, 4, 8}
+
+	type result struct {
+		perSec, nsPerOp, hitPct float64
+		stats                   core.CacheStats
+	}
+	run := func(serial bool, workers int) (result, error) {
+		clock := sim.NewClock()
+		rec := metrics.NewRecorder()
+		mem := pmem.New(2<<20, pmem.NVDIMM, clock, rec)
+		disk := blockdev.New(1<<16, blockdev.NCQ(blockdev.SSD, 8), clock, rec)
+		opts := core.Options{RingBytes: 4096, SerialMiss: serial}
+		if !serial {
+			opts.EvictLowWater = 48
+			opts.EvictBatch = 48
+		}
+		c, err := core.Open(mem, disk, opts)
+		if err != nil {
+			return result{}, err
+		}
+		span := 4 * c.Capacity()
+		t0 := clock.Now()
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			w := w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				// Workers pull block numbers from one shared counter, so
+				// the access stream is a single sequential scan over 4x
+				// capacity no matter how the host schedules goroutines:
+				// the LRU always evicts ahead of the scan, every read is a
+				// miss on a distinct block, and the hit rate cannot drift
+				// with scheduling the way per-worker partitions would.
+				p := make([]byte, core.BlockSize)
+				for {
+					i := next.Add(1) - 1
+					if i >= int64(total) {
+						return
+					}
+					if err := c.Read(uint64(int(i)%span), p); err != nil {
+						panic(fmt.Sprintf("reader %d: %v", w, err))
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed := (clock.Now() - t0).Seconds()
+		st := c.Stats()
+		if err := c.Close(); err != nil {
+			return result{}, err
+		}
+		reads := float64(total)
+		r := result{
+			perSec:  reads / elapsed,
+			nsPerOp: elapsed * 1e9 / reads,
+			stats:   st,
+		}
+		if h, m := float64(st.ReadHits), float64(st.ReadMisses); h+m > 0 {
+			r.hitPct = 100 * h / (h + m)
+		}
+		return r, nil
+	}
+
+	serialBase := make(map[int]float64)
+	for _, mode := range []bool{true, false} {
+		name := "concurrent"
+		if mode {
+			name = "serial"
+		}
+		for _, workers := range workerCounts {
+			r, err := run(mode, workers)
+			if err != nil {
+				return nil, err
+			}
+			var speedup float64 = 1
+			if mode {
+				serialBase[workers] = r.perSec
+			} else {
+				speedup = r.perSec / serialBase[workers]
+			}
+			t.AddRow(name, workers, r.perSec, r.nsPerOp, r.hitPct, fmt.Sprintf("%.2fx", speedup))
+			key := fmt.Sprintf("%s_%dg", name, workers)
+			t.SetMetric(key+"_reads_per_sec", r.perSec)
+			t.SetMetric(key+"_sim_ns_per_op", r.nsPerOp)
+			t.SetMetric(key+"_hit_pct", r.hitPct)
+			if !mode {
+				t.SetMetric(key+"_speedup_x", speedup)
+				// The watermark evictor's health: how often a foreground
+				// allocation found the pool empty and had to evict itself.
+				if total := r.stats.Evictions; total > 0 {
+					pct := 100 * float64(r.stats.DirectEvictions) / float64(total)
+					t.SetMetric(key+"_direct_evict_pct", pct)
+					if cur, ok := t.Metrics["direct_evict_pct"]; !ok || pct > cur {
+						t.SetMetric("direct_evict_pct", pct)
+					}
+				}
+				if workers == 8 {
+					t.SetMetric("miss_speedup_8g_x", speedup)
+				}
+			}
+		}
+	}
+	t.Note = "span = 4x capacity so ~every read fills from disk and evicts; concurrent rows read disk before any lock and reclaim via the background watermark evictor, so distinct-block misses overlap on the NCQ disk"
+	return t, nil
+}

@@ -33,6 +33,7 @@ var Registry = map[string]Runner{
 	"modes":       JournalModes,
 	"groupcommit": GroupCommitScaling,
 	"phases":      CommitPhaseBreakdown,
+	"misspath":    MissPathScaling,
 }
 
 // Names lists the registered experiments in a stable order.
@@ -86,6 +87,8 @@ func expOrder(n string) string {
 		return "96"
 	case "phases":
 		return "97"
+	case "misspath":
+		return "98"
 	default:
 		return "99" + n
 	}

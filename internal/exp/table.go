@@ -42,6 +42,18 @@ type Table struct {
 	Note  string
 	Cols  []string
 	Rows  [][]string
+	// Metrics holds the figure's headline quantities in machine-readable
+	// form (ops/s, simulated ns/op, hit rates, ...) for the BENCH_core.json
+	// export; nil when a driver sets none.
+	Metrics map[string]float64
+}
+
+// SetMetric records one machine-readable headline quantity.
+func (t *Table) SetMetric(name string, v float64) {
+	if t.Metrics == nil {
+		t.Metrics = make(map[string]float64)
+	}
+	t.Metrics[name] = v
 }
 
 // NewTable creates a table with the given title and column headers.

@@ -22,6 +22,7 @@ import (
 	"sync"
 
 	"tinca/internal/blockdev"
+	"tinca/internal/bufpool"
 	"tinca/internal/metrics"
 	"tinca/internal/sim"
 )
@@ -100,7 +101,7 @@ type Journal struct {
 	// for the log-write phase, the commit record, checkpointing and the
 	// whole CommitTxn, mirroring the per-phase breakdown the Tinca commit
 	// pipeline records so the two designs can be compared phase by phase.
-	clock                          *sim.Clock
+	clock                         *sim.Clock
 	hLog, hCommitBlk, hCkpt, hTxn *metrics.Histogram
 
 	closed bool
@@ -152,7 +153,8 @@ func Open(store BlockStore, rec *metrics.Recorder, opts Options) (*Journal, erro
 		j.hCkpt = rec.Hist(metrics.HistJBDCheckpoint)
 		j.hTxn = rec.Hist(metrics.HistJBDCommit)
 	}
-	buf := make([]byte, BlockSize)
+	buf := bufpool.Get()
+	defer bufpool.Put(buf)
 	if err := store.ReadBlock(j.start, buf); err != nil {
 		return nil, err
 	}
@@ -187,7 +189,11 @@ func (j *Journal) writeSuper() error {
 	if j.tailSeq > maxSuper32 || j.tail > maxSuper32 {
 		return fmt.Errorf("jbd: journal epoch overflow (tailSeq %d, tail %d)", j.tailSeq, j.tail)
 	}
-	buf := make([]byte, BlockSize)
+	buf := bufpool.Get()
+	defer bufpool.Put(buf)
+	for i := range buf {
+		buf[i] = 0
+	}
 	binary.LittleEndian.PutUint32(buf[0:4], jMagic)
 	binary.LittleEndian.PutUint32(buf[4:8], typeSuper)
 	binary.LittleEndian.PutUint64(buf[8:16], j.tailSeq<<32|j.tail)
@@ -257,7 +263,8 @@ func (j *Journal) CommitTxn(txn Txn) error {
 	if j.clock != nil {
 		tLog = int64(j.clock.Now())
 	}
-	buf := make([]byte, BlockSize)
+	buf := bufpool.Get()
+	defer bufpool.Put(buf)
 	for base := 0; base < len(updates); base += tagsPerDesc {
 		n := len(updates) - base
 		if n > tagsPerDesc {
@@ -486,7 +493,8 @@ func (j *Journal) recover(super []byte) error {
 
 	pos := j.tail
 	expect := j.tailSeq
-	buf := make([]byte, BlockSize)
+	buf := bufpool.Get()
+	defer bufpool.Put(buf)
 	for pos-j.tail < j.area {
 		var txn sealedTxn
 		txn.seq = expect

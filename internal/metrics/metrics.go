@@ -40,7 +40,12 @@ const (
 	CacheReadMiss   = "cache.read_miss"
 	CacheEvict      = "cache.evict"
 	CacheEvictDirty = "cache.evict_dirty"
-	CacheMetaWrite  = "cache.meta_block_write" // block-format metadata writes (Classic)
+	// Concurrent miss-pipeline counters (internal/core).
+	CacheEvictBg     = "cache.evict_bg"         // victims reclaimed by the background evictor
+	CacheEvictDirect = "cache.evict_direct"     // foreground direct-evict fallbacks (pool was empty)
+	CacheFillRace    = "cache.fill_race"        // miss fills that lost the install race or retried
+	CacheAllocRefill = "cache.alloc_refill"     // per-shard free-cache refills from the global pool
+	CacheMetaWrite   = "cache.meta_block_write" // block-format metadata writes (Classic)
 	// Journal-area traffic through the Classic cache, counted separately
 	// so data-block hit rates are comparable across systems.
 	CacheJournalWriteHit  = "cache.journal_write_hit"
@@ -92,8 +97,9 @@ const (
 	HistCommitSeal    = "commit.seal_ns"    // whole seal (phases 0–E)
 	HistCommitTotal   = "commit.total_ns"   // per-txn Commit latency (enqueue→ack)
 
-	// Destager and recovery (internal/core).
+	// Destager, evictor and recovery (internal/core).
 	HistDestageWrite = "destage.write_ns" // one queued block written back
+	HistEvictBatch   = "evict.batch_ns"   // one background eviction batch
 	HistRecovery     = "recovery.ns"      // one full recovery pass
 
 	// NVM primitives (internal/pmem).

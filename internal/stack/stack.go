@@ -99,6 +99,19 @@ type Config struct {
 	// DestageDepth enables the asynchronous disk write-back queue of that
 	// many blocks (0 = synchronous write-back, the paper's prototype).
 	DestageDepth int
+	// DestageWorkers sets how many goroutines drain the destage queue
+	// (0 = 1; values above 1 require DestageDepth > 0). See
+	// core.Options.DestageWorkers.
+	DestageWorkers int
+	// EvictLowWater enables the background watermark evictor when > 0:
+	// a goroutine keeps at least this many NVM blocks free by batch-
+	// evicting cold victims off the allocation path. 0 (the default)
+	// keeps eviction foreground-only. See core.Options.EvictLowWater.
+	EvictLowWater int
+	// EvictBatch sets how many victims the watermark evictor reclaims
+	// per pass (0 = default; requires EvictLowWater > 0). See
+	// core.Options.EvictBatch.
+	EvictBatch int
 	// Fault injects a deliberate persist-ordering violation into the
 	// Tinca commit path (see core.Fault). Exists so the crash harness can
 	// prove it catches broken protocols; never set otherwise.
@@ -169,6 +182,9 @@ func (c Config) Validate() error {
 			RotatePointers: c.RotatePointers,
 			GroupCommit:    c.GroupCommit,
 			DestageDepth:   c.DestageDepth,
+			DestageWorkers: c.DestageWorkers,
+			EvictLowWater:  c.EvictLowWater,
+			EvictBatch:     c.EvictBatch,
 			Fault:          c.Fault,
 		}).Validate(); err != nil {
 			return err
@@ -176,6 +192,9 @@ func (c Config) Validate() error {
 	}
 	if c.Kind != Tinca && c.DestageDepth != 0 {
 		return fmt.Errorf("stack: DestageDepth applies only to the Tinca kind, not %v", c.Kind)
+	}
+	if c.Kind != Tinca && (c.DestageWorkers != 0 || c.EvictLowWater != 0 || c.EvictBatch != 0) {
+		return fmt.Errorf("stack: DestageWorkers/EvictLowWater/EvictBatch apply only to the Tinca kind, not %v", c.Kind)
 	}
 	if c.Kind != Tinca && c.Fault != core.FaultNone {
 		return fmt.Errorf("stack: Fault applies only to the Tinca kind, not %v", c.Kind)
@@ -300,6 +319,9 @@ func (s *Stack) bringUp(format bool) error {
 			RotatePointers: cfg.RotatePointers,
 			GroupCommit:    cfg.GroupCommit,
 			DestageDepth:   cfg.DestageDepth,
+			DestageWorkers: cfg.DestageWorkers,
+			EvictLowWater:  cfg.EvictLowWater,
+			EvictBatch:     cfg.EvictBatch,
 			Fault:          cfg.Fault,
 			SealHook:       cfg.SealHook,
 			Observe:        cfg.Observe,
