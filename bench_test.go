@@ -156,6 +156,24 @@ func BenchmarkMissPathScaling(b *testing.B) {
 	runExperiment(b, "misspath", "speedup", "miss_speedup_8g_x")
 }
 
+// BenchmarkReadHitScaling runs the "fig: read-hit scaling" bench
+// (aggregate hit throughput at 1/4/8/16 concurrent readers on one hot
+// shard, locked vs seqlock hit path); reports the 8-reader seqlock
+// speedup over the shard-locked baseline.
+func BenchmarkReadHitScaling(b *testing.B) {
+	// The headline metric lives mid-table (the writer rows come last), so
+	// read it from the table's metric map instead of the last row's cell.
+	for i := 0; i < b.N; i++ {
+		t, err := tinca.RunExperiment("readhit", tinca.ExpOptions{Scale: benchScale, Seed: 42})
+		if err != nil {
+			b.Fatalf("readhit: %v", err)
+		}
+		if s, ok := t.Metrics["readhit_speedup_8g_x"]; ok {
+			b.ReportMetric(s, "readhit_speedup_8g_x")
+		}
+	}
+}
+
 // BenchmarkCommitLatency measures the latency (simulated work) of one
 // 8-block Tinca commit at the API level — the core operation of the paper.
 func BenchmarkCommitLatency(b *testing.B) {

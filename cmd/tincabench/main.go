@@ -27,7 +27,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "", "experiment to run (see -list)")
+	fig := flag.String("fig", "", "experiment(s) to run, comma-separated (see -list)")
 	all := flag.Bool("all", false, "run every experiment")
 	list := flag.Bool("list", false, "list experiments")
 	scale := flag.Float64("scale", 1.0, "workload scale factor")
@@ -38,9 +38,10 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus) and /debug/pprof on this address while running (implies -observe)")
 	benchJSON := flag.String("bench-json", "", "write each experiment's machine-readable metrics as JSON to this file (e.g. BENCH_core.json)")
 	maxDirectEvict := flag.Float64("max-direct-evict-pct", -1, "fail (exit 1) if any experiment reports a direct_evict_pct above this percentage; <0 disables")
+	minFastHit := flag.Float64("min-fast-hit-ratio", -1, "fail (exit 1) if any experiment reports a fast_hit_ratio below this fraction; <0 disables")
 	flag.Parse()
 	outputCSV = *format == "csv"
-	defer finish(*benchJSON, *maxDirectEvict)
+	defer finish(*benchJSON, *maxDirectEvict, *minFastHit)
 
 	var tracer *metrics.Tracer
 	if *traceOut != "" {
@@ -64,7 +65,11 @@ func main() {
 		}
 		return
 	case *fig != "":
-		runOne(*fig, exp.Options{Scale: *scale, Seed: *seed})
+		for _, name := range strings.Split(*fig, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				runOne(name, exp.Options{Scale: *scale, Seed: *seed})
+			}
+		}
 		return
 	default:
 		flag.Usage()
@@ -79,8 +84,9 @@ var outputCSV bool
 var benchMetrics = make(map[string]map[string]float64)
 
 // finish writes the accumulated metrics and enforces the direct-eviction
-// gate. Runs deferred from main so both -fig and -all paths share it.
-func finish(benchJSON string, maxDirectEvict float64) {
+// and fast-hit gates. Runs deferred from main so both -fig and -all paths
+// share it.
+func finish(benchJSON string, maxDirectEvict, minFastHit float64) {
 	if benchJSON != "" {
 		data, err := json.MarshalIndent(benchMetrics, "", "  ")
 		if err == nil {
@@ -98,6 +104,16 @@ func finish(benchJSON string, maxDirectEvict float64) {
 				fmt.Fprintf(os.Stderr,
 					"tincabench: %s: direct evictions were %.2f%% of evictions (max allowed %.2f%%) — the watermark evictor fell behind\n",
 					name, pct, maxDirectEvict)
+				os.Exit(1)
+			}
+		}
+	}
+	if minFastHit >= 0 {
+		for name, m := range benchMetrics {
+			if r, ok := m["fast_hit_ratio"]; ok && r < minFastHit {
+				fmt.Fprintf(os.Stderr,
+					"tincabench: %s: fast-hit ratio %.3f below the required %.3f — hits are falling back to the locked path\n",
+					name, r, minFastHit)
 				os.Exit(1)
 			}
 		}

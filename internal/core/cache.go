@@ -153,6 +153,12 @@ type Options struct {
 	// This is the pre-concurrent-pipeline behaviour, kept as the baseline
 	// the miss-path scaling figure compares against.
 	SerialMiss bool
+	// LockedReadHit forces read hits through the shard-locked path even in
+	// concurrent mode, disabling the per-slot seqlock fast path (see
+	// readfast.go). This is the pre-seqlock behaviour, kept as the
+	// baseline the read-hit scaling figure compares against and as the
+	// reference image for the fast-path crash-parity sweep.
+	LockedReadHit bool
 }
 
 // Validate reports a descriptive error for a nonsensical configuration
@@ -237,15 +243,26 @@ var (
 const shardCount = 16
 
 // shard holds the DRAM lookup structures for the disk blocks it is keyed
-// to (block number mod shardCount). The shard lock also guards the
-// persistent entries and NVM data blocks of those disk blocks: any reader
-// or writer of an (entry, data) pair holds the block's shard lock across
-// the whole access, so entry updates and block reclamation cannot tear a
-// concurrent read.
+// to (block number mod shardCount). The shard lock guards the persistent
+// entries and NVM data blocks of those disk blocks: any *mutator* of an
+// (entry, data) pair holds the block's shard lock across the whole
+// mutation and brackets it with the slot's seqlock (readfast.go), so the
+// lock-free read-hit path can detect and discard torn snapshots while
+// locked readers are excluded outright.
 type shard struct {
-	mu   sync.Mutex
-	hash map[uint64]int32 // disk block -> entry slot
-	lru  *lruList         // per-shard LRU over entry slots
+	mu sync.Mutex
+	// hash maps disk block -> entry slot. Reads are lock-free (the
+	// read-hit fast path and any optimistic lookup); every Store/Delete
+	// happens under mu. A lock-free reader may observe a stale mapping;
+	// it re-validates against the entry's disk field and the slot seqlock
+	// (or simply re-checks under mu on the locked path).
+	hash sync.Map
+	lru  *lruList // per-shard LRU over entry slots
+
+	// touches is the MPSC ring of entry slots awaiting LRU promotion:
+	// fast-path hits push lock-free, locked-path entrants and the evictor
+	// drain under mu (see readfast.go).
+	touches touchRing
 
 	// pinned holds the entry slots of a committing transaction mapped to
 	// this shard (replacement rule 2, Section 4.6): neither copy of a
@@ -304,11 +321,19 @@ type Cache struct {
 	// miss fills. Guarded by the slot's shard lock.
 	dirtied []bool
 
-	// atime records a monotonic access tick per entry slot (guarded by
-	// the slot's shard lock); eviction compares shard LRU tails by tick
-	// to approximate the paper's global LRU order.
-	atime []int64
+	// atime records a monotonic access tick per entry slot. Stamped
+	// atomically by every hit (the lock-free fast path included) and by
+	// locked installs; eviction selects victims by tick — the exact
+	// recency signal — and re-validates the tick under the shard lock, so
+	// the approximate order of the LRU lists (see shard.touches) never
+	// decides an eviction by itself.
+	atime []atomic.Int64
 	tick  atomic.Int64
+
+	// slotSeq is the per-slot seqlock: even = stable, odd = a mutator
+	// (which also holds the slot's shard lock) is inside the slot's
+	// (entry, data) pair. See readfast.go for the protocol.
+	slotSeq []atomic.Uint32
 
 	head, tail uint64 // cached copies of the persistent pointers
 
@@ -376,7 +401,8 @@ func Open(mem *pmem.Device, disk *blockdev.Device, opts Options) (*Cache, error)
 		lay:     lay,
 		rec:     mem.Recorder(),
 		opts:    opts,
-		atime:   make([]int64, lay.Capacity),
+		atime:   make([]atomic.Int64, lay.Capacity),
+		slotSeq: make([]atomic.Uint32, lay.Capacity),
 		dirtied: make([]bool, lay.Capacity),
 		serial:  opts.serialOnly(),
 	}
@@ -388,7 +414,6 @@ func Open(mem *pmem.Device, disk *blockdev.Device, opts Options) (*Cache, error)
 	}
 	for i := range c.shards {
 		sh := &c.shards[i]
-		sh.hash = make(map[uint64]int32)
 		sh.lru = newLRU(lay.Capacity)
 		sh.pinned = make(map[int32]bool)
 		sh.wb = make(map[int32]bool)
@@ -441,17 +466,33 @@ func (c *Cache) shardOf(no uint64) *shard {
 	return &c.shards[no&(shardCount-1)]
 }
 
+// slot returns the entry slot the shard's index maps for disk block no.
+// Safe to call without sh.mu, but then the answer may be stale: lock-free
+// callers re-validate against the entry and the slot seqlock.
+func (sh *shard) slot(no uint64) (int32, bool) {
+	v, ok := sh.hash.Load(no)
+	if !ok {
+		return 0, false
+	}
+	return v.(int32), true
+}
+
 // touchLocked stamps slot i with a fresh access tick and moves it to its
-// shard's MRU end. Caller holds the shard lock.
+// shard's MRU end, after applying any promotions fast-path hits queued
+// before this tick (FIFO, so list order tracks stamp order exactly in a
+// serial execution). Caller holds the shard lock.
 func (c *Cache) touchLocked(sh *shard, i int32) {
-	c.atime[i] = c.tick.Add(1)
+	c.drainTouchesLocked(sh)
+	c.atime[i].Store(c.tick.Add(1))
 	sh.lru.touch(i)
 }
 
-// pushFrontLocked inserts slot i as its shard's MRU. Caller holds the
+// pushFrontLocked inserts slot i as its shard's MRU, draining queued
+// fast-path promotions first (they carry older ticks). Caller holds the
 // shard lock.
 func (c *Cache) pushFrontLocked(sh *shard, i int32) {
-	c.atime[i] = c.tick.Add(1)
+	c.drainTouchesLocked(sh)
+	c.atime[i].Store(c.tick.Add(1))
 	sh.lru.pushFront(i)
 }
 
@@ -613,11 +654,13 @@ func (c *Cache) allocPair(no uint64) (uint32, int32, error) {
 
 // Read copies the current committed contents of disk block no into p
 // (BlockSize bytes). A miss populates the cache from disk (the cache
-// serves reads as well as writes, Section 4.6). Read hits touch only the
-// block's shard lock, so concurrent readers scale across shards; in
-// concurrent mode misses on distinct blocks proceed in parallel too — the
-// fill's disk read happens before any lock is taken and the install is
-// an optimistic first-installer-wins race.
+// serves reads as well as writes, Section 4.6). In concurrent mode a read
+// hit usually takes no lock at all — a per-slot seqlock validates the
+// lock-free entry load and block copy (readfast.go) — and falls back to
+// the block's shard lock on churn or a mid-seal block; misses on distinct
+// blocks proceed in parallel too — the fill's disk read happens before
+// any lock is taken and the install is an optimistic first-installer-wins
+// race.
 func (c *Cache) Read(no uint64, p []byte) error {
 	if len(p) != BlockSize {
 		return fmt.Errorf("core: Read buffer must be %d bytes", BlockSize)
@@ -638,8 +681,12 @@ func (c *Cache) Read(no uint64, p []byte) error {
 		c.rec.Inc(metrics.CacheReadMiss)
 		return c.fillSerialLocked(no, p)
 	}
+	if !c.opts.LockedReadHit && c.readFast(no, p) {
+		return nil // counted inside readFast (hit + fast)
+	}
 	if c.readResident(no, p) {
 		c.rec.Inc(metrics.CacheReadHit)
+		c.rec.Inc(metrics.CacheReadHitSlow)
 		return nil
 	}
 	if c.opts.SerialMiss {
@@ -654,6 +701,7 @@ func (c *Cache) Read(no uint64, p []byte) error {
 		// filled the block already.
 		if c.readResident(no, p) {
 			c.rec.Inc(metrics.CacheReadHit)
+			c.rec.Inc(metrics.CacheReadHitSlow)
 			return nil
 		}
 		c.rec.Inc(metrics.CacheReadMiss)
@@ -663,24 +711,15 @@ func (c *Cache) Read(no uint64, p []byte) error {
 	return c.fillConcurrent(no, p)
 }
 
-// tryReadHit serves no from the cache if resident, reporting whether it
-// did, and counts the hit.
-func (c *Cache) tryReadHit(no uint64, p []byte) (bool, error) {
-	if c.readResident(no, p) {
-		c.rec.Inc(metrics.CacheReadHit)
-		return true, nil
-	}
-	return false, nil
-}
-
 // readResident serves no from the cache if resident, without touching any
-// counter. A block mid-seal (log role) is served from its last sealed
-// version: the previous COW copy, or — for a fresh write not yet sealed —
-// the disk, read around the cache.
+// counter: the shard-locked hit path (and the sole hit path in serial
+// mode or under Options.LockedReadHit). A block mid-seal (log role) is
+// served from its last sealed version: the previous COW copy, or — for a
+// fresh write not yet sealed — the disk, read around the cache.
 func (c *Cache) readResident(no uint64, p []byte) bool {
 	sh := c.shardOf(no)
 	sh.mu.Lock()
-	i, ok := sh.hash[no]
+	i, ok := sh.slot(no)
 	if !ok {
 		sh.mu.Unlock()
 		return false
@@ -726,8 +765,10 @@ func (c *Cache) fillSerialLocked(no uint64, p []byte) error {
 	sh := c.shardOf(no)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	c.beginSlotMutate(i)
 	c.writeEntry(i, entry{valid: true, role: RoleBuffer, modified: false, disk: no, prev: Fresh, cur: b})
-	sh.hash[no] = i
+	c.endSlotMutate(i)
+	sh.hash.Store(no, i)
 	c.pushFrontLocked(sh, i)
 	return nil
 }
@@ -756,7 +797,7 @@ func (c *Cache) fillConcurrent(no uint64, p []byte) error {
 				return err
 			}
 			sh.mu.Lock()
-			if _, ok := sh.hash[no]; ok {
+			if _, ok := sh.slot(no); ok {
 				sh.mu.Unlock()
 				c.alloc.pushBlock(b)
 				c.alloc.pushSlot(s)
@@ -770,8 +811,10 @@ func (c *Cache) fillConcurrent(no uint64, p []byte) error {
 			// and install in this shard: slow, but guaranteed to finish.
 			c.disk.ReadBlock(no, buf)
 			c.mem.PersistRange(c.lay.blockOff(b), buf)
+			c.beginSlotMutate(s)
 			c.writeEntry(s, entry{valid: true, role: RoleBuffer, modified: false, disk: no, prev: Fresh, cur: b})
-			sh.hash[no] = s
+			c.endSlotMutate(s)
+			sh.hash.Store(no, s)
 			c.pushFrontLocked(sh, s)
 			sh.mu.Unlock()
 			if p != nil {
@@ -790,7 +833,7 @@ func (c *Cache) fillConcurrent(no uint64, p []byte) error {
 		// a crash could leave a clean-looking entry over garbage.
 		c.mem.PersistRange(c.lay.blockOff(b), buf)
 		sh.mu.Lock()
-		if _, ok := sh.hash[no]; ok {
+		if _, ok := sh.slot(no); ok {
 			// Lost the install race: a concurrent fill (or a committing
 			// transaction) beat us to it. First installer wins; free our
 			// copy and serve theirs.
@@ -812,8 +855,10 @@ func (c *Cache) fillConcurrent(no uint64, p []byte) error {
 			c.rec.Inc(metrics.CacheFillRace)
 			continue
 		}
+		c.beginSlotMutate(s)
 		c.writeEntry(s, entry{valid: true, role: RoleBuffer, modified: false, disk: no, prev: Fresh, cur: b})
-		sh.hash[no] = s
+		c.endSlotMutate(s)
+		sh.hash.Store(no, s)
 		c.pushFrontLocked(sh, s)
 		sh.mu.Unlock()
 		if p != nil {
@@ -828,7 +873,7 @@ func (c *Cache) Contains(no uint64) bool {
 	sh := c.shardOf(no)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	_, ok := sh.hash[no]
+	_, ok := sh.slot(no)
 	return ok
 }
 
@@ -852,7 +897,7 @@ func (c *Cache) writeBack(sh *shard, no uint64, slot int32, buf []byte) bool {
 	for sh.wb[slot] {
 		sh.wbCond.Wait()
 	}
-	if i, ok := sh.hash[no]; !ok || i != slot {
+	if i, ok := sh.slot(no); !ok || i != slot {
 		return false // evicted (and possibly reused) since enqueue
 	}
 	e := c.readEntry(slot)
@@ -868,14 +913,16 @@ func (c *Cache) writeBack(sh *shard, no uint64, slot int32, buf []byte) bool {
 	locked = true
 	delete(sh.wb, slot)
 	sh.wbCond.Broadcast()
-	if i, ok := sh.hash[no]; !ok || i != slot {
+	if i, ok := sh.slot(no); !ok || i != slot {
 		return true // evicted while in flight; the write was harmless
 	}
 	// A commit may have COWed a newer version while ours was in flight:
 	// then the entry stays dirty and the NVM remains authoritative.
 	if e2 := c.readEntry(slot); e2.valid && e2.role != RoleLog && e2.modified && e2.cur == e.cur {
 		e2.modified = false
+		c.beginSlotMutate(slot)
 		c.writeEntry(slot, e2)
+		c.endSlotMutate(slot)
 	}
 	return true
 }
@@ -898,11 +945,13 @@ func (c *Cache) FlushAll() error {
 		sh := &c.shards[s]
 		sh.mu.Lock()
 		dirty = dirty[:0]
-		for no, i := range sh.hash {
+		sh.hash.Range(func(k, v any) bool {
+			no, i := k.(uint64), v.(int32)
 			if e := c.readEntry(i); e.modified && e.role != RoleLog {
 				dirty = append(dirty, destageItem{no: no, slot: i})
 			}
-		}
+			return true
+		})
 		sh.mu.Unlock()
 		for _, it := range dirty {
 			c.writeBack(sh, it.no, it.slot, buf)

@@ -47,6 +47,10 @@ func (c *Cache) collectVictims(dst []victim, want int) []victim {
 	for s := range c.shards {
 		sh := &c.shards[s]
 		sh.mu.Lock()
+		// Apply pending fast-path promotions first so the list order the
+		// scan walks reflects every stamp taken so far (exact-LRU
+		// equivalence in deterministic runs).
+		c.drainTouchesLocked(sh)
 		for i := sh.lru.tail; i != lruNil; i = sh.lru.olderToNewer(i) {
 			e := c.readEntry(i)
 			if !e.valid {
@@ -61,7 +65,7 @@ func (c *Cache) collectVictims(dst []victim, want int) []victim {
 			if sh.wb[i] {
 				continue // a write-back owns the slot right now
 			}
-			at := c.atime[i]
+			at := c.atime[i].Load()
 			if len(dst) == want && at >= dst[len(dst)-1].atime {
 				break // the walk moves toward newer slots only
 			}
@@ -126,10 +130,10 @@ func (c *Cache) evictSlot(v victim) bool {
 			sh.mu.Unlock()
 		}
 	}()
-	if i, ok := sh.hash[v.no]; !ok || i != v.slot {
+	if i, ok := sh.slot(v.no); !ok || i != v.slot {
 		return false // evicted (and possibly reused) since selection
 	}
-	if c.atime[v.slot] != v.atime {
+	if c.atime[v.slot].Load() != v.atime {
 		return false // touched since selection: no longer the coldest
 	}
 	e := c.readEntry(v.slot)
@@ -157,18 +161,20 @@ func (c *Cache) evictSlot(v victim) bool {
 		// Re-validate: a commit may have COWed a newer version while the
 		// old one was in flight to disk. The NVM stays authoritative.
 		e2 := c.readEntry(v.slot)
-		if i, ok := sh.hash[v.no]; !ok || i != v.slot ||
+		if i, ok := sh.slot(v.no); !ok || i != v.slot ||
 			!e2.valid || e2.disk != v.no || e2.cur != e.cur {
 			return false
 		}
 		if !c.opts.DisableTxnPin && (e2.role == RoleLog || sh.pinned[v.slot]) {
 			return false
 		}
-		if c.atime[v.slot] != v.atime {
+		if c.atime[v.slot].Load() != v.atime {
 			// Touched while the write-back was in flight: keep the block
 			// cached, but bank the disk write as a cleaning.
 			e2.modified = false
+			c.beginSlotMutate(v.slot)
 			c.writeEntry(v.slot, e2)
+			c.endSlotMutate(v.slot)
 			return false
 		}
 		e = e2
@@ -177,9 +183,15 @@ func (c *Cache) evictSlot(v victim) bool {
 	// Crash ordering: the disk write above is durable before the entry is
 	// invalidated, so a crash in between only leaves a redundant dirty
 	// entry, never a lost block.
+	//
+	// Seqlock ordering: the bump below happens before the data block goes
+	// back to the free pool, so a fast-path reader that could observe the
+	// reused block's bytes necessarily sees the version change and discards
+	// its copy (torn-read argument in readfast.go).
+	c.beginSlotMutate(v.slot)
 	c.clearEntry(v.slot)
 	sh.lru.remove(v.slot)
-	delete(sh.hash, v.no)
+	sh.hash.Delete(v.no)
 	if c.dirtied[v.slot] {
 		// The disk copy of this block was rewritten at some point after
 		// it was cached: an optimistic miss fill whose disk read started
@@ -193,6 +205,7 @@ func (c *Cache) evictSlot(v victim) bool {
 		// Only possible when txn pinning is disabled (ablation mode).
 		c.alloc.pushBlock(e.prev)
 	}
+	c.endSlotMutate(v.slot)
 	c.rec.Inc(metrics.CacheEvict)
 	return true
 }

@@ -217,7 +217,7 @@ planLoop:
 	for _, pb := range plan {
 		sh := c.shardOf(pb.no)
 		sh.mu.Lock()
-		i, hit := sh.hash[pb.no]
+		i, hit := sh.slot(pb.no)
 		if hit {
 			e := c.readEntry(i)
 			if e.role == RoleLog {
@@ -293,13 +293,12 @@ planLoop:
 			sh.mu.Lock()
 			defer sh.mu.Unlock()
 			if !pb.hit {
-				if j, ok := sh.hash[pb.no]; ok {
+				if j, ok := sh.slot(pb.no); ok {
 					// A concurrent read fill installed this block between
 					// the plan phase (which decided "miss") and now. The
 					// commit's version supersedes the clean filled copy.
 					c.dropFilledLocked(sh, pb.no, j)
 				}
-				sh.hash[pb.no] = pb.slot
 				c.pushFrontLocked(sh, pb.slot)
 				// Misses are pinned from insertion: after the phase-D role
 				// switch the entry looks like an ordinary dirty buffer, but
@@ -307,7 +306,15 @@ planLoop:
 				// the Tail flip makes the whole batch durable.
 				sh.pinned[pb.slot] = true
 			}
+			c.beginSlotMutate(pb.slot)
 			c.storeEntry(pb.slot, entry{valid: true, role: RoleLog, modified: true, disk: pb.no, prev: pb.prev, cur: pb.nb})
+			c.endSlotMutate(pb.slot)
+			if !pb.hit {
+				// Publish to the lock-free index only after the entry is in
+				// place, so a fast reader can never look up a slot whose
+				// entry is still the allocator's garbage.
+				sh.hash.Store(pb.no, pb.slot)
+			}
 			c.dirtied[pb.slot] = true
 		}()
 	}
@@ -342,7 +349,9 @@ planLoop:
 			e := c.readEntry(pb.slot)
 			e.role = RoleBuffer
 			e.prev = Fresh
+			c.beginSlotMutate(pb.slot)
 			c.storeEntry(pb.slot, e)
+			c.endSlotMutate(pb.slot)
 		}()
 		if pb.prev != Fresh {
 			c.alloc.pushBlock(pb.prev)
@@ -447,10 +456,14 @@ func (c *Cache) dropFilledLocked(sh *shard, no uint64, i int32) {
 	if !e.valid || e.modified || e.role == RoleLog || e.prev != Fresh {
 		panic("core: raced-in entry is not a clean read fill")
 	}
+	// Bump before the data block re-enters the free pool (same ordering
+	// argument as eviction — see readfast.go).
+	c.beginSlotMutate(i)
 	c.clearEntry(i)
 	sh.lru.remove(i)
-	delete(sh.hash, no)
+	sh.hash.Delete(no)
 	c.dirtied[i] = false
 	c.alloc.pushSlot(i)
 	c.alloc.pushBlock(e.cur)
+	c.endSlotMutate(i)
 }

@@ -64,13 +64,19 @@ func (c *Cache) CheckInvariants() error {
 			return fmt.Errorf("invariant: NVM block %d referenced by entries %d and %d", e.cur, j, i)
 		}
 		usedBlock[e.cur] = int32(i)
-		if got, ok := c.shardOf(e.disk).hash[e.disk]; !ok || got != int32(i) {
+		if got, ok := c.shardOf(e.disk).slot(e.disk); !ok || got != int32(i) {
 			return fmt.Errorf("invariant: hash table out of sync for disk block %d (entry %d)", e.disk, i)
 		}
 	}
 	mapped, linked := 0, 0
 	for s := range c.shards {
-		mapped += len(c.shards[s].hash)
+		c.shards[s].hash.Range(func(_, _ any) bool {
+			mapped++
+			return true
+		})
+		// Apply any pending fast-path promotions so the LRU count below
+		// reflects every hit taken before quiescence.
+		c.drainTouchesLocked(&c.shards[s])
 		linked += c.shards[s].lru.len()
 	}
 	if mapped != valid {
@@ -85,6 +91,14 @@ func (c *Cache) CheckInvariants() error {
 	for s := range c.shards {
 		if n := len(c.shards[s].pinned); n != 0 {
 			return fmt.Errorf("invariant: shard %d holds %d leftover pins while quiescent", s, n)
+		}
+	}
+
+	// Every per-slot seqlock must be even (stable) while quiescent: an odd
+	// counter means a mutator left a begin/end bracket unbalanced.
+	for i := 0; i < c.lay.Capacity; i++ {
+		if v := c.slotSeq[i].Load(); v&1 != 0 {
+			return fmt.Errorf("invariant: slot %d seqlock odd (%d) while quiescent", i, v)
 		}
 	}
 
@@ -121,9 +135,10 @@ func (c *Cache) ResidentBlocks() map[uint64]bool {
 	defer c.unlockAllShards()
 	out := make(map[uint64]bool)
 	for s := range c.shards {
-		for no, i := range c.shards[s].hash {
-			out[no] = c.readEntry(i).modified
-		}
+		c.shards[s].hash.Range(func(k, v any) bool {
+			out[k.(uint64)] = c.readEntry(v.(int32)).modified
+			return true
+		})
 	}
 	return out
 }

@@ -2,9 +2,6 @@ package core
 
 import "fmt"
 
-// debugLRU keeps cheap O(1) structural assertions on list operations.
-const debugLRU = true
-
 // lruList is an intrusive doubly-linked LRU list over entry-slot indices.
 // It backs the DRAM-resident replacement structure of Section 4.6; it is
 // rebuilt from the persistent entry table on startup, so it is never
@@ -80,6 +77,13 @@ func (l *lruList) touch(i int32) {
 
 // len reports how many slots are linked.
 func (l *lruList) len() int { return l.size }
+
+// contains reports whether slot i is currently linked. Used by the touch-
+// ring drain to skip promotions for slots that left the list since they
+// were queued.
+func (l *lruList) contains(i int32) bool {
+	return l.prev[i] != lruNil || l.next[i] != lruNil || l.head == i
+}
 
 // olderToNewer steps from slot i toward the MRU end — the direction the
 // eviction scan walks, starting at the LRU tail.

@@ -1,0 +1,10 @@
+//go:build !tincadebug
+
+package core
+
+// debugLRU gates cheap O(1) structural assertions on LRU list operations.
+// Production builds compile them out; build with -tags tincadebug to keep
+// the hot-path panic checks (CI runs the race tests that way). The O(n)
+// validate walk in lru.go is independent of this flag and stays available
+// to tests unconditionally.
+const debugLRU = false

@@ -1,0 +1,7 @@
+//go:build tincadebug
+
+package core
+
+// debugLRU enables the O(1) structural assertions on LRU list operations
+// (see lru_check_off.go for the production default).
+const debugLRU = true

@@ -30,26 +30,31 @@ type obs struct {
 
 	wait, absorb, data, entries, ring, roleSw, tail, seal *metrics.Histogram
 	total, destage, evict, recovery                       *metrics.Histogram
+
+	// readRetry counts seqlock retries per successful fast-path hit that
+	// needed at least one (a count histogram, not nanoseconds).
+	readRetry *metrics.Histogram
 }
 
 // newObs resolves every histogram once so the hot path never touches the
 // registry map.
 func newObs(clock *sim.Clock, rec *metrics.Recorder, tr *metrics.Tracer) *obs {
 	return &obs{
-		clock:    clock,
-		tr:       tr,
-		wait:     rec.Hist(metrics.HistCommitWait),
-		absorb:   rec.Hist(metrics.HistCommitAbsorb),
-		data:     rec.Hist(metrics.HistCommitData),
-		entries:  rec.Hist(metrics.HistCommitEntries),
-		ring:     rec.Hist(metrics.HistCommitRing),
-		roleSw:   rec.Hist(metrics.HistCommitSwitch),
-		tail:     rec.Hist(metrics.HistCommitTail),
-		seal:     rec.Hist(metrics.HistCommitSeal),
-		total:    rec.Hist(metrics.HistCommitTotal),
-		destage:  rec.Hist(metrics.HistDestageWrite),
-		evict:    rec.Hist(metrics.HistEvictBatch),
-		recovery: rec.Hist(metrics.HistRecovery),
+		clock:     clock,
+		tr:        tr,
+		wait:      rec.Hist(metrics.HistCommitWait),
+		absorb:    rec.Hist(metrics.HistCommitAbsorb),
+		data:      rec.Hist(metrics.HistCommitData),
+		entries:   rec.Hist(metrics.HistCommitEntries),
+		ring:      rec.Hist(metrics.HistCommitRing),
+		roleSw:    rec.Hist(metrics.HistCommitSwitch),
+		tail:      rec.Hist(metrics.HistCommitTail),
+		seal:      rec.Hist(metrics.HistCommitSeal),
+		total:     rec.Hist(metrics.HistCommitTotal),
+		destage:   rec.Hist(metrics.HistDestageWrite),
+		evict:     rec.Hist(metrics.HistEvictBatch),
+		recovery:  rec.Hist(metrics.HistRecovery),
+		readRetry: rec.Hist(metrics.HistReadHitRetry),
 	}
 }
 

@@ -153,7 +153,7 @@ func (c *Cache) revokeRange(from, to uint64) {
 		no := c.mem.Load8(c.lay.ringSlotOff(p))
 		sh := c.shardOf(no)
 		sh.mu.Lock()
-		i, ok := sh.hash[no]
+		i, ok := sh.slot(no)
 		if !ok {
 			sh.mu.Unlock()
 			panic(fmt.Sprintf("core: revoke of unmapped disk block %d", no))
@@ -164,16 +164,20 @@ func (c *Cache) revokeRange(from, to uint64) {
 			panic("core: revoke of non-log entry")
 		}
 		if e.prev == Fresh {
+			c.beginSlotMutate(i)
 			c.clearEntry(i)
 			sh.lru.remove(i)
-			delete(sh.hash, no)
+			sh.hash.Delete(no)
 			c.dirtied[i] = false
 			c.alloc.pushSlot(i)
 			c.alloc.pushBlock(e.cur)
+			c.endSlotMutate(i)
 			sh.mu.Unlock()
 			continue
 		}
+		c.beginSlotMutate(i)
 		c.writeEntry(i, entry{valid: true, role: RoleBuffer, modified: true, disk: no, prev: Fresh, cur: e.prev})
+		c.endSlotMutate(i)
 		c.dirtied[i] = true
 		c.alloc.pushBlock(e.cur)
 		sh.mu.Unlock()
@@ -186,8 +190,14 @@ func (c *Cache) revokeRange(from, to uint64) {
 // replacement choices, never correctness.
 func (c *Cache) rebuildVolatile() {
 	for s := range c.shards {
-		c.shards[s].hash = make(map[uint64]int32)
-		c.shards[s].lru = newLRU(c.lay.Capacity)
+		sh := &c.shards[s]
+		// sync.Map cannot be reassigned (it embeds a mutex); recovery is
+		// single-threaded, so a Range+Delete clear is race-free.
+		sh.hash.Range(func(k, _ any) bool {
+			sh.hash.Delete(k)
+			return true
+		})
+		sh.lru = newLRU(c.lay.Capacity)
 	}
 	c.alloc.reset()
 	used := make([]bool, c.lay.Capacity)
@@ -199,7 +209,7 @@ func (c *Cache) rebuildVolatile() {
 			continue
 		}
 		sh := c.shardOf(e.disk)
-		sh.hash[e.disk] = int32(i)
+		sh.hash.Store(e.disk, int32(i))
 		c.pushFrontLocked(sh, int32(i))
 		used[e.cur] = true
 		// Dirty entries may be written back later; their eviction must

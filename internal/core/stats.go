@@ -13,6 +13,16 @@ type CacheStats struct {
 	WriteHits   int64
 	WriteMisses int64
 
+	// Lock-free read-hit fast path. ReadHitFast + ReadHitSlow == ReadHits;
+	// SeqlockRetries counts version-change retries, TouchRingDrops the LRU
+	// promotions dropped on a full ring, TouchBatchDrained the queued
+	// promotions applied to the exact list.
+	ReadHitFast       int64
+	ReadHitSlow       int64
+	SeqlockRetries    int64
+	TouchRingDrops    int64
+	TouchBatchDrained int64
+
 	// Eviction and residency.
 	Evictions      int64
 	DirtyEvictions int64
@@ -76,6 +86,11 @@ func (c *Cache) Stats() CacheStats {
 	st := CacheStats{
 		ReadHits:          r.Get(metrics.CacheReadHit),
 		ReadMisses:        r.Get(metrics.CacheReadMiss),
+		ReadHitFast:       r.Get(metrics.CacheReadHitFast),
+		ReadHitSlow:       r.Get(metrics.CacheReadHitSlow),
+		SeqlockRetries:    r.Get(metrics.CacheSeqlockRetry),
+		TouchRingDrops:    r.Get(metrics.CacheTouchDrop),
+		TouchBatchDrained: r.Get(metrics.CacheTouchDrained),
 		WriteHits:         r.Get(metrics.CacheWriteHit),
 		WriteMisses:       r.Get(metrics.CacheWriteMiss),
 		Evictions:         r.Get(metrics.CacheEvict),

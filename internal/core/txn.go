@@ -228,7 +228,7 @@ func (c *Cache) commitBlock(no uint64, data []byte) (int32, error) {
 	h := shardIdx(no)
 	sh := c.shardOf(no)
 	sh.mu.Lock()
-	i, hit := sh.hash[no]
+	i, hit := sh.slot(no)
 	var old entry
 	if hit {
 		old = c.readEntry(i)
@@ -264,11 +264,15 @@ func (c *Cache) commitBlock(no uint64, data []byte) (int32, error) {
 			func() {
 				sh.mu.Lock()
 				defer sh.mu.Unlock()
+				// In-place overwrite of the slot's data block: readers must
+				// see the whole mutation as one version step.
+				c.beginSlotMutate(i)
 				c.mem.Load(c.lay.blockOff(old.cur), tmp)
 				c.mem.PersistRange(c.lay.blockOff(nb), tmp) // preserve old version
 				c.mem.PersistRange(c.lay.blockOff(old.cur), data)
 				c.writeEntry(i, entry{valid: true, role: RoleLog, modified: true, disk: no, prev: nb, cur: old.cur})
 				c.dirtied[i] = true
+				c.endSlotMutate(i)
 			}()
 			bufpool.Put(tmp)
 			slot = i
@@ -284,8 +288,13 @@ func (c *Cache) commitBlock(no uint64, data []byte) (int32, error) {
 			func() {
 				sh.mu.Lock()
 				defer sh.mu.Unlock()
+				// COW redirect: the data at old.cur is untouched, but the
+				// entry flips to RoleLog — bump so an in-flight fast read
+				// re-decides (and lands on the locked path).
+				c.beginSlotMutate(i)
 				c.writeEntry(i, entry{valid: true, role: RoleLog, modified: true, disk: no, prev: old.cur, cur: nb})
 				c.dirtied[i] = true
+				c.endSlotMutate(i)
 			}()
 			slot = i
 		}
@@ -303,14 +312,16 @@ func (c *Cache) commitBlock(no uint64, data []byte) (int32, error) {
 		func() {
 			sh.mu.Lock()
 			defer sh.mu.Unlock()
-			if j, ok := sh.hash[no]; ok {
+			if j, ok := sh.slot(no); ok {
 				// A concurrent read fill installed this block between the
 				// lookup above and now. The commit's version supersedes
 				// the clean filled copy.
 				c.dropFilledLocked(sh, no, j)
 			}
+			c.beginSlotMutate(i)
 			c.writeEntry(i, entry{valid: true, role: RoleLog, modified: true, disk: no, prev: Fresh, cur: nb})
-			sh.hash[no] = i
+			c.endSlotMutate(i)
+			sh.hash.Store(no, i)
 			c.pushFrontLocked(sh, i)
 			sh.pinned[i] = true
 			c.dirtied[i] = true
@@ -357,7 +368,11 @@ func (c *Cache) roleSwitch(slot int32) {
 		sh := c.shardOf(e.disk)
 		sh.mu.Lock()
 		defer sh.mu.Unlock()
+		// Role switch log→buffer: after the bump pair a fast reader can
+		// serve the slot again.
+		c.beginSlotMutate(slot)
 		c.writeEntry(slot, e)
+		c.endSlotMutate(slot)
 	}()
 	if prev != Fresh {
 		c.alloc.pushBlock(prev)

@@ -24,7 +24,7 @@ func cellF(t *testing.T, tb *Table, row int, col string) float64 {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"table1", "table2", "3a", "3b", "4", "7", "8", "10", "11", "12a", "12b", "12c", "13",
 		"recover", "ablate", "endurance", "clwb", "recovertime", "modes", "groupcommit", "phases",
-		"misspath"}
+		"misspath", "readhit"}
 	names := Names()
 	if len(names) != len(want) {
 		t.Fatalf("registry has %d entries, want %d: %v", len(names), len(want), names)
@@ -332,6 +332,43 @@ func TestMissPathScaling(t *testing.T) {
 	// space in the concurrent rows.
 	if pct, ok := tb.Metrics["direct_evict_pct"]; ok && pct > 1 {
 		t.Fatalf("direct evictions were %.2f%% of evictions (want <=1%%)\n%s", pct, tb)
+	}
+}
+
+func TestReadHitScaling(t *testing.T) {
+	tb, err := ReadHitScaling(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 10 {
+		t.Fatalf("scaling rows = %d, want 10 (locked/seqlock x 1/4/8/16 goroutines + 2 writer rows)", len(tb.Rows))
+	}
+	// Acceptance bar (ISSUE 5): the seqlock fast path must deliver >=3x
+	// the locked hit path's aggregate throughput at 8 readers on a single
+	// hot shard.
+	s, ok := tb.Metrics["readhit_speedup_8g_x"]
+	if !ok {
+		t.Fatalf("readhit_speedup_8g_x metric missing\n%s", tb)
+	}
+	if s < 3 {
+		t.Fatalf("8-reader hit-path speedup %.2fx < 3x\n%s", s, tb)
+	}
+	// The hit-dominated workload must actually run the fast path, even
+	// with a committer interleaving seals of the same hot set.
+	ratio, ok := tb.Metrics["fast_hit_ratio"]
+	if !ok {
+		t.Fatalf("fast_hit_ratio metric missing\n%s", tb)
+	}
+	if ratio < 0.95 {
+		t.Fatalf("fast-hit ratio %.3f < 0.95 under commit interference\n%s", ratio, tb)
+	}
+	// The one-reader seqlock row must not beat the locked row: a fast hit
+	// performs identical simulated NVM work, so any gain there would mean
+	// the fast path dropped part of the cost model.
+	l1 := tb.Metrics["locked_1g_sim_ns_per_op"]
+	s1 := tb.Metrics["seqlock_1g_sim_ns_per_op"]
+	if l1 == 0 || s1 == 0 || s1 < l1*0.999 || s1 > l1*1.001 {
+		t.Fatalf("single-reader cost differs: locked %.1fns vs seqlock %.1fns (fast path perturbs the cost model)\n%s", l1, s1, tb)
 	}
 }
 

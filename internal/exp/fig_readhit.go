@@ -1,0 +1,195 @@
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"tinca/internal/blockdev"
+	"tinca/internal/core"
+	"tinca/internal/metrics"
+	"tinca/internal/pmem"
+	"tinca/internal/sim"
+)
+
+// ReadHitScaling is the "fig: read-hit scaling" bench: aggregate read-hit
+// throughput at 1/4/8/16 concurrent readers hammering a small hot set
+// that all lands in ONE metadata shard — the worst case for the locked
+// hit path, whose shard mutex serializes every hit, and the case the
+// per-slot seqlock fast path (readfast.go) exists for. The locked rows
+// force Options.LockedReadHit; the seqlock rows take the default
+// lock-free path. The NVM profile overlaps concurrent block loads
+// (pmem.Channels, depth 8), so once the DRAM bookkeeping stops
+// serializing, the hardware parallelism shows up as simulated-time
+// speedup — the same methodology as the miss-path figure, with the NCQ
+// disk swapped for a channeled NVM device.
+//
+// A final pair of rows pits 8 readers against a concurrent committer
+// that keeps COWing and sealing blocks of the same hot set; the fast-hit
+// ratio ReadHitFast/(ReadHitFast+ReadHitSlow) of that row is the
+// "fast_hit_ratio" metric the exp test holds above 0.95 — mid-seal
+// (log-role) windows and seqlock retries must stay rare even with a
+// writer interleaving.
+func ReadHitScaling(o Options) (*Table, error) {
+	o = o.withDefaults()
+	t := NewTable("fig: read-hit scaling — aggregate hit throughput vs concurrent readers, one hot shard",
+		"hit path", "goroutines", "writer", "reads/s (sim)", "sim ns/op", "fast-hit %", "speedup")
+
+	total := o.scaled(60000, 8000)
+	workerCounts := []int{1, 4, 8, 16}
+	// 64 hot blocks, all ≡ 0 mod shardCount(16): every hit contends for
+	// the same shard lock in the locked baseline.
+	const hotBlocks = 64
+	hot := func(n int) uint64 { return uint64(n%hotBlocks) * 16 }
+
+	type result struct {
+		perSec, nsPerOp, fastPct float64
+		stats                    core.CacheStats
+	}
+	run := func(locked bool, workers int, writer bool) (result, error) {
+		clock := sim.NewClock()
+		rec := metrics.NewRecorder()
+		mem := pmem.New(2<<20, pmem.Channels(pmem.NVDIMM, 8), clock, rec)
+		disk := blockdev.New(1<<16, blockdev.NCQ(blockdev.SSD, 8), clock, rec)
+		c, err := core.Open(mem, disk, core.Options{RingBytes: 4096, LockedReadHit: locked})
+		if err != nil {
+			return result{}, err
+		}
+		// Warm the hot set: one sequential pass fills every block, so the
+		// measured region below is hit-only.
+		p := make([]byte, core.BlockSize)
+		for n := 0; n < hotBlocks; n++ {
+			if err := c.Read(hot(n), p); err != nil {
+				return result{}, err
+			}
+		}
+		warm := c.Stats()
+		t0 := clock.Now()
+		var next atomic.Int64
+		var stop atomic.Bool
+		var wg, wwg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			w := w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				// Readers pull from one shared counter so the total read
+				// count is exact and the stream's block sequence does not
+				// depend on host scheduling.
+				p := make([]byte, core.BlockSize)
+				for {
+					i := next.Add(1) - 1
+					if i >= int64(total) {
+						return
+					}
+					if err := c.Read(hot(int(i)), p); err != nil {
+						panic(fmt.Sprintf("reader %d: %v", w, err))
+					}
+				}
+			}()
+		}
+		if writer {
+			wwg.Add(1)
+			go func() {
+				defer wwg.Done()
+				// One committer keeps rewriting hot blocks: each commit COWs
+				// the block through a log-role window and a seal, so readers
+				// keep crossing mutating slots. Paced off the shared read
+				// counter (one commit per 64 reads) so the commit pipeline's
+				// much larger sim cost doesn't drown the read throughput the
+				// figure measures — the interference pattern, not the commit
+				// rate, is what the fast-hit ratio probes.
+				buf := make([]byte, core.BlockSize)
+				for n := 0; !stop.Load(); n++ {
+					for next.Load() < int64(n)*64 && !stop.Load() {
+						runtime.Gosched()
+					}
+					tx := c.Begin()
+					tx.Write(hot(n), buf)
+					if err := tx.Commit(); err != nil {
+						panic(fmt.Sprintf("writer: %v", err))
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		stop.Store(true)
+		wwg.Wait()
+		elapsed := (clock.Now() - t0).Seconds()
+		st := c.Stats()
+		if err := c.Close(); err != nil {
+			return result{}, err
+		}
+		reads := float64(total)
+		r := result{
+			perSec:  reads / elapsed,
+			nsPerOp: elapsed * 1e9 / reads,
+			stats:   st,
+		}
+		if f, s := float64(st.ReadHitFast-warm.ReadHitFast), float64(st.ReadHitSlow-warm.ReadHitSlow); f+s > 0 {
+			r.fastPct = 100 * f / (f + s)
+		}
+		return r, nil
+	}
+
+	lockedBase := make(map[int]float64)
+	for _, locked := range []bool{true, false} {
+		name := "seqlock"
+		if locked {
+			name = "locked"
+		}
+		for _, workers := range workerCounts {
+			r, err := run(locked, workers, false)
+			if err != nil {
+				return nil, err
+			}
+			var speedup float64 = 1
+			if locked {
+				lockedBase[workers] = r.perSec
+			} else {
+				speedup = r.perSec / lockedBase[workers]
+			}
+			t.AddRow(name, workers, "no", r.perSec, r.nsPerOp, r.fastPct, fmt.Sprintf("%.2fx", speedup))
+			key := fmt.Sprintf("%s_%dg", name, workers)
+			t.SetMetric(key+"_reads_per_sec", r.perSec)
+			t.SetMetric(key+"_sim_ns_per_op", r.nsPerOp)
+			if !locked {
+				t.SetMetric(key+"_fast_hit_pct", r.fastPct)
+				t.SetMetric(key+"_speedup_x", speedup)
+				if workers == 8 {
+					t.SetMetric("readhit_speedup_8g_x", speedup)
+				}
+			}
+		}
+	}
+	// Mixed row: 8 readers + 1 committer on the hot set, both paths. The
+	// seqlock row's fast-hit ratio is the figure's health metric.
+	for _, locked := range []bool{true, false} {
+		name := "seqlock"
+		if locked {
+			name = "locked"
+		}
+		r, err := run(locked, 8, true)
+		if err != nil {
+			return nil, err
+		}
+		var speedup float64 = 1
+		if !locked {
+			prev, _ := t.Metrics["locked_8g_writer_reads_per_sec"]
+			if prev > 0 {
+				speedup = r.perSec / prev
+			}
+		}
+		t.AddRow(name, 8, "yes", r.perSec, r.nsPerOp, r.fastPct, fmt.Sprintf("%.2fx", speedup))
+		key := fmt.Sprintf("%s_8g_writer", name)
+		t.SetMetric(key+"_reads_per_sec", r.perSec)
+		if !locked {
+			t.SetMetric("fast_hit_ratio", r.fastPct/100)
+			t.SetMetric(key+"_seqlock_retries", float64(r.stats.SeqlockRetries))
+			t.SetMetric(key+"_touch_ring_drops", float64(r.stats.TouchRingDrops))
+		}
+	}
+	t.Note = "64 hot blocks on one metadata shard, warmed, hit-only; locked rows serialize on the shard mutex, seqlock rows run readfast.go's zero-lock path on an NVM profile that overlaps up to 8 loads (pmem.Channels); the writer rows add a committer COWing the same hot set"
+	return t, nil
+}

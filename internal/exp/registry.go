@@ -34,6 +34,7 @@ var Registry = map[string]Runner{
 	"groupcommit": GroupCommitScaling,
 	"phases":      CommitPhaseBreakdown,
 	"misspath":    MissPathScaling,
+	"readhit":     ReadHitScaling,
 }
 
 // Names lists the registered experiments in a stable order.
@@ -89,6 +90,8 @@ func expOrder(n string) string {
 		return "97"
 	case "misspath":
 		return "98"
+	case "readhit":
+		return "985"
 	default:
 		return "99" + n
 	}

@@ -46,6 +46,12 @@ const (
 	CacheFillRace    = "cache.fill_race"        // miss fills that lost the install race or retried
 	CacheAllocRefill = "cache.alloc_refill"     // per-shard free-cache refills from the global pool
 	CacheMetaWrite   = "cache.meta_block_write" // block-format metadata writes (Classic)
+	// Lock-free read-hit fast path (internal/core/readfast.go).
+	CacheReadHitFast  = "cache.read_hit_fast"   // hits served with zero locks
+	CacheReadHitSlow  = "cache.read_hit_slow"   // hits that fell back to the locked path
+	CacheSeqlockRetry = "cache.seqlock_retry"   // fast-path version-change retries
+	CacheTouchDrop    = "cache.touch_ring_drop" // LRU promotions dropped (ring full)
+	CacheTouchDrained = "cache.touch_drained"   // queued promotions applied to the exact list
 	// Journal-area traffic through the Classic cache, counted separately
 	// so data-block hit rates are comparable across systems.
 	CacheJournalWriteHit  = "cache.journal_write_hit"
@@ -101,6 +107,10 @@ const (
 	HistDestageWrite = "destage.write_ns" // one queued block written back
 	HistEvictBatch   = "evict.batch_ns"   // one background eviction batch
 	HistRecovery     = "recovery.ns"      // one full recovery pass
+
+	// Lock-free read path (internal/core/readfast.go): seqlock retries per
+	// successful fast hit that needed at least one retry (a count, not ns).
+	HistReadHitRetry = "read.hit_retry"
 
 	// NVM primitives (internal/pmem).
 	HistNVMFlushLines = "nvm.flush_lines"  // cache lines per CLFlush burst

@@ -27,7 +27,9 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tinca/internal/metrics"
@@ -49,6 +51,20 @@ type Profile struct {
 	LineReadNS  int64 // per-line load
 	LineFlushNS int64 // per-line clflush (includes the instruction cost)
 	FenceNS     int64 // per sfence
+	// Parallel is the DIMM's internal load parallelism: how many in-flight
+	// block-sized Loads the memory channels/banks overlap. When k Loads are
+	// in flight concurrently, each charges serviceNS/min(k, Parallel) to
+	// the shared clock, so k fully overlapped copies advance simulated
+	// time by roughly one copy in total — but only when the host actually
+	// issues them concurrently. A host that serializes its reads (for
+	// example under a shard mutex) keeps inflight at 1 and pays full
+	// price, which is exactly the structure the read-hit scaling figure
+	// measures. Only multi-line Load is overlapped; the small atomic
+	// Load8/Load16 and every persistence-relevant store/flush/fence keep
+	// the fully serialized charging model. 0 or 1 disables overlap; every
+	// stock profile uses it, so existing figures and crash sweeps are
+	// unchanged.
+	Parallel int
 }
 
 // Base costs of the DRAM path itself: what a cache-line read from DIMM, a
@@ -71,6 +87,19 @@ func CLWBVariant(p Profile) Profile {
 		p.LineFlushNS -= saved
 	}
 	p.Name = p.Name + "+clwb"
+	return p
+}
+
+// Channels derives a profile whose block-sized loads overlap up to depth
+// concurrent requests (the memory-channel/bank parallelism of a real DIMM,
+// the analogue of blockdev.NCQ for the NVM side). Per-line costs are
+// unchanged; only the overlap granted to concurrently issued Loads.
+func Channels(p Profile, depth int) Profile {
+	if depth < 1 {
+		depth = 1
+	}
+	p.Parallel = depth
+	p.Name = fmt.Sprintf("%s+ch%d", p.Name, depth)
 	return p
 }
 
@@ -110,6 +139,11 @@ type Device struct {
 	clock *sim.Clock
 	rec   *metrics.Recorder
 	wear  []uint32 // per-line media writes (endurance accounting)
+
+	// inflightLoads counts block-sized Loads currently inside Load, for
+	// the Profile.Parallel overlap model. Untouched (always 0 vs 1
+	// transitions with no charging effect) on stock profiles.
+	inflightLoads atomic.Int64
 
 	// atomic16 marks the start words of 16B ranges last written by
 	// Store16: on a torn crash those two words persist together (the
@@ -258,16 +292,54 @@ func (d *Device) Store16(off int, v [16]byte) {
 	d.rec.Add(metrics.NVMBytesWrite, 16)
 }
 
+// admitLoad enters a Load into the in-flight window. For overlap-capable
+// profiles it then yields the processor: every other goroutine about to
+// issue a Load gets to execute its own admitLoad before this one reads the
+// window in chargeLoad, so logically concurrent copies count each other
+// even when the host runs goroutines one at a time. Serialized hosts are
+// unaffected — a Load issued under a mutex keeps every other issuer
+// blocked on that mutex, not runnable, so yielding cannot admit them and
+// inflight stays at 1. Stock profiles (Parallel <= 1) skip the yield.
+func (d *Device) admitLoad() {
+	d.inflightLoads.Add(1)
+	if d.prof.Parallel > 1 {
+		runtime.Gosched()
+	}
+}
+
+// chargeLoad advances the simulated clock by one Load's service time,
+// discounted by the overlap the profile's channel depth grants to the
+// Loads currently in flight (see blockdev.Device.charge for the full
+// argument; the additive clock sums charges across goroutines, so the
+// discount makes the sum approximate a DIMM serving min(inflight,
+// Parallel) copies at once). Serialized callers always pay full price.
+func (d *Device) chargeLoad(ns int64) {
+	if q := int64(d.prof.Parallel); q > 1 {
+		if k := d.inflightLoads.Load(); k > 1 {
+			if k > q {
+				k = q
+			}
+			ns /= k
+		}
+	}
+	d.clock.AdvanceNS(ns)
+}
+
 // Load copies n bytes at off into p (len(p) bytes are read). Reads see the
-// CPU-visible (volatile) contents.
+// CPU-visible (volatile) contents. Concurrent Loads overlap on profiles
+// with channel parallelism (see Profile.Parallel); the copy itself remains
+// serialized under the device lock, only the charged service time is
+// discounted.
 func (d *Device) Load(off int, p []byte) {
 	d.check(off, len(p))
+	d.admitLoad()
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	copy(p, d.volatile[off:off+len(p)])
+	d.mu.Unlock()
 	lines := coveringLines(off, len(p))
-	d.clock.AdvanceNS(int64(lines) * d.prof.LineReadNS)
 	d.rec.Add(metrics.NVMBytesRead, int64(len(p)))
+	d.chargeLoad(int64(lines) * d.prof.LineReadNS)
+	d.inflightLoads.Add(-1)
 }
 
 // Load8 reads an aligned 8-byte value.

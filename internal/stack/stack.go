@@ -112,6 +112,11 @@ type Config struct {
 	// per pass (0 = default; requires EvictLowWater > 0). See
 	// core.Options.EvictBatch.
 	EvictBatch int
+	// LockedReadHit forces read hits through the shard-locked path,
+	// disabling the lock-free seqlock fast path. Baseline knob for the
+	// read-hit scaling figure and the crash-parity harness; never needed
+	// in normal operation. See core.Options.LockedReadHit.
+	LockedReadHit bool
 	// Fault injects a deliberate persist-ordering violation into the
 	// Tinca commit path (see core.Fault). Exists so the crash harness can
 	// prove it catches broken protocols; never set otherwise.
@@ -185,6 +190,7 @@ func (c Config) Validate() error {
 			DestageWorkers: c.DestageWorkers,
 			EvictLowWater:  c.EvictLowWater,
 			EvictBatch:     c.EvictBatch,
+			LockedReadHit:  c.LockedReadHit,
 			Fault:          c.Fault,
 		}).Validate(); err != nil {
 			return err
@@ -322,6 +328,7 @@ func (s *Stack) bringUp(format bool) error {
 			DestageWorkers: cfg.DestageWorkers,
 			EvictLowWater:  cfg.EvictLowWater,
 			EvictBatch:     cfg.EvictBatch,
+			LockedReadHit:  cfg.LockedReadHit,
 			Fault:          cfg.Fault,
 			SealHook:       cfg.SealHook,
 			Observe:        cfg.Observe,
