@@ -39,9 +39,10 @@ func main() {
 	benchJSON := flag.String("bench-json", "", "write each experiment's machine-readable metrics as JSON to this file (e.g. BENCH_core.json)")
 	maxDirectEvict := flag.Float64("max-direct-evict-pct", -1, "fail (exit 1) if any experiment reports a direct_evict_pct above this percentage; <0 disables")
 	minFastHit := flag.Float64("min-fast-hit-ratio", -1, "fail (exit 1) if any experiment reports a fast_hit_ratio below this fraction; <0 disables")
+	maxAllocs := flag.Float64("max-allocs-per-op", -1, "fail (exit 1) if any experiment reports an *_allocs_per_op metric above this value; <0 disables")
 	flag.Parse()
 	outputCSV = *format == "csv"
-	defer finish(*benchJSON, *maxDirectEvict, *minFastHit)
+	defer finish(*benchJSON, *maxDirectEvict, *minFastHit, *maxAllocs)
 
 	var tracer *metrics.Tracer
 	if *traceOut != "" {
@@ -83,10 +84,10 @@ var outputCSV bool
 // -bench-json export and the -max-direct-evict-pct gate.
 var benchMetrics = make(map[string]map[string]float64)
 
-// finish writes the accumulated metrics and enforces the direct-eviction
-// and fast-hit gates. Runs deferred from main so both -fig and -all paths
-// share it.
-func finish(benchJSON string, maxDirectEvict, minFastHit float64) {
+// finish writes the accumulated metrics and enforces the direct-eviction,
+// fast-hit and allocation gates. Runs deferred from main so both -fig and
+// -all paths share it.
+func finish(benchJSON string, maxDirectEvict, minFastHit, maxAllocs float64) {
 	if benchJSON != "" {
 		data, err := json.MarshalIndent(benchMetrics, "", "  ")
 		if err == nil {
@@ -115,6 +116,18 @@ func finish(benchJSON string, maxDirectEvict, minFastHit float64) {
 					"tincabench: %s: fast-hit ratio %.3f below the required %.3f — hits are falling back to the locked path\n",
 					name, r, minFastHit)
 				os.Exit(1)
+			}
+		}
+	}
+	if maxAllocs >= 0 {
+		for name, m := range benchMetrics {
+			for key, v := range m {
+				if strings.HasSuffix(key, "allocs_per_op") && v > maxAllocs {
+					fmt.Fprintf(os.Stderr,
+						"tincabench: %s: %s was %.3f (max allowed %.3f) — a warm read is allocating\n",
+						name, key, v, maxAllocs)
+					os.Exit(1)
+				}
 			}
 		}
 	}

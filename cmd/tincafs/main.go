@@ -52,7 +52,7 @@ func main() {
 		Kind:     kind,
 		NVMBytes: *nvmMB << 20,
 		FSBlocks: uint64(*fsMB) << 20 / tinca.BlockSize,
-		Observe:  *observe || *metricsAddr != "",
+		Options:  tinca.CacheOptions{Observe: *observe || *metricsAddr != ""},
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tincafs:", err)
@@ -199,7 +199,22 @@ func run(s *tinca.Stack, cmd string, args []string, rng interface{ Int63n(int64)
 		}
 		fmt.Println("clean")
 	case "stats":
-		fmt.Print(s.Rec.Snapshot())
+		st := s.Stats()
+		fmt.Printf("device: %d clflush, %d sfence, NVM %d/%d B w/r, disk %d/%d blks w/r\n",
+			st.Device.CLFlushes, st.Device.SFences,
+			st.Device.NVMBytesWritten, st.Device.NVMBytesRead,
+			st.Device.DiskBlocksWrite, st.Device.DiskBlocksRead)
+		if s.TCache != nil {
+			c := st.Cache
+			fmt.Printf("cache:  %d/%d read hit/miss (%d fast), %d/%d write hit/miss\n",
+				c.ReadHits, c.ReadMisses, c.ReadHitFast, c.WriteHits, c.WriteMisses)
+			fmt.Printf("        %d commits in %d seals, %d evictions (%d dirty), %d index grows\n",
+				c.Commits, c.GroupSeals, c.Evictions, c.DirtyEvictions, c.IndexGrows)
+			fmt.Printf("views:  %d zero-copy, %d copied, %d deferred frees, %d open\n",
+				c.ZeroCopyViews, c.CopiedViews, c.ViewDeferredFrees, c.OpenViews)
+		}
+		fmt.Printf("fs:     %d read ops, %d write ops, %d group commits, %d free blocks\n",
+			st.FS.ReadOps, st.FS.WriteOps, st.FS.GroupCommits, st.FS.FreeBlocks)
 	case "lat":
 		if !s.Cfg.Observe {
 			return fmt.Errorf("latency histograms are off; restart with -observe")

@@ -69,7 +69,7 @@ func main() {
 		NVMBytes:          *nvmMB << 20,
 		FSBlocks:          uint64(*fsMB) << 20 / tinca.BlockSize,
 		GroupCommitBlocks: 32,
-		Observe:           *observe || *metricsAddr != "",
+		Options:           tinca.CacheOptions{Observe: *observe || *metricsAddr != ""},
 	}
 	if *traceOut != "" {
 		cfg.TraceEvents = 1 << 16
@@ -86,24 +86,30 @@ func main() {
 		fmt.Fprintf(os.Stderr, "serving http://%s/metrics and /debug/pprof/\n", addr)
 	}
 
-	before := s.Rec.Snapshot()
+	before := s.Stats().Device
 	t0 := s.Clock.Now()
 	cnt, err := workload.ReplayTrace(s.FS, "/trace.dat", recs)
 	if err != nil {
 		fatal(err)
 	}
-	d := s.Rec.Snapshot().Sub(before)
+	d := s.Stats().Device.Sub(before)
 	wall := s.Clock.Now() - t0
 
 	ops := cnt.ReadOps + cnt.WriteOps
+	perOp := func(n int64) float64 {
+		if ops == 0 {
+			return 0
+		}
+		return float64(n) / float64(ops)
+	}
 	fmt.Printf("replayed %d I/Os (%d writes, %d reads, %.1f MB) on the %s stack\n",
 		ops, cnt.WriteOps, cnt.ReadOps, float64(cnt.Bytes)/(1<<20), kind)
 	fmt.Printf("simulated time:    %v\n", wall)
 	fmt.Printf("throughput:        %.0f IOPS, %.1f MB/s (simulated)\n",
 		float64(ops)/wall.Seconds(), float64(cnt.Bytes)/(1<<20)/wall.Seconds())
-	fmt.Printf("clflush/IO:        %.1f\n", d.PerOp("nvm.clflush", ops))
+	fmt.Printf("clflush/IO:        %.1f\n", perOp(d.CLFlushes))
 	fmt.Printf("disk blocks/IO:    write %.2f, read %.2f\n",
-		d.PerOp("disk.blocks_write", ops), d.PerOp("disk.blocks_read", ops))
+		perOp(d.DiskBlocksWrite), perOp(d.DiskBlocksRead))
 
 	if s.Cfg.Observe {
 		st := s.Stats()

@@ -39,16 +39,16 @@ func main() {
 				log.Fatal(err)
 			}
 			h := tinca.NewHDFS(c, tinca.HDFSOptions{ChunkBytes: 1 << 20})
-			before := c.Snapshot()
+			before := c.Stats()
 			cnt, err := tinca.RunTeraGen(h, tinca.TeraGenConfig{Rows: 24000, Seed: 5})
 			if err != nil {
 				log.Fatal(err)
 			}
-			d := c.Snapshot().Sub(before)
+			d := c.Stats().Sub(before)
 			mb := float64(cnt.Bytes) / (1 << 20)
 			fmt.Printf("%-9d %-9s %13.1fms %14.0f\n",
 				replicas, kind.name, c.Wall.Now().Seconds()*1000,
-				float64(d.Get(tinca.CounterCLFlush))/mb)
+				float64(d.CLFlushes)/mb)
 		}
 	}
 

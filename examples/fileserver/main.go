@@ -36,7 +36,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		start := sys.Rec.Snapshot()
+		start := sys.Stats().Device
 		t0 := sys.Clock.Now()
 		cnt, err := tinca.RunFilebench(sys.FS, tinca.FilebenchConfig{
 			Profile: tinca.Fileserver, Files: 128, FileBytes: 32 << 10,
@@ -45,14 +45,17 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		d := sys.Rec.Snapshot().Sub(start)
+		d := sys.Stats().Device.Sub(start)
 		wall := (sys.Clock.Now() - t0).Seconds()
 		ops := float64(cnt.FileOps) / wall
 		fmt.Printf("%-18s %12.0f %14.1f %14.2f %12.1f\n",
 			kind.name, ops,
-			float64(d.Get(tinca.CounterCLFlush))/float64(cnt.FileOps),
-			float64(d.Get(tinca.CounterDiskBlocksWrite))/float64(cnt.FileOps),
-			float64(d.Get("nvm.bytes_write"))/(1<<20))
+			float64(d.CLFlushes)/float64(cnt.FileOps),
+			float64(d.DiskBlocksWrite)/float64(cnt.FileOps),
+			float64(d.NVMBytesWritten)/(1<<20))
+		if kind.name == "Tinca" {
+			reportZeroCopyScan(sys)
+		}
 		if kind.name == "Tinca" {
 			tincaOps = ops
 		} else {
@@ -65,4 +68,41 @@ func main() {
 	fmt.Println()
 	fmt.Printf("Tinca speedup: %.2fx (paper reports 1.8x for fileserver; shape, not absolute numbers)\n",
 		tincaOps/classicOps)
+}
+
+// reportZeroCopyScan re-reads the fileserver's working set through the
+// zero-copy read API: each ReadAtView of committed data pins the NVM
+// cache block and hands back a window onto it — no per-read block copy,
+// no allocation.
+func reportZeroCopyScan(sys *tinca.Stack) {
+	names, err := sys.FS.ReadDir("/filebench")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var bytes, views, zero int
+	for _, n := range names {
+		path := "/filebench/" + n
+		info, err := sys.FS.Stat(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for off := uint64(0); off < info.Size; {
+			v, err := sys.FS.ReadAtView(path, off, 16<<10)
+			if err != nil {
+				log.Fatal(err)
+			}
+			bytes += v.Len()
+			views++
+			if v.ZeroCopy() {
+				zero++
+			}
+			off += uint64(v.Len())
+			if err := v.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	st := sys.Stats().Cache
+	fmt.Printf("  zero-copy scan: %.1f MB in %d views (%d zero-copy), %d deferred frees, %d views open\n",
+		float64(bytes)/(1<<20), views, zero, st.ViewDeferredFrees, st.OpenViews)
 }

@@ -48,15 +48,15 @@ func main() {
 		if _, err := engine.Run(sys.Clock, users, 400, 99); err != nil {
 			log.Fatal(err)
 		}
-		start := sys.Rec.Snapshot()
+		start := sys.Stats().Device
 		res, err := engine.Run(sys.Clock, users, txns, 7)
 		if err != nil {
 			log.Fatal(err)
 		}
-		d := sys.Rec.Snapshot().Sub(start)
+		d := sys.Stats().Device.Sub(start)
 		fmt.Printf("%-10s %12.0f %14.1f %14.2f\n", k.name, res.TPM,
-			float64(d.Get(tinca.CounterCLFlush))/float64(res.Committed),
-			float64(d.Get(tinca.CounterDiskBlocksWrite))/float64(res.Committed))
+			float64(d.CLFlushes)/float64(res.Committed),
+			float64(d.DiskBlocksWrite)/float64(res.Committed))
 		tpms = append(tpms, res.TPM)
 
 		if err := sys.FS.Check(); err != nil {

@@ -53,8 +53,9 @@ func main() {
 	data, _ = sys.FS.ReadFile("/projects/tinca/README")
 	fmt.Printf("after power failure: %q\n", data)
 
+	st := sys.Stats()
 	fmt.Printf("clflush issued so far: %d, disk blocks written: %d, simulated time: %v\n\n",
-		sys.Rec.Get(tinca.CounterCLFlush), sys.Rec.Get(tinca.CounterDiskBlocksWrite), sys.Clock.Now())
+		st.Device.CLFlushes, st.Device.DiskBlocksWrite, sys.Clock.Now())
 
 	// ---- level 2: raw transactional cache --------------------------------
 	clock := tinca.NewClock()
@@ -83,6 +84,19 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("cache read: %q\n", buf[:34])
+
+	// The zero-copy alternative: ReadView pins the cached block and hands
+	// back a window aliasing the NVM bytes — no copy, no allocation. The
+	// pin keeps the bytes stable until Close even if the block is
+	// overwritten or evicted meanwhile.
+	v, err := cache.ReadView(101)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cache view: %q (zero-copy: %v)\n", v.Bytes()[:34], v.ZeroCopy())
+	if err := v.Close(); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("commit cost: %d clflush for 3 blocks (Classic journalling would roughly double it)\n",
 		rec.Get(tinca.CounterCLFlush))
 }

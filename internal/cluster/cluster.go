@@ -162,6 +162,17 @@ func (c *Cluster) applyFirstUp(nodes []*Node, fn func(n *Node) error) error {
 	return ErrNodeDown
 }
 
+// Stats sums the typed device counters across every node. It replaces
+// string-keyed Snapshot lookups for the common device costs; Snapshot
+// remains available for everything else (e.g. network counters).
+func (c *Cluster) Stats() stack.DeviceStats {
+	var d stack.DeviceStats
+	for _, n := range c.Nodes {
+		d = d.Add(n.Stack.Stats().Device)
+	}
+	return d
+}
+
 // Snapshot sums the metric counters across every node plus the network.
 func (c *Cluster) Snapshot() metrics.Snapshot {
 	total := make(metrics.Snapshot)

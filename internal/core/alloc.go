@@ -32,7 +32,48 @@ type allocator struct {
 	// against a locked snapshot instead.
 	free atomic.Int64
 
+	// Double-free detector (tincadebug builds only): one atomic free bit
+	// per block/slot, set while the resource sits in any pool. A second
+	// push of the same resource panics at the culprit's own call site.
+	dbgBlockFree []atomic.Int32
+	dbgSlotFree  []atomic.Int32
+
 	rec *metrics.Recorder
+}
+
+// dbgPushBlock/dbgPopBlock/dbgPushSlot/dbgPopSlot maintain the free bits.
+// They compile to nothing without -tags tincadebug.
+
+func (a *allocator) dbgPushBlock(b uint32) {
+	if debugAlloc && a.dbgBlockFree != nil {
+		if a.dbgBlockFree[b].Swap(1) == 1 {
+			panic("core: double free of NVM data block")
+		}
+	}
+}
+
+func (a *allocator) dbgPopBlock(b uint32) {
+	if debugAlloc && a.dbgBlockFree != nil {
+		if a.dbgBlockFree[b].Swap(0) == 0 {
+			panic("core: popped NVM data block that was not free")
+		}
+	}
+}
+
+func (a *allocator) dbgPushSlot(s int32) {
+	if debugAlloc && a.dbgSlotFree != nil {
+		if a.dbgSlotFree[s].Swap(1) == 1 {
+			panic("core: double free of entry slot")
+		}
+	}
+}
+
+func (a *allocator) dbgPopSlot(s int32) {
+	if debugAlloc && a.dbgSlotFree != nil {
+		if a.dbgSlotFree[s].Swap(0) == 0 {
+			panic("core: popped entry slot that was not free")
+		}
+	}
 }
 
 // allocCache is one shard's private stash of free resources. Padded
@@ -49,8 +90,12 @@ type allocCache struct {
 // enough that 16 shards hoard at most a small fraction of a real cache.
 const allocBatch = 8
 
-func (a *allocator) init(rec *metrics.Recorder) {
+func (a *allocator) init(rec *metrics.Recorder, capacity int) {
 	a.rec = rec
+	if debugAlloc {
+		a.dbgBlockFree = make([]atomic.Int32, capacity)
+		a.dbgSlotFree = make([]atomic.Int32, capacity)
+	}
 }
 
 // reset empties every pool (format/recovery rebuild the free state from
@@ -68,6 +113,14 @@ func (a *allocator) reset() {
 	a.slots = a.slots[:0]
 	a.mu.Unlock()
 	a.free.Store(0)
+	if debugAlloc {
+		for i := range a.dbgBlockFree {
+			a.dbgBlockFree[i].Store(0)
+		}
+		for i := range a.dbgSlotFree {
+			a.dbgSlotFree[i].Store(0)
+		}
+	}
 }
 
 // freeBlocks reports the total free data blocks (watermark signal).
@@ -75,6 +128,7 @@ func (a *allocator) freeBlocks() int64 { return a.free.Load() }
 
 // pushBlock returns block b to the global pool.
 func (a *allocator) pushBlock(b uint32) {
+	a.dbgPushBlock(b)
 	a.mu.Lock()
 	a.blocks = append(a.blocks, b)
 	a.mu.Unlock()
@@ -83,6 +137,7 @@ func (a *allocator) pushBlock(b uint32) {
 
 // pushSlot returns entry slot s to the global pool.
 func (a *allocator) pushSlot(s int32) {
+	a.dbgPushSlot(s)
 	a.mu.Lock()
 	a.slots = append(a.slots, s)
 	a.mu.Unlock()
@@ -100,6 +155,7 @@ func (a *allocator) popBlock(h int) (uint32, bool) {
 			l.blocks = l.blocks[:n-1]
 			l.mu.Unlock()
 			a.free.Add(-1)
+			a.dbgPopBlock(b)
 			return b, true
 		}
 		// Refill under both locks (local then global, the fixed order)
@@ -127,15 +183,22 @@ func (a *allocator) popBlock(h int) (uint32, bool) {
 		l.mu.Unlock()
 		a.free.Add(-1)
 		a.rec.Inc(metrics.CacheAllocRefill)
+		a.dbgPopBlock(b)
 		return b, true
 	}
 }
 
 // popSlot takes one free entry slot (same shape as popBlock). The entry
-// table has one slot per data block and every cached block consumes at
-// least one data block, so as long as a caller pairs every popSlot with a
-// prior successful popBlock there is always a slot; the panic guards the
-// invariant.
+// table has one slot per data block, every cached block consumes at least
+// one data block, and every paired free pushes the slot strictly before
+// the block — so from the instant a popBlock succeeds, the slot pool
+// holds at least one slot per thread between that popBlock and its
+// popSlot, and a caller that pairs every popSlot with a prior successful
+// popBlock cannot starve. The guaranteed slot may be in another shard's
+// cache or may move between pools while we scan them one lock at a time
+// (reclaim racing a refill), so a failed sweep falls back to a
+// stop-the-world pop under every lock at once; only that failing is an
+// invariant violation, hence the panic.
 func (a *allocator) popSlot(h int) int32 {
 	l := &a.local[h&(shardCount-1)]
 	for {
@@ -144,6 +207,7 @@ func (a *allocator) popSlot(h int) int32 {
 			s := l.slots[n-1]
 			l.slots = l.slots[:n-1]
 			l.mu.Unlock()
+			a.dbgPopSlot(s)
 			return s
 		}
 		a.mu.Lock()
@@ -152,7 +216,12 @@ func (a *allocator) popSlot(h int) int32 {
 			a.mu.Unlock()
 			l.mu.Unlock()
 			if !a.reclaimSlots() {
-				panic("core: entry table exhausted before data area")
+				s, ok := a.popSlotStopTheWorld()
+				if !ok {
+					panic("core: entry table exhausted before data area")
+				}
+				a.dbgPopSlot(s)
+				return s
 			}
 			continue
 		}
@@ -166,6 +235,7 @@ func (a *allocator) popSlot(h int) int32 {
 		s := l.slots[len(l.slots)-1]
 		l.slots = l.slots[:len(l.slots)-1]
 		l.mu.Unlock()
+		a.dbgPopSlot(s)
 		return s
 	}
 }
@@ -188,6 +258,34 @@ func (a *allocator) reclaimBlocks() bool {
 		l.mu.Unlock()
 	}
 	return moved
+}
+
+// popSlotStopTheWorld takes one free slot while holding every pool lock
+// at once, so a slot bouncing between pools (reclaim vs refill) cannot
+// dodge the scan. Deadlock-free: this is the only path that holds two
+// local mutexes, it acquires them in ascending order, and the global
+// mutex stays the innermost lock as everywhere else.
+func (a *allocator) popSlotStopTheWorld() (int32, bool) {
+	for s := range a.local {
+		a.local[s].mu.Lock()
+		defer a.local[s].mu.Unlock()
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if n := len(a.slots); n > 0 {
+		s := a.slots[n-1]
+		a.slots = a.slots[:n-1]
+		return s, true
+	}
+	for s := range a.local {
+		l := &a.local[s]
+		if n := len(l.slots); n > 0 {
+			v := l.slots[n-1]
+			l.slots = l.slots[:n-1]
+			return v, true
+		}
+	}
+	return 0, false
 }
 
 func (a *allocator) reclaimSlots() bool {

@@ -1,0 +1,10 @@
+//go:build !tincadebug
+
+package core
+
+// debugAlloc gates the allocator's double-free detector: a per-resource
+// atomic free bit flipped on every push/pop, panicking at the site of a
+// second push of the same block or slot (the far symptom — entry-table
+// exhaustion — is otherwise diagnosed long after the culprit returned).
+// Production builds compile it out; -tags tincadebug keeps it.
+const debugAlloc = false

@@ -1,0 +1,7 @@
+//go:build tincadebug
+
+package core
+
+// debugAlloc enables the allocator's double-free detector (see
+// alloc_check_off.go for the production default).
+const debugAlloc = true

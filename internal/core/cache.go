@@ -9,6 +9,8 @@ import (
 
 	"tinca/internal/blockdev"
 	"tinca/internal/bufpool"
+	"tinca/internal/errs"
+	"tinca/internal/index"
 	"tinca/internal/metrics"
 	"tinca/internal/pmem"
 )
@@ -159,6 +161,23 @@ type Options struct {
 	// baseline the read-hit scaling figure compares against and as the
 	// reference image for the fast-path crash-parity sweep.
 	LockedReadHit bool
+	// IndexBuckets sets the initial per-shard capacity (in 16B cells) of
+	// the open-addressed block index. Zero pre-sizes each shard for the
+	// cache capacity so the steady state never resizes; small values force
+	// the incremental grow path (used by the resize stress tests). Rounded
+	// up to a power of two.
+	IndexBuckets int
+	// SyncMapIndex retains the legacy sync.Map block index instead of the
+	// open-addressed bucket table — the baseline the index-scale figure
+	// compares against. Functionally identical, slower and allocation-
+	// heavy at large entry counts.
+	SyncMapIndex bool
+	// DisableZeroCopy forces ReadView to return copying views even in
+	// concurrent mode — the baseline for the zero-copy read figure. The
+	// zero value (zero-copy views on) is the redesigned read API's
+	// default. (Serial/ablation modes always copy: they mutate cached
+	// bytes in place, so no stable window exists to alias.)
+	DisableZeroCopy bool
 }
 
 // Validate reports a descriptive error for a nonsensical configuration
@@ -209,6 +228,12 @@ func (o Options) Validate() error {
 	if o.EvictLowWater > 0 && o.serialOnly() {
 		return errors.New("core: EvictLowWater requires the concurrent commit path (no ablations, txn pinning on)")
 	}
+	if o.IndexBuckets < 0 {
+		return fmt.Errorf("core: IndexBuckets %d is negative", o.IndexBuckets)
+	}
+	if o.IndexBuckets > 0 && o.SyncMapIndex {
+		return errors.New("core: IndexBuckets is meaningless with the SyncMapIndex baseline")
+	}
 	return nil
 }
 
@@ -226,7 +251,10 @@ func (o Options) groupBatch() int {
 	return o.GroupCommit.MaxBatch
 }
 
-// Common errors.
+// Common errors. The cross-layer conditions (closed, out of range,
+// expired view) wrap the shared sentinels in internal/errs, so one
+// errors.Is target matches them whether they surface from core, fs or
+// stack — see the exported aliases in the tinca package.
 var (
 	// ErrTxnTooLarge is returned when a transaction has more blocks than
 	// the ring buffer has slots.
@@ -235,7 +263,15 @@ var (
 	// (every resident block is pinned by the committing transaction).
 	ErrNoSpace = errors.New("core: cache full of pinned blocks")
 	// ErrClosed is returned by operations on a closed cache.
-	ErrClosed = errors.New("core: cache closed")
+	// errors.Is(err, errs.ErrClosed) matches it.
+	ErrClosed = fmt.Errorf("core: cache closed: %w", errs.ErrClosed)
+	// ErrOutOfRange is returned for a block number beyond the backing
+	// disk or a mis-sized buffer. errors.Is(err, errs.ErrOutOfRange)
+	// matches it.
+	ErrOutOfRange = fmt.Errorf("core: block out of range: %w", errs.ErrOutOfRange)
+	// ErrViewExpired is returned when a View is used after Close.
+	// errors.Is(err, errs.ErrViewExpired) matches it.
+	ErrViewExpired = fmt.Errorf("core: view used after Close: %w", errs.ErrViewExpired)
 )
 
 // shardCount is the lock-striping factor for the DRAM metadata (hash table
@@ -251,13 +287,21 @@ const shardCount = 16
 // locked readers are excluded outright.
 type shard struct {
 	mu sync.Mutex
-	// hash maps disk block -> entry slot. Reads are lock-free (the
-	// read-hit fast path and any optimistic lookup); every Store/Delete
-	// happens under mu. A lock-free reader may observe a stale mapping;
-	// it re-validates against the entry's disk field and the slot seqlock
+	// idx maps disk block -> entry slot: an open-addressed table of
+	// 16-byte cells (internal/index) mirroring the paper's entry economy
+	// on the DRAM side. Reads are lock-free (the read-hit fast path and
+	// any optimistic lookup); every Put/Delete happens under mu, which
+	// also drives the table's incremental resize. A lock-free reader may
+	// observe a stale mapping or (mid-resize) a spurious miss; it
+	// re-validates against the entry's disk field and the slot seqlock
 	// (or simply re-checks under mu on the locked path).
-	hash sync.Map
-	lru  *lruList // per-shard LRU over entry slots
+	idx *index.Table
+	// hash is the legacy sync.Map index, kept as a switchable baseline
+	// (Options.SyncMapIndex) for the index-scale figure. Exactly one of
+	// idx/hash is live, chosen at Open.
+	hash   sync.Map
+	useMap bool
+	lru    *lruList // per-shard LRU over entry slots
 
 	// touches is the MPSC ring of entry slots awaiting LRU promotion:
 	// fast-path hits push lock-free, locked-path entrants and the evictor
@@ -335,6 +379,13 @@ type Cache struct {
 	// (entry, data) pair. See readfast.go for the protocol.
 	slotSeq []atomic.Uint32
 
+	// viewPins holds, per NVM data block, (view refcount << 1) | orphan
+	// bit. Nonzero pins defer the block's free to the last unpin; see
+	// view.go for the protocol. viewsOpen counts open Views (all kinds)
+	// for diagnostics and the quiescence invariant.
+	viewPins  []atomic.Int64
+	viewsOpen atomic.Int64
+
 	head, tail uint64 // cached copies of the persistent pointers
 
 	// sealSeq numbers commit-point seals for Options.SealHook; assigned
@@ -396,24 +447,38 @@ func Open(mem *pmem.Device, disk *blockdev.Device, opts Options) (*Cache, error)
 		return nil, err
 	}
 	c := &Cache{
-		mem:     mem,
-		disk:    disk,
-		lay:     lay,
-		rec:     mem.Recorder(),
-		opts:    opts,
-		atime:   make([]atomic.Int64, lay.Capacity),
-		slotSeq: make([]atomic.Uint32, lay.Capacity),
-		dirtied: make([]bool, lay.Capacity),
-		serial:  opts.serialOnly(),
+		mem:      mem,
+		disk:     disk,
+		lay:      lay,
+		rec:      mem.Recorder(),
+		opts:     opts,
+		atime:    make([]atomic.Int64, lay.Capacity),
+		slotSeq:  make([]atomic.Uint32, lay.Capacity),
+		viewPins: make([]atomic.Int64, lay.Capacity),
+		dirtied:  make([]bool, lay.Capacity),
+		serial:   opts.serialOnly(),
 	}
-	c.alloc.init(mem.Recorder())
+	c.alloc.init(mem.Recorder(), lay.Capacity)
 	c.gcCond = sync.NewCond(&c.gcMu)
 	c.destageWake = sync.NewCond(&c.destageWakeMu)
 	if opts.Observe || opts.Tracer != nil {
 		c.obs = newObs(mem.Clock(), mem.Recorder(), opts.Tracer)
 	}
+	buckets := opts.IndexBuckets
+	if buckets == 0 {
+		// Pre-size each shard for the whole capacity landing in it (the
+		// worst skew) staying under the 3/4 grow trigger is overkill;
+		// sizing for an even spread with 2x headroom means the steady
+		// state almost never resizes and resize stays correct when it
+		// does.
+		buckets = 2 * (lay.Capacity/shardCount + 1)
+	}
 	for i := range c.shards {
 		sh := &c.shards[i]
+		sh.useMap = opts.SyncMapIndex
+		if !sh.useMap {
+			sh.idx = index.New(buckets)
+		}
 		sh.lru = newLRU(lay.Capacity)
 		sh.pinned = make(map[int32]bool)
 		sh.wb = make(map[int32]bool)
@@ -470,11 +535,64 @@ func (c *Cache) shardOf(no uint64) *shard {
 // Safe to call without sh.mu, but then the answer may be stale: lock-free
 // callers re-validate against the entry and the slot seqlock.
 func (sh *shard) slot(no uint64) (int32, bool) {
-	v, ok := sh.hash.Load(no)
-	if !ok {
-		return 0, false
+	if sh.useMap {
+		v, ok := sh.hash.Load(no)
+		if !ok {
+			return 0, false
+		}
+		return v.(int32), true
 	}
-	return v.(int32), true
+	return sh.idx.Get(no)
+}
+
+// mapStore publishes the no → slot mapping. Caller holds sh.mu; on the
+// bucket index this also carries a quantum of any in-flight resize.
+func (sh *shard) mapStore(no uint64, i int32) {
+	if sh.useMap {
+		sh.hash.Store(no, i)
+		return
+	}
+	sh.idx.Put(no, i)
+}
+
+// mapDelete removes the mapping for no. Caller holds sh.mu.
+func (sh *shard) mapDelete(no uint64) {
+	if sh.useMap {
+		sh.hash.Delete(no)
+		return
+	}
+	sh.idx.Delete(no)
+}
+
+// mapRange iterates the shard's live mappings. Caller holds sh.mu (or is
+// otherwise the sole mutator, e.g. recovery).
+func (sh *shard) mapRange(fn func(no uint64, i int32) bool) {
+	if sh.useMap {
+		sh.hash.Range(func(k, v any) bool { return fn(k.(uint64), v.(int32)) })
+		return
+	}
+	sh.idx.Range(fn)
+}
+
+// mapReset discards every mapping (recovery rebuild; single-threaded).
+func (sh *shard) mapReset() {
+	if sh.useMap {
+		// sync.Map cannot be reassigned (the cond/locks alias the shard),
+		// so clear it key by key.
+		sh.hash.Range(func(k, _ any) bool { sh.hash.Delete(k); return true })
+		return
+	}
+	sh.idx.Reset()
+}
+
+// mapLen counts live mappings. Caller holds sh.mu.
+func (sh *shard) mapLen() int {
+	if sh.useMap {
+		n := 0
+		sh.hash.Range(func(_, _ any) bool { n++; return true })
+		return n
+	}
+	return sh.idx.Len()
 }
 
 // touchLocked stamps slot i with a fresh access tick and moves it to its
@@ -669,6 +787,10 @@ func (c *Cache) Read(no uint64, p []byte) error {
 	if c.closed.Load() {
 		return ErrClosed
 	}
+	if no >= c.disk.Blocks() {
+		return fmt.Errorf("core: Read of block %d beyond disk (%d blocks): %w",
+			no, c.disk.Blocks(), ErrOutOfRange)
+	}
 	if c.serial {
 		// Ablation modes update cached blocks in place mid-commit, so
 		// reads keep the paper's full serialization.
@@ -715,7 +837,9 @@ func (c *Cache) Read(no uint64, p []byte) error {
 // counter: the shard-locked hit path (and the sole hit path in serial
 // mode or under Options.LockedReadHit). A block mid-seal (log role) is
 // served from its last sealed version: the previous COW copy, or — for a
-// fresh write not yet sealed — the disk, read around the cache.
+// fresh write not yet sealed — the disk, read around the cache. A nil p
+// checks residency only (the ReadView miss path needs the install, not
+// the bytes) — no copy, no charge.
 func (c *Cache) readResident(no uint64, p []byte) bool {
 	sh := c.shardOf(no)
 	sh.mu.Lock()
@@ -730,15 +854,21 @@ func (c *Cache) readResident(no uint64, p []byte) bool {
 			// Freshly written, seal pending: the sealed contents are
 			// still whatever the disk holds.
 			sh.mu.Unlock()
-			c.disk.ReadBlock(no, p)
+			if p != nil {
+				c.disk.ReadBlock(no, p)
+			}
 			return true
 		}
 		// Serve the pre-seal version; no LRU touch while committing.
-		c.mem.Load(c.lay.blockOff(e.prev), p)
+		if p != nil {
+			c.mem.Load(c.lay.blockOff(e.prev), p)
+		}
 		sh.mu.Unlock()
 		return true
 	}
-	c.mem.Load(c.lay.blockOff(e.cur), p)
+	if p != nil {
+		c.mem.Load(c.lay.blockOff(e.cur), p)
+	}
 	c.touchLocked(sh, i)
 	sh.mu.Unlock()
 	return true
@@ -768,7 +898,7 @@ func (c *Cache) fillSerialLocked(no uint64, p []byte) error {
 	c.beginSlotMutate(i)
 	c.writeEntry(i, entry{valid: true, role: RoleBuffer, modified: false, disk: no, prev: Fresh, cur: b})
 	c.endSlotMutate(i)
-	sh.hash.Store(no, i)
+	sh.mapStore(no, i)
 	c.pushFrontLocked(sh, i)
 	return nil
 }
@@ -799,8 +929,11 @@ func (c *Cache) fillConcurrent(no uint64, p []byte) error {
 			sh.mu.Lock()
 			if _, ok := sh.slot(no); ok {
 				sh.mu.Unlock()
-				c.alloc.pushBlock(b)
+				// Slot before block, always: a thread that pops the block
+				// may immediately demand a slot, and the free-slot pool must
+				// already hold one at that instant (popSlot's invariant).
 				c.alloc.pushSlot(s)
+				c.alloc.pushBlock(b)
 				c.rec.Inc(metrics.CacheFillRace)
 				if c.readResident(no, p) {
 					return nil
@@ -814,7 +947,7 @@ func (c *Cache) fillConcurrent(no uint64, p []byte) error {
 			c.beginSlotMutate(s)
 			c.writeEntry(s, entry{valid: true, role: RoleBuffer, modified: false, disk: no, prev: Fresh, cur: b})
 			c.endSlotMutate(s)
-			sh.hash.Store(no, s)
+			sh.mapStore(no, s)
 			c.pushFrontLocked(sh, s)
 			sh.mu.Unlock()
 			if p != nil {
@@ -838,8 +971,8 @@ func (c *Cache) fillConcurrent(no uint64, p []byte) error {
 			// transaction) beat us to it. First installer wins; free our
 			// copy and serve theirs.
 			sh.mu.Unlock()
+			c.alloc.pushSlot(s) // slot before block (popSlot's invariant)
 			c.alloc.pushBlock(b)
-			c.alloc.pushSlot(s)
 			c.rec.Inc(metrics.CacheFillRace)
 			if c.readResident(no, p) {
 				return nil
@@ -850,15 +983,15 @@ func (c *Cache) fillConcurrent(no uint64, p []byte) error {
 			// An ever-dirty block left this shard while our disk read was
 			// in flight; the read may be stale. Retry with a fresh read.
 			sh.mu.Unlock()
+			c.alloc.pushSlot(s) // slot before block (popSlot's invariant)
 			c.alloc.pushBlock(b)
-			c.alloc.pushSlot(s)
 			c.rec.Inc(metrics.CacheFillRace)
 			continue
 		}
 		c.beginSlotMutate(s)
 		c.writeEntry(s, entry{valid: true, role: RoleBuffer, modified: false, disk: no, prev: Fresh, cur: b})
 		c.endSlotMutate(s)
-		sh.hash.Store(no, s)
+		sh.mapStore(no, s)
 		c.pushFrontLocked(sh, s)
 		sh.mu.Unlock()
 		if p != nil {
@@ -945,8 +1078,7 @@ func (c *Cache) FlushAll() error {
 		sh := &c.shards[s]
 		sh.mu.Lock()
 		dirty = dirty[:0]
-		sh.hash.Range(func(k, v any) bool {
-			no, i := k.(uint64), v.(int32)
+		sh.mapRange(func(no uint64, i int32) bool {
 			if e := c.readEntry(i); e.modified && e.role != RoleLog {
 				dirty = append(dirty, destageItem{no: no, slot: i})
 			}

@@ -191,7 +191,7 @@ func (c *Cache) evictSlot(v victim) bool {
 	c.beginSlotMutate(v.slot)
 	c.clearEntry(v.slot)
 	sh.lru.remove(v.slot)
-	sh.hash.Delete(v.no)
+	sh.mapDelete(v.no)
 	if c.dirtied[v.slot] {
 		// The disk copy of this block was rewritten at some point after
 		// it was cached: an optimistic miss fill whose disk read started
@@ -200,10 +200,10 @@ func (c *Cache) evictSlot(v victim) bool {
 		c.dirtied[v.slot] = false
 	}
 	c.alloc.pushSlot(v.slot)
-	c.alloc.pushBlock(e.cur)
+	c.freeDataBlock(e.cur)
 	if e.prev != Fresh {
 		// Only possible when txn pinning is disabled (ablation mode).
-		c.alloc.pushBlock(e.prev)
+		c.freeDataBlock(e.prev)
 	}
 	c.endSlotMutate(v.slot)
 	c.rec.Inc(metrics.CacheEvict)

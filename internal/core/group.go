@@ -313,7 +313,7 @@ planLoop:
 				// Publish to the lock-free index only after the entry is in
 				// place, so a fast reader can never look up a slot whose
 				// entry is still the allocator's garbage.
-				sh.hash.Store(pb.no, pb.slot)
+				sh.mapStore(pb.no, pb.slot)
 			}
 			c.dirtied[pb.slot] = true
 		}()
@@ -354,7 +354,7 @@ planLoop:
 			c.endSlotMutate(pb.slot)
 		}()
 		if pb.prev != Fresh {
-			c.alloc.pushBlock(pb.prev)
+			c.freeDataBlock(pb.prev)
 		}
 	}
 	c.mem.SFence()
@@ -436,10 +436,12 @@ func (c *Cache) unwindPlan(plan []*planBlock) {
 			sh.mu.Unlock()
 		}
 		if pb.allocated {
-			c.alloc.pushBlock(pb.nb)
+			// Slot before block: once the block is poppable, a concurrent
+			// allocPair may demand a slot on the spot (popSlot's invariant).
 			if !pb.hit {
 				c.alloc.pushSlot(pb.slot)
 			}
+			c.alloc.pushBlock(pb.nb)
 		}
 	}
 }
@@ -461,9 +463,9 @@ func (c *Cache) dropFilledLocked(sh *shard, no uint64, i int32) {
 	c.beginSlotMutate(i)
 	c.clearEntry(i)
 	sh.lru.remove(i)
-	sh.hash.Delete(no)
+	sh.mapDelete(no)
 	c.dirtied[i] = false
 	c.alloc.pushSlot(i)
-	c.alloc.pushBlock(e.cur)
+	c.freeDataBlock(e.cur)
 	c.endSlotMutate(i)
 }

@@ -70,10 +70,7 @@ func (c *Cache) CheckInvariants() error {
 	}
 	mapped, linked := 0, 0
 	for s := range c.shards {
-		c.shards[s].hash.Range(func(_, _ any) bool {
-			mapped++
-			return true
-		})
+		mapped += c.shards[s].mapLen()
 		// Apply any pending fast-path promotions so the LRU count below
 		// reflects every hit taken before quiescence.
 		c.drainTouchesLocked(&c.shards[s])
@@ -102,18 +99,55 @@ func (c *Cache) CheckInvariants() error {
 		}
 	}
 
-	// Free monitor and referenced blocks must partition the data area.
-	// Every allocator push during an eviction happens under the victim's
-	// shard lock, so holding all shard locks (plus c.mu against commits
-	// and fills) makes the snapshot consistent.
+	// Pinned-view accounting (view.go). A pinned block must still be
+	// referenced by an entry unless it carries the orphan bit, in which
+	// case it must NOT be referenced: it is free-in-waiting, owned by the
+	// open views until the last unpin pushes it. Every pin belongs to an
+	// open zero-copy view, so the pin total is bounded by the open-view
+	// gauge (copying views hold no pin).
+	openViews := c.viewsOpen.Load()
+	orphaned := make(map[uint32]bool)
+	var pinTotal int64
+	for b := range c.viewPins {
+		v := c.viewPins[b].Load()
+		if v == 0 {
+			continue
+		}
+		count, orphan := v>>1, v&1 == 1
+		if count <= 0 {
+			return fmt.Errorf("invariant: NVM block %d orphaned with no pins (word %d)", b, v)
+		}
+		pinTotal += count
+		_, used := usedBlock[uint32(b)]
+		if orphan {
+			if used {
+				return fmt.Errorf("invariant: NVM block %d deferred-free but still referenced", b)
+			}
+			orphaned[uint32(b)] = true
+		} else if !used {
+			return fmt.Errorf("invariant: NVM block %d pinned by a view but referenced by no entry", b)
+		}
+	}
+	if pinTotal > openViews {
+		return fmt.Errorf("invariant: %d view pins exceed %d open views", pinTotal, openViews)
+	}
+
+	// Free monitor, referenced blocks and orphaned (view-held) blocks must
+	// partition the data area. Every allocator push during an eviction
+	// happens under the victim's shard lock, so holding all shard locks
+	// (plus c.mu against commits and fills) makes the snapshot consistent;
+	// pins are stable because the caller is quiescent (no views opening).
 	freeB, freeS := c.alloc.snapshot()
-	if len(freeB)+len(usedBlock) != c.lay.Capacity {
-		return fmt.Errorf("invariant: free (%d) + used (%d) != capacity (%d)",
-			len(freeB), len(usedBlock), c.lay.Capacity)
+	if len(freeB)+len(usedBlock)+len(orphaned) != c.lay.Capacity {
+		return fmt.Errorf("invariant: free (%d) + used (%d) + view-held (%d) != capacity (%d)",
+			len(freeB), len(usedBlock), len(orphaned), c.lay.Capacity)
 	}
 	for _, b := range freeB {
 		if _, used := usedBlock[b]; used {
 			return fmt.Errorf("invariant: NVM block %d both free and referenced", b)
+		}
+		if orphaned[b] {
+			return fmt.Errorf("invariant: NVM block %d both free and deferred to a view", b)
 		}
 	}
 	if len(freeS)+valid != c.lay.Capacity {
@@ -135,8 +169,8 @@ func (c *Cache) ResidentBlocks() map[uint64]bool {
 	defer c.unlockAllShards()
 	out := make(map[uint64]bool)
 	for s := range c.shards {
-		c.shards[s].hash.Range(func(k, v any) bool {
-			out[k.(uint64)] = c.readEntry(v.(int32)).modified
+		c.shards[s].mapRange(func(no uint64, i int32) bool {
+			out[no] = c.readEntry(i).modified
 			return true
 		})
 	}

@@ -142,11 +142,10 @@ func (c *Cache) readFast(no uint64, p []byte) bool {
 	sh := c.shardOf(no)
 	retries := 0
 	for {
-		v, ok := sh.hash.Load(no)
+		i, ok := sh.slot(no)
 		if !ok {
 			return false // miss (or just evicted): locked path decides
 		}
-		i := v.(int32)
 		s1 := c.slotSeq[i].Load()
 		if s1&1 != 0 {
 			// A mutator is inside this slot right now.

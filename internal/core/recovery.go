@@ -167,10 +167,10 @@ func (c *Cache) revokeRange(from, to uint64) {
 			c.beginSlotMutate(i)
 			c.clearEntry(i)
 			sh.lru.remove(i)
-			sh.hash.Delete(no)
+			sh.mapDelete(no)
 			c.dirtied[i] = false
 			c.alloc.pushSlot(i)
-			c.alloc.pushBlock(e.cur)
+			c.freeDataBlock(e.cur)
 			c.endSlotMutate(i)
 			sh.mu.Unlock()
 			continue
@@ -179,7 +179,7 @@ func (c *Cache) revokeRange(from, to uint64) {
 		c.writeEntry(i, entry{valid: true, role: RoleBuffer, modified: true, disk: no, prev: Fresh, cur: e.prev})
 		c.endSlotMutate(i)
 		c.dirtied[i] = true
-		c.alloc.pushBlock(e.cur)
+		c.freeDataBlock(e.cur)
 		sh.mu.Unlock()
 	}
 }
@@ -191,12 +191,10 @@ func (c *Cache) revokeRange(from, to uint64) {
 func (c *Cache) rebuildVolatile() {
 	for s := range c.shards {
 		sh := &c.shards[s]
-		// sync.Map cannot be reassigned (it embeds a mutex); recovery is
-		// single-threaded, so a Range+Delete clear is race-free.
-		sh.hash.Range(func(k, _ any) bool {
-			sh.hash.Delete(k)
-			return true
-		})
+		// Recovery is single-threaded, so the reset is race-free (the
+		// bucket index swaps in a fresh table; the sync.Map baseline is
+		// cleared key by key — it embeds a mutex and can't be reassigned).
+		sh.mapReset()
 		sh.lru = newLRU(c.lay.Capacity)
 	}
 	c.alloc.reset()
@@ -209,7 +207,7 @@ func (c *Cache) rebuildVolatile() {
 			continue
 		}
 		sh := c.shardOf(e.disk)
-		sh.hash.Store(e.disk, int32(i))
+		sh.mapStore(e.disk, int32(i))
 		c.pushFrontLocked(sh, int32(i))
 		used[e.cur] = true
 		// Dirty entries may be written back later; their eviction must

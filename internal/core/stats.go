@@ -23,6 +23,20 @@ type CacheStats struct {
 	TouchRingDrops    int64
 	TouchBatchDrained int64
 
+	// Zero-copy read views (view.go). ZeroCopyViews alias pinned NVM
+	// bytes; CopiedViews fell back to a private copy (serial/ablation
+	// modes, DisableZeroCopy, mid-seal fresh blocks). ViewDeferredFrees
+	// counts block frees handed off to a view's last unpin; OpenViews is
+	// the live gauge of unclosed views.
+	ZeroCopyViews     int64
+	CopiedViews       int64
+	ViewDeferredFrees int64
+	OpenViews         int64
+
+	// IndexGrows counts incremental resizes of the sharded bucket index
+	// since Open (0 when running on the sync.Map baseline).
+	IndexGrows int64
+
 	// Eviction and residency.
 	Evictions      int64
 	DirtyEvictions int64
@@ -115,6 +129,15 @@ func (c *Cache) Stats() CacheStats {
 		StoreFences:       r.Get(metrics.NVMSFence),
 		DiskBlocksWritten: r.Get(metrics.DiskBlocksWrite),
 		DiskBlocksRead:    r.Get(metrics.DiskBlocksRead),
+		ZeroCopyViews:     r.Get(metrics.CacheViewZeroCopy),
+		CopiedViews:       r.Get(metrics.CacheViewCopied),
+		ViewDeferredFrees: r.Get(metrics.CacheViewDeferFree),
+		OpenViews:         c.viewsOpen.Load(),
+	}
+	for s := range c.shards {
+		if idx := c.shards[s].idx; idx != nil {
+			st.IndexGrows += idx.Grows()
+		}
 	}
 	if c.obs != nil {
 		st.CommitLatency = c.obs.total.Snapshot().Summary()

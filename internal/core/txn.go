@@ -321,7 +321,7 @@ func (c *Cache) commitBlock(no uint64, data []byte) (int32, error) {
 			c.beginSlotMutate(i)
 			c.writeEntry(i, entry{valid: true, role: RoleLog, modified: true, disk: no, prev: Fresh, cur: nb})
 			c.endSlotMutate(i)
-			sh.hash.Store(no, i)
+			sh.mapStore(no, i)
 			c.pushFrontLocked(sh, i)
 			sh.pinned[i] = true
 			c.dirtied[i] = true
@@ -375,7 +375,7 @@ func (c *Cache) roleSwitch(slot int32) {
 		c.endSlotMutate(slot)
 	}()
 	if prev != Fresh {
-		c.alloc.pushBlock(prev)
+		c.freeDataBlock(prev)
 	}
 }
 

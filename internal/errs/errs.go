@@ -1,0 +1,25 @@
+// Package errs holds the sentinel errors shared across the storage
+// layers. Each layer (core, fs, stack) wraps these with its own prefixed
+// message, so a caller can match the condition with one errors.Is target
+// regardless of which layer surfaced it:
+//
+//	if errors.Is(err, tinca.ErrClosed) { ... }
+//
+// matches core's "cache closed", fs's "filesystem closed" and anything a
+// future layer adds, without string comparison. The tinca package
+// re-exports these as its public error surface.
+package errs
+
+import "errors"
+
+var (
+	// ErrClosed: the component (cache, filesystem, stack) has been shut
+	// down and rejects further operations.
+	ErrClosed = errors.New("storage closed")
+	// ErrOutOfRange: a block number, offset or length falls outside the
+	// addressable range of the target (disk size, file size, buffer).
+	ErrOutOfRange = errors.New("out of range")
+	// ErrViewExpired: a zero-copy read view was used after Close
+	// released its pin; the bytes it aliased may since have been reused.
+	ErrViewExpired = errors.New("view expired")
+)

@@ -24,7 +24,7 @@ func cellF(t *testing.T, tb *Table, row int, col string) float64 {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"table1", "table2", "3a", "3b", "4", "7", "8", "10", "11", "12a", "12b", "12c", "13",
 		"recover", "ablate", "endurance", "clwb", "recovertime", "modes", "groupcommit", "phases",
-		"misspath", "readhit"}
+		"misspath", "readhit", "indexscale"}
 	names := Names()
 	if len(names) != len(want) {
 		t.Fatalf("registry has %d entries, want %d: %v", len(names), len(want), names)
@@ -409,4 +409,33 @@ func TestTableCellPanicsOnUnknownColumn(t *testing.T) {
 		}
 	}()
 	tb.Cell(0, "nope")
+}
+
+func TestIndexScale(t *testing.T) {
+	tb, err := IndexScale(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6 (bucket/syncmap x 3 sizes)", len(tb.Rows))
+	}
+	// Acceptance bar (ISSUE 6): a warm read on the public API — copying
+	// Read and zero-copy ReadView+Close alike — allocates nothing.
+	for _, m := range []string{"read_allocs_per_op", "readview_allocs_per_op"} {
+		v, ok := tb.Metrics[m]
+		if !ok {
+			t.Fatalf("%s metric missing\n%s", m, tb)
+		}
+		if v != 0 {
+			t.Fatalf("%s = %v, want 0\n%s", m, v, tb)
+		}
+	}
+	// Bucket lookups must not allocate at any size, and the hit cost must
+	// stay in the same ballpark as the table grows (flat modulo cache
+	// effects; the quick scale spans ~12K to 1.2M entries). Host wall
+	// time is noisy in CI, so the bar is loose — sync.Map blows through
+	// it by an order of magnitude at full scale.
+	if f, ok := tb.Metrics["bucket_hit_flatness_x"]; !ok || f > 6 {
+		t.Fatalf("bucket hit cost grew %vx across table sizes (want metric present and <= 6)\n%s", f, tb)
+	}
 }

@@ -35,6 +35,7 @@ var Registry = map[string]Runner{
 	"phases":      CommitPhaseBreakdown,
 	"misspath":    MissPathScaling,
 	"readhit":     ReadHitScaling,
+	"indexscale":  IndexScale,
 }
 
 // Names lists the registered experiments in a stable order.
@@ -92,6 +93,8 @@ func expOrder(n string) string {
 		return "98"
 	case "readhit":
 		return "985"
+	case "indexscale":
+		return "986"
 	default:
 		return "99" + n
 	}

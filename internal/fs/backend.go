@@ -42,6 +42,28 @@ type ConcurrentReader interface {
 	ConcurrentReads() bool
 }
 
+// BlockView is a zero-copy window onto the committed contents of one
+// block, returned by a ViewReader backend. Bytes stays valid (a stable
+// snapshot) until Close; the caller must not write through it and must
+// Close exactly once.
+type BlockView interface {
+	// Bytes returns the BlockSize block contents (nil after Close).
+	Bytes() []byte
+	// Close releases the view.
+	Close() error
+}
+
+// ViewReader is an optional capability interface: a Backend that also
+// implements it can serve committed block contents without copying them
+// (the Tinca backend pins the NVM block and aliases its bytes). The file
+// system's ReadAtView uses it when present and degrades to private
+// copies otherwise. A ViewReader backend must also support concurrent
+// reads (see ConcurrentReader): views outlive the FS locks.
+type ViewReader interface {
+	// ReadBlockView returns a stable zero-copy view of block no.
+	ReadBlockView(no uint64) (BlockView, error)
+}
+
 // BackendTxn is one atomic batch of block updates.
 type BackendTxn interface {
 	// Write stages the new contents of block no (BlockSize bytes, copied).

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"tinca/internal/errs"
 	"tinca/internal/metrics"
 	"tinca/internal/pmem"
 	"tinca/internal/sim"
@@ -24,9 +25,13 @@ var (
 	ErrTooLarge  = errors.New("fs: file too large")
 	ErrNameLen   = errors.New("fs: name too long")
 	ErrBadPath   = errors.New("fs: bad path")
-	ErrReadRange = errors.New("fs: read beyond end of file")
+	ErrReadRange = fmt.Errorf("fs: read beyond end of file: %w", errs.ErrOutOfRange)
 	ErrLinkLoop  = errors.New("fs: too many levels of symbolic links")
 	ErrNotLink   = errors.New("fs: not a symbolic link")
+	// ErrViewExpired is returned by FileView.Close on a double close (it
+	// wraps the cross-layer errs.ErrViewExpired sentinel, like the cache's
+	// own view error, so errors.Is matches either layer's variant).
+	ErrViewExpired = fmt.Errorf("fs: view used after Close: %w", errs.ErrViewExpired)
 )
 
 // Options configure a mounted file system.
@@ -71,7 +76,8 @@ type FS struct {
 	b       Backend
 	g       geometry
 	opts    Options
-	rlockOK bool // backend supports concurrent ReadBlock
+	rlockOK bool       // backend supports concurrent ReadBlock
+	vr      ViewReader // non-nil when the backend serves zero-copy views
 
 	// DRAM mirrors of the allocation bitmaps for O(1) scanning. The
 	// persistent bitmaps are still updated transactionally; mirrors are
@@ -229,6 +235,12 @@ func newFS(b Backend, g geometry, opts Options) *FS {
 	if opts.Observe && opts.Rec != nil && opts.Clock != nil {
 		f.hRead = opts.Rec.Hist(metrics.HistFSRead)
 		f.hWrite = opts.Rec.Hist(metrics.HistFSWrite)
+	}
+	// Zero-copy views require the backend to tolerate reads outside the
+	// FS locks, so the capability is only honored alongside
+	// ConcurrentReader (backend.go).
+	if vr, ok := b.(ViewReader); ok && rlockOK {
+		f.vr = vr
 	}
 	return f
 }

@@ -1,0 +1,245 @@
+package fs
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+
+	"tinca/internal/errs"
+)
+
+// viewMemBackend extends memBackend with the ViewReader + ConcurrentReader
+// capabilities: views alias a snapshot slice the backend never mutates
+// (memTxn.Commit installs fresh slices), mirroring the stability contract
+// the Tinca backend provides via NVM block pins.
+type viewMemBackend struct {
+	*memBackend
+	viewsOpen int
+	mu        sync.Mutex
+}
+
+func (b *viewMemBackend) ConcurrentReads() bool { return true }
+
+func (b *viewMemBackend) ReadBlockView(no uint64) (BlockView, error) {
+	b.memBackend.mu.Lock()
+	d, ok := b.blocks[no]
+	b.memBackend.mu.Unlock()
+	if !ok {
+		d = make([]byte, BlockSize)
+	}
+	b.mu.Lock()
+	b.viewsOpen++
+	b.mu.Unlock()
+	return &memBlockView{b: b, data: d}, nil
+}
+
+type memBlockView struct {
+	b    *viewMemBackend
+	data []byte
+}
+
+func (v *memBlockView) Bytes() []byte { return v.data }
+func (v *memBlockView) Close() error {
+	v.b.mu.Lock()
+	v.b.viewsOpen--
+	v.b.mu.Unlock()
+	v.data = nil
+	return nil
+}
+
+// TestReadAtView covers the four sources a view can come from — a
+// backend (zero-copy) block, a staged-but-uncommitted block, a hole, and
+// the copying fallback on a backend without ViewReader — plus the
+// boundary/EOF/Close semantics shared by all of them.
+func TestReadAtView(t *testing.T) {
+	vb := &viewMemBackend{memBackend: newMemBackend()}
+	f, err := Format(vb, 4096, 0, Options{GroupCommitBlocks: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Committed file content: 2.5 blocks of patterned data.
+	content := make([]byte, BlockSize*5/2)
+	for i := range content {
+		content[i] = byte('a' + i%23)
+	}
+	if err := f.WriteFile("/data", content); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil { // commit the group so blocks reach the backend
+		t.Fatal(err)
+	}
+
+	// Zero-copy views over the whole file, iterating by Len like a short
+	// read loop; each view must stop at its block boundary.
+	var got []byte
+	for off := uint64(0); off < uint64(len(content)); {
+		v, err := f.ReadAtView("/data", off, len(content))
+		if err != nil {
+			t.Fatalf("off %d: %v", off, err)
+		}
+		if !v.ZeroCopy() {
+			t.Fatalf("off %d: committed data should be zero-copy", off)
+		}
+		if end := int(off%BlockSize) + v.Len(); end > BlockSize {
+			t.Fatalf("off %d: view crosses a block boundary (end %d)", off, end)
+		}
+		got = append(got, v.Bytes()...)
+		off += uint64(v.Len())
+		if err := v.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if v.Bytes() != nil || v.Len() != 0 {
+			t.Fatal("view not neutered by Close")
+		}
+		if err := v.Close(); !errors.Is(err, errs.ErrViewExpired) {
+			t.Fatalf("double Close = %v, want ErrViewExpired", err)
+		}
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatal("view loop reassembled different bytes than written")
+	}
+	if vb.viewsOpen != 0 {
+		t.Fatalf("%d backend views leaked", vb.viewsOpen)
+	}
+
+	// EOF and error surface.
+	if _, err := f.ReadAtView("/data", uint64(len(content)), 1); !errors.Is(err, errs.ErrOutOfRange) {
+		t.Fatalf("read at EOF = %v, want ErrOutOfRange sentinel", err)
+	}
+	if _, err := f.ReadAtView("/", 0, 1); err != ErrIsDir {
+		t.Fatalf("view of a directory = %v, want ErrIsDir", err)
+	}
+
+	// A hole reads as zeroes from the shared zero block, no backend view.
+	if err := f.Truncate("/data", BlockSize*8); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	hv, err := f.ReadAtView("/data", BlockSize*5, BlockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hv.ZeroCopy() {
+		t.Fatal("hole view should not claim zero-copy backend backing")
+	}
+	for _, b := range hv.Bytes() {
+		if b != 0 {
+			t.Fatal("hole view has non-zero bytes")
+		}
+	}
+	if err := hv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Staged data (written but not group-committed) is served as a
+	// private copy of the staged bytes, not the stale backend contents.
+	patch := bytes.Repeat([]byte{'Z'}, 64)
+	if err := f.WriteAt("/data", 0, patch); err != nil {
+		t.Fatal(err)
+	}
+	sv, err := f.ReadAtView("/data", 0, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sv.ZeroCopy() {
+		t.Fatal("staged data must come as a private copy")
+	}
+	if !bytes.Equal(sv.Bytes(), patch) {
+		t.Fatalf("staged view = %q, want the staged bytes", sv.Bytes()[:8])
+	}
+	if err := sv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A view stays a stable snapshot across later writes to the same
+	// range (the backend's old block slice is unshared).
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	stable, err := f.ReadAtView("/data", 0, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.WriteAt("/data", 0, bytes.Repeat([]byte{'Q'}, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(stable.Bytes(), patch) {
+		t.Fatal("open view drifted after an overwrite")
+	}
+	if err := stable.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := f.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReadAtViewCopyBackend runs the same loop on a backend without
+// ViewReader: every view must be a private copy with identical contents.
+func TestReadAtViewCopyBackend(t *testing.T) {
+	f := newFSForTest(t, 4096, Options{})
+	content := make([]byte, BlockSize+123)
+	for i := range content {
+		content[i] = byte(i)
+	}
+	if err := f.WriteFile("/c", content); err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	for off := uint64(0); off < uint64(len(content)); {
+		v, err := f.ReadAtView("/c", off, 1<<20)
+		if err != nil {
+			t.Fatalf("off %d: %v", off, err)
+		}
+		if v.ZeroCopy() {
+			t.Fatal("copy backend cannot produce zero-copy views")
+		}
+		got = append(got, v.Bytes()...)
+		off += uint64(v.Len())
+		if err := v.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatal("copied views reassembled different bytes")
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFileHandleReadAtView checks the File-handle entry point.
+func TestFileHandleReadAtView(t *testing.T) {
+	f := newFSForTest(t, 1024, Options{})
+	if err := f.WriteFile("/h", []byte("handle view")); err != nil {
+		t.Fatal(err)
+	}
+	h, err := f.Open("/h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := h.ReadAtView(7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v.Bytes()) != "view" {
+		t.Fatalf("handle view = %q", v.Bytes())
+	}
+	if err := v.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

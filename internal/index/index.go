@@ -1,0 +1,375 @@
+// Package index implements the DRAM-side block-number → slot map as an
+// open-addressed hash table with cache-line-sized buckets, replacing the
+// sync.Map the cache shipped with through PR 5. The design goals mirror
+// the paper's 16-byte NVM entry economy on the DRAM side:
+//
+//   - A mapping costs exactly one 16-byte cell (two machine words), laid
+//     out flat in a power-of-two array: no per-entry heap allocation, no
+//     pointer chasing, four cells per 64-byte cache line.
+//   - Readers are lock-free and wait-free modulo probing: Get issues only
+//     atomic loads and never blocks behind a writer or a resize.
+//   - Writers are externally serialised (the cache's shard mutex), which
+//     keeps the write side trivial: plain linear probing with tombstones.
+//
+// # Cell layout
+//
+// Each cell is two uint64 words in a flat []atomic.Uint64:
+//
+//	word 0 (key):   0 = empty · 1<<63 = tombstone · otherwise blockNo+1
+//	word 1 (value): the int32 cache-slot index, zero-extended
+//
+// Block numbers are ≤ 2^56-1 (the NVM entry packs them into 7 bytes), so
+// key+1 never collides with the empty or tombstone encodings. An insert
+// publishes the value word before the key word; a torn read (new key, old
+// value — possible when a tombstoned cell is recycled) therefore hands the
+// reader a stale slot index, never a wild one. That is safe because every
+// consumer re-validates the mapping against the authoritative NVM entry
+// (entry.disk == blockNo under a seqlock, or under the shard lock) before
+// trusting it — exactly the discipline readfast.go already imposes.
+//
+// # Incremental resize, epoch-guarded
+//
+// Growth must not stall lock-free readers, so resize is incremental: the
+// writer installs a fresh table as cur and demotes the full one to old
+// (old is published before cur, so a reader never sees the new empty
+// table without the old one behind it). Every subsequent mutation migrates
+// a fixed quantum of old cells into cur, and once the cursor covers the
+// old table it is unlinked. Mid-migration:
+//
+//   - Get probes cur first, then old. Migrated keys exist in both tables;
+//     cur wins, so updates (which go to cur only) are never shadowed.
+//   - Delete tombstones the key in both tables, so a cur-miss cannot
+//     resurrect a stale old-table mapping.
+//   - Old cells are never deleted by migration itself — the table is
+//     discarded wholesale — so a reader that loaded the old pointer keeps
+//     a complete, immutable-keys view for as long as it holds the
+//     reference. Go's GC is the epoch reclaimer: the old array is freed
+//     only when the last reader drops it.
+//
+// A reader that captured cur just before a resize published can miss a
+// key inserted into the brand-new table. That surfaces as a spurious
+// cache miss on the fast path; the caller's locked fallback (which runs
+// under the same mutex as writers and therefore sees settled pointers)
+// re-decides correctly.
+package index
+
+import "sync/atomic"
+
+// MaxKey is the largest storable key: block numbers are packed into seven
+// bytes in the NVM entry, and key+1 must stay clear of the tombstone bit.
+const MaxKey = 1<<56 - 1
+
+const (
+	emptyKey     = 0
+	tombstoneKey = 1 << 63
+
+	// migrateQuantum is how many old-table cells each mutation carries
+	// over during an incremental resize. 64 cells is 1 KiB of scanning —
+	// cheap against the NVM writes a mutation already pays for, and it
+	// finishes a 2x grow well before the new table fills in turn.
+	migrateQuantum = 64
+
+	// minCapacity keeps degenerate tables out of the probe math.
+	minCapacity = 64
+)
+
+// table is one hash array generation. Capacity is a power of two; words
+// holds two uint64s per cell (key, value), flat.
+type table struct {
+	mask  uint64 // capacity - 1
+	words []atomic.Uint64
+	used  int // cells holding a live key or a tombstone
+	live  int // cells holding a live key
+}
+
+func newTable(capacity int) *table {
+	return &table{
+		mask:  uint64(capacity - 1),
+		words: make([]atomic.Uint64, 2*capacity),
+	}
+}
+
+// hash is a splitmix64-style finalizer: block numbers arrive nearly
+// sequential, and this spreads them across buckets without clustering.
+func hash(k uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xff51afd7ed558ccd
+	k ^= k >> 33
+	k *= 0xc4ceb9fe1a85ec53
+	k ^= k >> 33
+	return k
+}
+
+// get probes one generation. Lock-free; safe concurrently with a writer.
+func (t *table) get(k uint64) (int32, bool) {
+	kw := k + 1
+	h := hash(k)
+	for i := uint64(0); ; i++ {
+		c := (h + i) & t.mask
+		w := t.words[2*c].Load()
+		if w == emptyKey {
+			return 0, false
+		}
+		if w == kw {
+			return int32(t.words[2*c+1].Load()), true
+		}
+		if i == t.mask { // table scanned (all tombstones) — absent
+			return 0, false
+		}
+	}
+}
+
+// put inserts or updates k in this generation. Writer-side only.
+// Returns true when k was not previously present in this table.
+func (t *table) put(k uint64, v int32) bool {
+	kw := k + 1
+	h := hash(k)
+	reuse := -1
+	for i := uint64(0); ; i++ {
+		c := (h + i) & t.mask
+		w := t.words[2*c].Load()
+		switch w {
+		case emptyKey:
+			if reuse >= 0 {
+				c = uint64(reuse) // recycle the first tombstone on the path
+			} else {
+				t.used++
+			}
+			t.live++
+			// Publish value before key: a concurrent reader that sees
+			// the key must not read an uninitialised (or, for a recycled
+			// tombstone, arbitrary-stale) value word... it still can see
+			// a stale value on recycle, which downstream entry
+			// validation rejects; it can never see an unwritten word.
+			t.words[2*c+1].Store(uint64(uint32(v)))
+			t.words[2*c].Store(kw)
+			return true
+		case kw:
+			t.words[2*c+1].Store(uint64(uint32(v)))
+			return false
+		case tombstoneKey:
+			if reuse < 0 {
+				reuse = int(c)
+			}
+		}
+	}
+}
+
+// del tombstones k in this generation. Writer-side only.
+func (t *table) del(k uint64) bool {
+	kw := k + 1
+	h := hash(k)
+	for i := uint64(0); ; i++ {
+		c := (h + i) & t.mask
+		w := t.words[2*c].Load()
+		if w == emptyKey {
+			return false
+		}
+		if w == kw {
+			t.words[2*c].Store(tombstoneKey)
+			t.live--
+			return true
+		}
+		if i == t.mask {
+			return false
+		}
+	}
+}
+
+// Table maps block numbers to cache-slot indexes for one shard.
+//
+// Concurrency contract: any number of goroutines may call Get
+// concurrently with each other and with one mutator; Put, Delete, Range,
+// Len and Reset must be serialised by the caller (the cache holds the
+// shard mutex).
+type Table struct {
+	cur atomic.Pointer[table]
+	old atomic.Pointer[table]
+	// cursor is the next old-table cell to migrate. Writer-side state.
+	cursor uint64
+	// initial is the capacity Reset returns to (and New starts from).
+	initial int
+	// grows counts resizes since New/Reset. Read without the writer lock
+	// by Stats-style diagnostics, hence atomic.
+	grows atomic.Int64
+}
+
+// New returns a table with room for about initial mappings before the
+// first grow. initial is rounded up to a power of two ≥ minCapacity.
+func New(initial int) *Table {
+	capa := minCapacity
+	for capa < initial {
+		capa <<= 1
+	}
+	t := &Table{initial: capa}
+	t.cur.Store(newTable(capa))
+	return t
+}
+
+// Get returns the slot mapped to k. Lock-free.
+func (t *Table) Get(k uint64) (int32, bool) {
+	if cur := t.cur.Load(); cur != nil {
+		if v, ok := cur.get(k); ok {
+			return v, true
+		}
+	}
+	if old := t.old.Load(); old != nil {
+		return old.get(k)
+	}
+	return 0, false
+}
+
+// Put maps k to v, growing (or stepping an in-flight grow) as needed.
+func (t *Table) Put(k uint64, v int32) {
+	t.migrateSome()
+	cur := t.cur.Load()
+	// Grow when the current generation passes 3/4 occupancy (live keys
+	// plus tombstones — tombstones cost probe length too, and a resize
+	// purges them). If a grow is already in flight, force-finish it
+	// first so two generations never chain.
+	if uint64(cur.used+1)*4 > (cur.mask+1)*3 {
+		if t.old.Load() != nil {
+			t.finishMigration()
+		}
+		t.grow()
+		cur = t.cur.Load()
+	}
+	// If the key still lives in the old generation it is now shadowed:
+	// Get probes cur first, and migration skips keys already in cur.
+	cur.put(k, v)
+}
+
+// Delete removes k. Both generations are tombstoned so a cur miss cannot
+// fall through to a stale old-generation mapping.
+func (t *Table) Delete(k uint64) {
+	t.migrateSome()
+	t.cur.Load().del(k)
+	if old := t.old.Load(); old != nil {
+		old.del(k)
+	}
+}
+
+// Len returns the number of live mappings.
+func (t *Table) Len() int {
+	n := t.cur.Load().live
+	if old := t.old.Load(); old != nil {
+		cur := t.cur.Load()
+		old.scan(func(k uint64, _ int32) bool {
+			if _, shadowed := cur.get(k); !shadowed {
+				n++
+			}
+			return true
+		})
+	}
+	return n
+}
+
+// Range calls fn for every live mapping until fn returns false.
+// Writer-side (must hold the shard lock); order is bucket order.
+func (t *Table) Range(fn func(k uint64, v int32) bool) {
+	cur := t.cur.Load()
+	if !cur.scan(fn) {
+		return
+	}
+	if old := t.old.Load(); old != nil {
+		old.scan(func(k uint64, v int32) bool {
+			if _, shadowed := cur.get(k); shadowed {
+				return true
+			}
+			return fn(k, v)
+		})
+	}
+}
+
+// Reset discards all mappings and returns to the initial capacity.
+// Writer-side; used by crash recovery to rebuild from the NVM entries.
+func (t *Table) Reset() {
+	t.cur.Store(newTable(t.initial))
+	t.old.Store(nil)
+	t.cursor = 0
+	t.grows.Store(0)
+}
+
+// scan iterates one generation's live cells. Returns false if fn did.
+func (t *table) scan(fn func(k uint64, v int32) bool) bool {
+	for c := uint64(0); c <= t.mask; c++ {
+		w := t.words[2*c].Load()
+		if w == emptyKey || w == tombstoneKey {
+			continue
+		}
+		if !fn(w-1, int32(t.words[2*c+1].Load())) {
+			return false
+		}
+	}
+	return true
+}
+
+// grow demotes cur to old and installs a fresh generation sized for the
+// live key count (not the used count: steady-state eviction churn fills
+// the table with tombstones, and sizing by used would double forever —
+// a same-capacity generation that merely purges tombstones is fine).
+// Publish order matters: old must be visible before the new (empty) cur,
+// or a reader could probe the fresh table, miss, and find no fallback.
+// The new capacity never shrinks below the outgoing one: with capa ≥
+// oldCap, migration finishes within oldCap/migrateQuantum ≤ capa/64 Puts,
+// so cur.used stays below the 3/4 trigger for the whole resize and the
+// new generation can never overfill mid-migration. (A cache shard's live
+// set is bounded by its slot partition anyway, so shrinking buys nothing;
+// recovery uses Reset to return to the initial size.)
+func (t *Table) grow() {
+	cur := t.cur.Load()
+	capa := minCapacity
+	for uint64(capa) < uint64(cur.live+1)*2 {
+		capa <<= 1
+	}
+	if capa < int(cur.mask+1) {
+		capa = int(cur.mask + 1)
+	}
+	t.old.Store(cur)
+	t.cursor = 0
+	t.cur.Store(newTable(capa))
+	t.grows.Add(1)
+}
+
+// migrateSome carries migrateQuantum old-generation cells into cur.
+func (t *Table) migrateSome() {
+	old := t.old.Load()
+	if old == nil {
+		return
+	}
+	cur := t.cur.Load()
+	end := t.cursor + migrateQuantum
+	if end > old.mask+1 {
+		end = old.mask + 1
+	}
+	for ; t.cursor < end; t.cursor++ {
+		w := old.words[2*t.cursor].Load()
+		if w == emptyKey || w == tombstoneKey {
+			continue
+		}
+		k := w - 1
+		if _, ok := cur.get(k); ok {
+			continue // updated (or re-inserted) in cur since the grow
+		}
+		cur.put(k, int32(old.words[2*t.cursor+1].Load()))
+	}
+	if t.cursor > old.mask {
+		t.old.Store(nil) // readers holding old keep a complete snapshot
+	}
+}
+
+// finishMigration drains the remainder of an in-flight resize.
+func (t *Table) finishMigration() {
+	for t.old.Load() != nil {
+		t.migrateSome()
+	}
+}
+
+// Migrating reports whether an incremental resize is in flight.
+func (t *Table) Migrating() bool { return t.old.Load() != nil }
+
+// Grows reports the number of resizes since New (or the last Reset).
+func (t *Table) Grows() int64 { return t.grows.Load() }
+
+// Capacity returns the current generation's cell count (diagnostics).
+func (t *Table) Capacity() int { return int(t.cur.Load().mask + 1) }

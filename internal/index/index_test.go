@@ -1,0 +1,153 @@
+package index
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestBasic(t *testing.T) {
+	tb := New(0)
+	if _, ok := tb.Get(7); ok {
+		t.Fatal("empty table reported a hit")
+	}
+	tb.Put(7, 42)
+	if v, ok := tb.Get(7); !ok || v != 42 {
+		t.Fatalf("Get(7) = %d,%v want 42,true", v, ok)
+	}
+	tb.Put(7, 43) // update
+	if v, _ := tb.Get(7); v != 43 {
+		t.Fatalf("update lost: got %d", v)
+	}
+	if tb.Len() != 1 {
+		t.Fatalf("Len = %d want 1", tb.Len())
+	}
+	tb.Delete(7)
+	if _, ok := tb.Get(7); ok {
+		t.Fatal("deleted key still present")
+	}
+	if tb.Len() != 0 {
+		t.Fatalf("Len after delete = %d want 0", tb.Len())
+	}
+}
+
+// TestGrowAgainstModel drives random ops against a map model, crossing
+// several resize boundaries, and checks Get/Len/Range stay consistent.
+func TestGrowAgainstModel(t *testing.T) {
+	tb := New(0)
+	model := map[uint64]int32{}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200000; i++ {
+		k := uint64(rng.Intn(5000))
+		switch rng.Intn(3) {
+		case 0, 1:
+			v := int32(rng.Intn(1 << 20))
+			tb.Put(k, v)
+			model[k] = v
+		case 2:
+			tb.Delete(k)
+			delete(model, k)
+		}
+		if i%20000 == 0 {
+			checkAgainst(t, tb, model)
+		}
+	}
+	checkAgainst(t, tb, model)
+	tb.Reset()
+	if tb.Len() != 0 || tb.Migrating() {
+		t.Fatal("Reset left state behind")
+	}
+}
+
+func checkAgainst(t *testing.T, tb *Table, model map[uint64]int32) {
+	t.Helper()
+	if tb.Len() != len(model) {
+		t.Fatalf("Len = %d want %d", tb.Len(), len(model))
+	}
+	for k, v := range model {
+		got, ok := tb.Get(k)
+		if !ok || got != v {
+			t.Fatalf("Get(%d) = %d,%v want %d,true", k, got, ok, v)
+		}
+	}
+	seen := 0
+	tb.Range(func(k uint64, v int32) bool {
+		if mv, ok := model[k]; !ok || mv != v {
+			t.Fatalf("Range yielded (%d,%d) not in model (want %d,%v)", k, v, mv, ok)
+		}
+		seen++
+		return true
+	})
+	if seen != len(model) {
+		t.Fatalf("Range visited %d want %d", seen, len(model))
+	}
+}
+
+// TestTombstoneChurn holds the live set constant while cycling keys, and
+// asserts capacity reaches a ceiling instead of doubling forever.
+func TestTombstoneChurn(t *testing.T) {
+	tb := New(64)
+	const live = 100
+	for i := uint64(0); i < live; i++ {
+		tb.Put(i, int32(i))
+	}
+	for i := uint64(live); i < 100000; i++ {
+		tb.Put(i, int32(i))
+		tb.Delete(i - live)
+	}
+	if tb.Len() != live {
+		t.Fatalf("Len = %d want %d", tb.Len(), live)
+	}
+	if tb.Capacity() > 4096 {
+		t.Fatalf("capacity grew unbounded under churn: %d", tb.Capacity())
+	}
+}
+
+// TestConcurrentReadersDuringGrow hammers Get from many goroutines while
+// one writer inserts and deletes across several resizes. Run under -race
+// this exercises the lock-free probe against the incremental migration.
+// Readers may see spurious misses for keys in flight (documented), but a
+// value returned for a stable key must be one that was written for it.
+func TestConcurrentReadersDuringGrow(t *testing.T) {
+	tb := New(0)
+	const stable = 512
+	for i := uint64(0); i < stable; i++ {
+		tb.Put(i, int32(i*2+1))
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := uint64(rng.Intn(stable))
+				v, ok := tb.Get(k)
+				if !ok {
+					t.Errorf("stable key %d vanished", k)
+					return
+				}
+				if v != int32(k*2+1) {
+					t.Errorf("key %d: got %d want %d", k, v, k*2+1)
+					return
+				}
+			}
+		}(int64(g))
+	}
+	// Writer: churn volatile keys above the stable range, forcing grows.
+	for i := uint64(0); i < 60000; i++ {
+		k := stable + i%8192
+		tb.Put(k, int32(k))
+		if i%3 == 0 {
+			tb.Delete(k)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -52,6 +52,10 @@ const (
 	CacheSeqlockRetry = "cache.seqlock_retry"   // fast-path version-change retries
 	CacheTouchDrop    = "cache.touch_ring_drop" // LRU promotions dropped (ring full)
 	CacheTouchDrained = "cache.touch_drained"   // queued promotions applied to the exact list
+	// Zero-copy read views (internal/core/view.go).
+	CacheViewZeroCopy  = "cache.view_zero_copy"  // views served by aliasing pinned NVM bytes
+	CacheViewCopied    = "cache.view_copied"     // views served as private copies (serial/ablation/opt-out)
+	CacheViewDeferFree = "cache.view_defer_free" // block frees deferred to a view's last unpin
 	// Journal-area traffic through the Classic cache, counted separately
 	// so data-block hit rates are comparable across systems.
 	CacheJournalWriteHit  = "cache.journal_write_hit"

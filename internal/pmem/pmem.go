@@ -342,6 +342,33 @@ func (d *Device) Load(off int, p []byte) {
 	d.inflightLoads.Add(-1)
 }
 
+// ViewBytes returns a slice aliasing the CPU-visible contents of [off,
+// off+n) — the zero-copy read primitive behind core's ReadView. It is
+// charged exactly like a Load of the same range (service time, bytes-read
+// counter, overlap discount), so a zero-copy hit and a copying hit cost
+// the same simulated NVM time and differ only in host-DRAM work; the
+// consumer's later byte accesses are free, as they would be on real
+// mapped PM.
+//
+// Safety contract: the caller must guarantee no Store/Persist targets the
+// range while it holds the slice (core's view pins provide this — a
+// pinned data block is never recycled by the allocator), and must drop
+// the slice before any Crash/Restore cycle (those rewrite the whole
+// volatile array). The mutex acquisition here orders the view after
+// every store that published the range's contents.
+func (d *Device) ViewBytes(off, n int) []byte {
+	d.check(off, n)
+	d.admitLoad()
+	d.mu.Lock()
+	v := d.volatile[off : off+n : off+n]
+	d.mu.Unlock()
+	lines := coveringLines(off, n)
+	d.rec.Add(metrics.NVMBytesRead, int64(n))
+	d.chargeLoad(int64(lines) * d.prof.LineReadNS)
+	d.inflightLoads.Add(-1)
+	return v
+}
+
 // Load8 reads an aligned 8-byte value.
 func (d *Device) Load8(off int) uint64 {
 	if off%8 != 0 {

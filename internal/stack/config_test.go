@@ -18,11 +18,11 @@ func TestConfigValidate(t *testing.T) {
 		{"unknown kind", Config{Kind: Kind(42)}, "unknown kind"},
 		{"negative NVM", Config{NVMBytes: -1}, "negative"},
 		{"tiny NVM", Config{NVMBytes: 4096}, "too small"},
-		{"tinca knobs delegate", Config{Kind: Tinca, RingBytes: 65}, "cache line"},
-		{"tinca group commit", Config{Kind: Tinca, GroupCommit: core.GroupCommit{MaxBatch: 4}}, ""},
-		{"tinca bad group commit", Config{Kind: Tinca, GroupCommit: core.GroupCommit{MaxBatch: -2}}, "MaxBatch"},
-		{"tinca destage", Config{Kind: Tinca, DestageDepth: 8}, ""},
-		{"classic destage", Config{Kind: Classic, DestageDepth: 8}, "only to the Tinca kind"},
+		{"tinca knobs delegate", Config{Kind: Tinca, Options: core.Options{RingBytes: 65}}, "cache line"},
+		{"tinca group commit", Config{Kind: Tinca, Options: core.Options{GroupCommit: core.GroupCommit{MaxBatch: 4}}}, ""},
+		{"tinca bad group commit", Config{Kind: Tinca, Options: core.Options{GroupCommit: core.GroupCommit{MaxBatch: -2}}}, "MaxBatch"},
+		{"tinca destage", Config{Kind: Tinca, Options: core.Options{DestageDepth: 8}}, ""},
+		{"classic destage", Config{Kind: Classic, Options: core.Options{DestageDepth: 8}}, "only to the Tinca kind"},
 		{"unknown journal mode", Config{JournalMode: JournalMode(9)}, "journal mode"},
 		{"checkpoint frac high", Config{CheckpointFrac: 1.5}, "CheckpointFrac"},
 		{"checkpoint frac negative", Config{CheckpointFrac: -0.1}, "CheckpointFrac"},
@@ -54,7 +54,7 @@ func TestNewValidatesConfig(t *testing.T) {
 	if _, err := New(Config{Kind: Kind(42)}); err == nil {
 		t.Fatal("New accepted an unknown kind")
 	}
-	if _, err := New(Config{Kind: Tinca, DestageDepth: -1}); err == nil {
+	if _, err := New(Config{Kind: Tinca, Options: core.Options{DestageDepth: -1}}); err == nil {
 		t.Fatal("New accepted a negative destage depth")
 	}
 }

@@ -8,13 +8,14 @@ import (
 	"strings"
 	"testing"
 
+	"tinca/internal/core"
 	"tinca/internal/metrics"
 	"tinca/internal/sim"
 )
 
 func buildObservedStack(t *testing.T) *Stack {
 	t.Helper()
-	s, err := New(Config{Kind: Tinca, Observe: true, TraceEvents: 1 << 12})
+	s, err := New(Config{Kind: Tinca, Options: core.Options{Observe: true}, TraceEvents: 1 << 12})
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
@@ -103,7 +104,7 @@ func TestServeMetricsEndpoint(t *testing.T) {
 }
 
 func TestServeMetricsWithoutTracer(t *testing.T) {
-	s, err := New(Config{Kind: Tinca, Observe: true})
+	s, err := New(Config{Kind: Tinca, Options: core.Options{Observe: true}})
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
@@ -140,7 +141,7 @@ func TestObserveWiresEveryLayer(t *testing.T) {
 	}
 
 	// Classic kind: journal phases are observed instead.
-	cs, err := New(Config{Kind: Classic, Observe: true})
+	cs, err := New(Config{Kind: Classic, Options: core.Options{Observe: true}})
 	if err != nil {
 		t.Fatalf("New classic: %v", err)
 	}

@@ -79,6 +79,15 @@ func (k Kind) String() string {
 
 // Config sizes and parameterizes a stack. Zero values pick defaults
 // suitable for fast laptop-scale experiments.
+//
+// The Tinca cache's knobs are the embedded core.Options, declared once
+// and promoted: cfg.RingBytes, cfg.GroupCommit, cfg.IndexBuckets,
+// cfg.DisableZeroCopy and the rest read and write the embedded struct
+// directly, so existing field-access code keeps working. (Composite
+// literals name the embedded struct: Config{Options: core.Options{...}}.)
+// Two of the embedded knobs apply beyond the Tinca kind: WriteThrough
+// selects the write policy of either cache flavour, and Observe enables
+// latency histograms in every layer.
 type Config struct {
 	Kind        Kind
 	NVMBytes    int              // NVM cache size (default 32MB)
@@ -87,48 +96,10 @@ type Config struct {
 	FSBlocks    uint64           // file-system span in 4KB blocks (default 32768 = 128MB)
 	InodeCount  uint64           // default FSBlocks/16
 
-	// Tinca knobs.
-	RingBytes      int // default 1MB
-	Ablation       core.Ablation
-	DisableTxnPin  bool
-	RotatePointers bool // wear-level the Head/Tail pointer lines
-	// GroupCommit tunes how concurrently arriving commits coalesce into
-	// ring-buffer seals (see core.GroupCommit). The zero value batches
-	// opportunistically.
-	GroupCommit core.GroupCommit
-	// DestageDepth enables the asynchronous disk write-back queue of that
-	// many blocks (0 = synchronous write-back, the paper's prototype).
-	DestageDepth int
-	// DestageWorkers sets how many goroutines drain the destage queue
-	// (0 = 1; values above 1 require DestageDepth > 0). See
-	// core.Options.DestageWorkers.
-	DestageWorkers int
-	// EvictLowWater enables the background watermark evictor when > 0:
-	// a goroutine keeps at least this many NVM blocks free by batch-
-	// evicting cold victims off the allocation path. 0 (the default)
-	// keeps eviction foreground-only. See core.Options.EvictLowWater.
-	EvictLowWater int
-	// EvictBatch sets how many victims the watermark evictor reclaims
-	// per pass (0 = default; requires EvictLowWater > 0). See
-	// core.Options.EvictBatch.
-	EvictBatch int
-	// LockedReadHit forces read hits through the shard-locked path,
-	// disabling the lock-free seqlock fast path. Baseline knob for the
-	// read-hit scaling figure and the crash-parity harness; never needed
-	// in normal operation. See core.Options.LockedReadHit.
-	LockedReadHit bool
-	// Fault injects a deliberate persist-ordering violation into the
-	// Tinca commit path (see core.Fault). Exists so the crash harness can
-	// prove it catches broken protocols; never set otherwise.
-	Fault core.Fault
-	// SealHook, when non-nil, is invoked with the seal sequence number at
-	// every Tinca commit point (see core.Options.SealHook). Crash-harness
-	// instrumentation.
-	SealHook func(seq uint64)
-
-	// WriteThrough selects write-through instead of the paper's default
-	// write-back policy, for either cache kind.
-	WriteThrough bool
+	// Tinca cache knobs (plus WriteThrough/Observe/Tracer, which apply to
+	// every kind), embedded from the core so they are declared exactly
+	// once. See core.Options for each field's documentation.
+	core.Options
 
 	// Classic knobs.
 	JournalMode       JournalMode // DataJournal (paper default) or Ordered
@@ -146,22 +117,14 @@ type Config struct {
 	// the simulated clock; default 2µs. Set negative to disable.
 	FSOpCostNS int64
 
-	// Observability knobs (DESIGN.md Section 9).
+	// Observability knobs (DESIGN.md Section 9). Observe and Tracer live
+	// in the embedded core.Options (they configure every layer, not just
+	// the cache); TraceEvents is stack-only sugar:
 	//
-	// Observe enables latency histograms across every layer: commit
-	// pipeline phases, destage, recovery, JBD log/commit/checkpoint, FS
-	// per-op read/write, and NVM flush/fence cadence. Durations are
-	// simulated-clock deltas, so enabling them never perturbs simulated
-	// results. Off by default; when off each instrumented site pays a
-	// single nil/bool check.
-	Observe bool
 	// TraceEvents, when positive, allocates a span tracer ring of that
 	// many events (rounded up to a power of two) and implies Observe.
 	// Export the ring with Stack.Tracer.WriteChromeTrace.
 	TraceEvents int
-	// Tracer supplies an external tracer ring instead of TraceEvents
-	// (implies Observe). Useful for sharing one ring across stacks.
-	Tracer *metrics.Tracer
 }
 
 // Validate reports a descriptive error for a nonsensical configuration
@@ -179,20 +142,7 @@ func (c Config) Validate() error {
 		return fmt.Errorf("stack: NVMBytes %d is too small for a cache layout (need at least 1MB)", c.NVMBytes)
 	}
 	if c.Kind == Tinca {
-		if err := (core.Options{
-			RingBytes:      c.RingBytes,
-			Ablation:       c.Ablation,
-			DisableTxnPin:  c.DisableTxnPin,
-			WriteThrough:   c.WriteThrough,
-			RotatePointers: c.RotatePointers,
-			GroupCommit:    c.GroupCommit,
-			DestageDepth:   c.DestageDepth,
-			DestageWorkers: c.DestageWorkers,
-			EvictLowWater:  c.EvictLowWater,
-			EvictBatch:     c.EvictBatch,
-			LockedReadHit:  c.LockedReadHit,
-			Fault:          c.Fault,
-		}).Validate(); err != nil {
+		if err := c.Options.Validate(); err != nil {
 			return err
 		}
 	}
@@ -207,6 +157,9 @@ func (c Config) Validate() error {
 	}
 	if c.Kind != Tinca && c.SealHook != nil {
 		return fmt.Errorf("stack: SealHook applies only to the Tinca kind, not %v", c.Kind)
+	}
+	if c.Kind != Tinca && (c.IndexBuckets != 0 || c.SyncMapIndex || c.DisableZeroCopy) {
+		return fmt.Errorf("stack: IndexBuckets/SyncMapIndex/DisableZeroCopy apply only to the Tinca kind, not %v", c.Kind)
 	}
 	if c.JournalMode < DataJournal || c.JournalMode > Ordered {
 		return fmt.Errorf("stack: unknown journal mode %d", int(c.JournalMode))
@@ -317,23 +270,9 @@ func (s *Stack) bringUp(format bool) error {
 	var backend fs.Backend
 	switch cfg.Kind {
 	case Tinca:
-		c, err := core.Open(s.Mem, s.Disk, core.Options{
-			RingBytes:      cfg.RingBytes,
-			Ablation:       cfg.Ablation,
-			DisableTxnPin:  cfg.DisableTxnPin,
-			WriteThrough:   cfg.WriteThrough,
-			RotatePointers: cfg.RotatePointers,
-			GroupCommit:    cfg.GroupCommit,
-			DestageDepth:   cfg.DestageDepth,
-			DestageWorkers: cfg.DestageWorkers,
-			EvictLowWater:  cfg.EvictLowWater,
-			EvictBatch:     cfg.EvictBatch,
-			LockedReadHit:  cfg.LockedReadHit,
-			Fault:          cfg.Fault,
-			SealHook:       cfg.SealHook,
-			Observe:        cfg.Observe,
-			Tracer:         s.Tracer,
-		})
+		copts := cfg.Options
+		copts.Tracer = s.Tracer
+		c, err := core.Open(s.Mem, s.Disk, copts)
 		if err != nil {
 			return err
 		}
@@ -400,14 +339,54 @@ func (s *Stack) Close() error {
 
 // Stats is a typed snapshot across the stack's layers. Cache is populated
 // for the Tinca kind only (the Classic cache keeps its own counters in
-// the shared Recorder, still reachable via Stack.Rec).
+// the shared Recorder, still reachable via Stack.Rec); Device is
+// populated for every kind.
 type Stats struct {
-	Kind  Kind
-	Cache core.CacheStats // zero value for Classic kinds
-	FS    fs.FSStats
+	Kind   Kind
+	Cache  core.CacheStats // zero value for Classic kinds
+	FS     fs.FSStats
+	Device DeviceStats
 	// SimulatedNS is the simulated clock reading, the denominator for
 	// throughput computations.
 	SimulatedNS int64
+}
+
+// DeviceStats are the simulated-hardware counters the paper's evaluation
+// reports: NVM persistence traffic and disk block I/O. They are cumulative
+// since Stack creation; subtract two snapshots to meter an interval.
+type DeviceStats struct {
+	CLFlushes       int64 // NVM cache lines flushed
+	SFences         int64 // NVM store fences
+	NVMBytesWritten int64
+	NVMBytesRead    int64
+	DiskBlocksWrite int64
+	DiskBlocksRead  int64
+}
+
+// Sub returns the counter deltas d-prev, for metering an interval between
+// two Stats snapshots.
+func (d DeviceStats) Sub(prev DeviceStats) DeviceStats {
+	return DeviceStats{
+		CLFlushes:       d.CLFlushes - prev.CLFlushes,
+		SFences:         d.SFences - prev.SFences,
+		NVMBytesWritten: d.NVMBytesWritten - prev.NVMBytesWritten,
+		NVMBytesRead:    d.NVMBytesRead - prev.NVMBytesRead,
+		DiskBlocksWrite: d.DiskBlocksWrite - prev.DiskBlocksWrite,
+		DiskBlocksRead:  d.DiskBlocksRead - prev.DiskBlocksRead,
+	}
+}
+
+// Add returns the counter sums d+o, for aggregating across stacks (e.g. a
+// cluster of nodes).
+func (d DeviceStats) Add(o DeviceStats) DeviceStats {
+	return DeviceStats{
+		CLFlushes:       d.CLFlushes + o.CLFlushes,
+		SFences:         d.SFences + o.SFences,
+		NVMBytesWritten: d.NVMBytesWritten + o.NVMBytesWritten,
+		NVMBytesRead:    d.NVMBytesRead + o.NVMBytesRead,
+		DiskBlocksWrite: d.DiskBlocksWrite + o.DiskBlocksWrite,
+		DiskBlocksRead:  d.DiskBlocksRead + o.DiskBlocksRead,
+	}
 }
 
 // Stats returns a typed snapshot of the stack's counters. It replaces
@@ -420,6 +399,14 @@ func (s *Stack) Stats() Stats {
 	}
 	if s.FS != nil {
 		st.FS = s.FS.Stats()
+	}
+	st.Device = DeviceStats{
+		CLFlushes:       s.Rec.Get(metrics.NVMCLFlush),
+		SFences:         s.Rec.Get(metrics.NVMSFence),
+		NVMBytesWritten: s.Rec.Get(metrics.NVMBytesWrite),
+		NVMBytesRead:    s.Rec.Get(metrics.NVMBytesRead),
+		DiskBlocksWrite: s.Rec.Get(metrics.DiskBlocksWrite),
+		DiskBlocksRead:  s.Rec.Get(metrics.DiskBlocksRead),
 	}
 	return st
 }
@@ -452,6 +439,17 @@ func (b *tincaBackend) Close() error                        { return b.c.Close()
 // direct backends do not implement the interface — their caches serialize
 // internally, and the paper's Classic stack is measured fully serialized.
 func (b *tincaBackend) ConcurrentReads() bool { return true }
+
+// ReadBlockView implements fs.ViewReader over the cache's zero-copy
+// ReadView: the returned view aliases the pinned NVM block (*core.View
+// satisfies fs.BlockView directly).
+func (b *tincaBackend) ReadBlockView(no uint64) (fs.BlockView, error) {
+	v, err := b.c.ReadView(no)
+	if err != nil {
+		return nil, err
+	}
+	return &v, nil
+}
 
 type tincaTxn struct{ t *core.Txn }
 

@@ -1,0 +1,148 @@
+package stack
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"tinca/internal/errs"
+	"tinca/internal/fs"
+)
+
+// TestReadAtViewThroughStack is the end-to-end zero-copy check: on the
+// Tinca kind, FS.ReadAtView of committed data must alias a pinned NVM
+// cache block (the fs → tincaBackend → core.ReadView chain), stay a
+// stable snapshot while the same range is overwritten and the cache
+// churns, and account the pin in the cache's view counters. The Classic
+// kinds lack the ViewReader capability, so their views must be private
+// copies with identical contents.
+func TestReadAtViewThroughStack(t *testing.T) {
+	for _, kind := range []Kind{Tinca, Classic, ClassicNoJournal} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			s, err := New(smallConfig(kind))
+			if err != nil {
+				t.Fatal(err)
+			}
+			content := bytes.Repeat([]byte("stacked view "), 1200) // ~3.8 blocks
+			if err := s.FS.WriteFile("/v", content); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.FS.Sync(); err != nil {
+				t.Fatal(err)
+			}
+
+			var got []byte
+			var zero int
+			var held fs.FileView
+			for off := uint64(0); off < uint64(len(content)); {
+				v, err := s.FS.ReadAtView("/v", off, len(content))
+				if err != nil {
+					t.Fatalf("off %d: %v", off, err)
+				}
+				if v.ZeroCopy() {
+					zero++
+				}
+				got = append(got, v.Bytes()...)
+				off += uint64(v.Len())
+				if off >= uint64(len(content)) {
+					held = v // keep the last view open across the overwrite below
+					break
+				}
+				if err := v.Close(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if !bytes.Equal(got, content) {
+				t.Fatal("views reassembled different bytes than written")
+			}
+			if kind == Tinca {
+				if zero == 0 {
+					t.Fatal("Tinca stack produced no zero-copy views")
+				}
+				if s.TCache.Stats().ZeroCopyViews == 0 {
+					t.Fatal("cache counters saw no zero-copy views")
+				}
+				if s.TCache.OpenViews() == 0 {
+					t.Fatal("held view not accounted as open in the cache")
+				}
+			} else if zero != 0 {
+				t.Fatalf("%v stack claimed %d zero-copy views without a ViewReader backend", kind, zero)
+			}
+
+			// Overwrite the viewed range; the open view must not drift.
+			tail := held.Len()
+			want := append([]byte(nil), held.Bytes()...)
+			if err := s.FS.WriteAt("/v", uint64(len(content)-tail), bytes.Repeat([]byte{'X'}, tail)); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.FS.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(held.Bytes(), want) {
+				t.Fatal("open view drifted after overwrite + sync")
+			}
+			if err := held.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if kind == Tinca {
+				if n := s.TCache.OpenViews(); n != 0 {
+					t.Fatalf("%d cache views still open after Close", n)
+				}
+				if err := s.TCache.CheckInvariants(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := s.FS.Check(); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestErrorSentinelsAcrossLayers checks that the shared sentinels are
+// matchable with errors.Is no matter which layer produced the error.
+func TestErrorSentinelsAcrossLayers(t *testing.T) {
+	s, err := New(smallConfig(Tinca))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FS.WriteFile("/e", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+
+	// fs layer: read past EOF.
+	if _, err := s.FS.ReadAtView("/e", 100, 1); !errors.Is(err, errs.ErrOutOfRange) {
+		t.Fatalf("fs EOF error %v does not match errs.ErrOutOfRange", err)
+	}
+	var buf [4]byte
+	if _, err := s.FS.ReadAt("/e", 100, buf[:]); !errors.Is(err, errs.ErrOutOfRange) {
+		t.Fatalf("fs ReadAt EOF error %v does not match errs.ErrOutOfRange", err)
+	}
+
+	// core layer: block beyond the disk, and use-after-close.
+	if _, err := s.TCache.ReadView(1 << 60); !errors.Is(err, errs.ErrOutOfRange) {
+		t.Fatalf("core out-of-range error %v does not match errs.ErrOutOfRange", err)
+	}
+	v, err := s.TCache.ReadView(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Close(); !errors.Is(err, errs.ErrViewExpired) {
+		t.Fatalf("core double-close error %v does not match errs.ErrViewExpired", err)
+	}
+
+	c := s.TCache
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ReadView(0); !errors.Is(err, errs.ErrClosed) {
+		t.Fatalf("closed-cache error %v does not match errs.ErrClosed", err)
+	}
+}

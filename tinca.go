@@ -84,6 +84,7 @@ import (
 	"tinca/internal/classic"
 	"tinca/internal/cluster"
 	"tinca/internal/core"
+	"tinca/internal/errs"
 	"tinca/internal/exp"
 	"tinca/internal/fs"
 	"tinca/internal/jbd"
@@ -111,6 +112,27 @@ type CacheOptions = core.Options
 // Txn is a running Tinca transaction (tinca_init_txn/tinca_commit/
 // tinca_abort of the paper map to Cache.Begin/Txn.Commit/Txn.Abort).
 type Txn = core.Txn
+
+// View is a zero-copy window onto one cached disk block, returned by
+// Cache.ReadView: on a concurrent-mode hit its Bytes alias the pinned
+// NVM block (no 4KB copy, no allocation) and stay a stable snapshot
+// until Close, even across concurrent commits and evictions. See also
+// FS.ReadAtView / FileView for the file-level equivalent.
+type View = core.View
+
+// Cross-layer error sentinels. Each layer wraps these in its own
+// descriptive error (core.ErrClosed, fs.ErrReadRange, ...), so
+// errors.Is(err, tinca.ErrOutOfRange) matches the condition wherever in
+// the stack it arose.
+var (
+	// ErrClosed: the cache (or a layer above it) was used after Close.
+	ErrClosed = errs.ErrClosed
+	// ErrOutOfRange: a block number, offset or buffer size outside the
+	// valid range (including fs reads at or past EOF).
+	ErrOutOfRange = errs.ErrOutOfRange
+	// ErrViewExpired: a View/FileView used after its Close.
+	ErrViewExpired = errs.ErrViewExpired
+)
 
 // OpenCache formats or recovers (paper Section 4.5) a Tinca cache.
 func OpenCache(mem *NVM, disk *Disk, opts CacheOptions) (*Cache, error) {
@@ -265,11 +287,19 @@ type FileInfo = fs.FileInfo
 // FSStats is the typed operation snapshot returned by FS.Stats.
 type FSStats = fs.FSStats
 
+// FileView is a zero-copy window onto a contiguous byte range of one
+// file, returned by FS.ReadAtView (and File.ReadAtView). On a
+// Tinca-backed stack committed bytes alias the pinned NVM block; other
+// backends (and holes or staged bytes) degrade to private copies.
+type FileView = fs.FileView
+
 // Common file-system errors.
 var (
 	ErrNotExist = fs.ErrNotExist
 	ErrExist    = fs.ErrExist
 	ErrNoSpace  = fs.ErrNoSpace
+	// ErrReadRange: a read at or past EOF; wraps ErrOutOfRange.
+	ErrReadRange = fs.ErrReadRange
 )
 
 // ---- assembled stacks -----------------------------------------------------------
@@ -290,6 +320,12 @@ const (
 
 // StackStats aggregates per-layer stats; returned by Stack.Stats.
 type StackStats = stack.Stats
+
+// DeviceStats are the typed simulated-hardware counters (NVM persistence
+// traffic, disk block I/O) in StackStats.Device; Cluster.Stats returns
+// their sum across nodes. Subtract snapshots with Sub to meter an
+// interval.
+type DeviceStats = stack.DeviceStats
 
 // NewStack builds a stack with a freshly formatted file system.
 var NewStack = stack.New
