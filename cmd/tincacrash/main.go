@@ -28,6 +28,19 @@
 //
 //	tincacrash -replay 'kind=tinca boundary=137 evictp=0 fault=none seed=5 trace=c:/f0001|...'
 //
+// Blackbox (-blackbox): one deterministic Tinca trial with the NVM flight
+// recorder on; crashes at -boundary (default: midway), prints the
+// forensic report decoded from the crash image (last sealed generation,
+// txns in flight, last-N event timeline), then remounts and prints the
+// §4.5 recovery breakdown.
+//
+//	tincacrash -blackbox -seed 7 -ops 200 -evictp 0.5
+//	tincacrash -blackbox -boundary 5000
+//
+// Serial sweeps additionally accept -blackbox-out DIR: on failure, a
+// blackbox report for each failing trial (up to 5) is written into DIR
+// for offline forensics (CI uploads them as artifacts).
+//
 // Exit status is non-zero if any trial finds an inconsistency.
 package main
 
@@ -35,6 +48,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -44,8 +58,11 @@ import (
 
 func main() {
 	var (
-		sweep  = flag.Bool("sweep", false, "exhaustive boundary sweep instead of random trials")
-		replay = flag.String("replay", "", "replay a failure reproducer line and exit")
+		sweep    = flag.Bool("sweep", false, "exhaustive boundary sweep instead of random trials")
+		replay   = flag.String("replay", "", "replay a failure reproducer line and exit")
+		blackbox = flag.Bool("blackbox", false, "crash one flight-recorded trial and print the forensic report")
+		boundary = flag.Int64("boundary", -1, "persist-op crash boundary for -blackbox (-1 = midway)")
+		bbOut    = flag.String("blackbox-out", "", "directory for blackbox reports of sweep failures (serial sweeps)")
 
 		kindF   = flag.String("kind", "tinca", "stack kind: tinca, classic, classic-nojournal")
 		seed    = flag.Int64("seed", 1, "random seed")
@@ -71,12 +88,18 @@ func main() {
 	switch {
 	case *replay != "":
 		os.Exit(runReplay(*replay))
+	case *blackbox:
+		p := *evictP
+		if p < 0 {
+			p = 0.5
+		}
+		os.Exit(runBlackbox(*seed, *ops, *boundary, p))
 	case *sweep:
 		os.Exit(runSweep(sweepArgs{
 			kind: *kindF, seed: *seed, ops: *ops, evictPs: *evictPs,
 			stride: *stride, maxB: *maxB, workers: *workers, fault: *faultF,
 			groupBlocks: *groupBlocks, fsWorkers: *fsWorkers, committers: *committers,
-			minimize: *minimize, verbose: *verbose,
+			minimize: *minimize, verbose: *verbose, bbOut: *bbOut,
 		}))
 	default:
 		os.Exit(runRandomTrials(*kindF, *trials, *seed, *ops, *evictP, *verbose))
@@ -109,6 +132,69 @@ type sweepArgs struct {
 	ops, maxB, workers                 int
 	groupBlocks, fsWorkers, committers int
 	minimize, verbose                  bool
+	bbOut                              string
+}
+
+// runBlackbox crashes one flight-recorded trial and prints the forensic
+// report plus the recovery breakdown.
+func runBlackbox(seed int64, ops int, boundary int64, evictP float64) int {
+	res, err := crash.Blackbox(seed, ops, boundary, evictP)
+	if err != nil {
+		return fatalf("%v", err)
+	}
+	if res.BoundarySpace > 0 {
+		fmt.Printf("tincacrash: blackbox: workload spans %d persist ops; crash armed at boundary %d (evictp=%v)\n",
+			res.BoundarySpace, res.Boundary, evictP)
+	} else {
+		fmt.Printf("tincacrash: blackbox: crash armed at boundary %d (evictp=%v)\n", res.Boundary, evictP)
+	}
+	if !res.Crashed {
+		fmt.Println("tincacrash: blackbox: boundary past the workload; no crash fired (clean image)")
+	}
+	fmt.Print(res.Report)
+	if rs := res.Recovery; rs.Ran {
+		fmt.Printf("recovery: total %dns = scan %dns + redo %dns + undo %dns + rebuild %dns\n",
+			rs.TotalNS, rs.ScanNS, rs.RedoNS, rs.UndoNS, rs.RebuildNS)
+		fmt.Printf("recovery: ring span %d (%s), %d entries scanned, %d redone, %d undone, %d stray revoked, %d resident\n",
+			rs.RingSpan, map[bool]string{true: "redo", false: "undo"}[rs.Redo],
+			rs.EntriesScanned, rs.EntriesRedone, rs.EntriesUndone, rs.StrayRevoked, rs.Resident)
+	}
+	if res.Err != nil {
+		fmt.Printf("tincacrash: blackbox: INCONSISTENCY: %v\n", res.Err)
+		return 1
+	}
+	return 0
+}
+
+// writeFailureBlackboxes re-runs up to five failing serial-sweep trials
+// with the forensic path and writes each report into dir (best effort —
+// CI uploads the directory as an artifact on failure).
+func writeFailureBlackboxes(dir string, a sweepArgs, failures []crash.Failure) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "tincacrash: blackbox-out: %v\n", err)
+		return
+	}
+	n := len(failures)
+	if n > 5 {
+		n = 5
+	}
+	for _, f := range failures[:n] {
+		res, err := crash.Blackbox(a.seed, a.ops, f.Boundary, f.EvictP)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tincacrash: blackbox-out boundary %d: %v\n", f.Boundary, err)
+			continue
+		}
+		name := filepath.Join(dir, fmt.Sprintf("blackbox-b%d-p%v.txt", f.Boundary, f.EvictP))
+		body := fmt.Sprintf("failure: boundary=%d evictp=%v\noracle: %v\n\n%s", f.Boundary, f.EvictP, f.Err, res.Report)
+		if res.Err != nil {
+			body += fmt.Sprintf("\nre-run verification: %v\n", res.Err)
+		}
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "tincacrash: blackbox-out: %v\n", err)
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "tincacrash: blackbox report written to %s\n", name)
+	}
 }
 
 func runSweep(a sweepArgs) int {
@@ -174,6 +260,9 @@ func runSweep(a sweepArgs) int {
 	}
 	if len(res.Failures) > len(show) {
 		fmt.Printf("  ... and %d more\n", len(res.Failures)-len(show))
+	}
+	if a.bbOut != "" && a.groupBlocks == 0 {
+		writeFailureBlackboxes(a.bbOut, a, res.Failures)
 	}
 	switch {
 	case a.groupBlocks > 0:

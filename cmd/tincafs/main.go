@@ -210,6 +210,10 @@ func run(s *tinca.Stack, cmd string, args []string, rng interface{ Int63n(int64)
 				c.ReadHits, c.ReadMisses, c.ReadHitFast, c.WriteHits, c.WriteMisses)
 			fmt.Printf("        %d commits in %d seals, %d evictions (%d dirty), %d index grows\n",
 				c.Commits, c.GroupSeals, c.Evictions, c.DirtyEvictions, c.IndexGrows)
+			fmt.Printf("        %d bg / %d direct evictions, %d fill races, %d alloc refills\n",
+				c.BgEvictions, c.DirectEvictions, c.FillRaces, c.AllocRefills)
+			fmt.Printf("        read fast path: %d fast, %d slow, %d seqlock retries\n",
+				c.ReadHitFast, c.ReadHitSlow, c.SeqlockRetries)
 			fmt.Printf("views:  %d zero-copy, %d copied, %d deferred frees, %d open\n",
 				c.ZeroCopyViews, c.CopiedViews, c.ViewDeferredFrees, c.OpenViews)
 		}
@@ -231,6 +235,10 @@ func run(s *tinca.Stack, cmd string, args []string, rng interface{ Int63n(int64)
 		}
 		for _, p := range st.Cache.CommitPhases {
 			fmt.Printf("  %-16s %s\n", p.Phase, p.LatencySummary)
+		}
+		if c := st.Cache; c.ReadHits > 0 {
+			fmt.Printf("%-18s %d fast / %d slow hits, %d seqlock retries\n",
+				"read fast path", c.ReadHitFast, c.ReadHitSlow, c.SeqlockRetries)
 		}
 	case "time":
 		fmt.Println("simulated:", s.Clock.Now())

@@ -73,6 +73,12 @@ func main() {
 	}
 	if *traceOut != "" {
 		cfg.TraceEvents = 1 << 16
+		// The flight-recorder timeline merges into the trace export as an
+		// instant-event track (Tinca only; silent persists, so it does not
+		// change the replay's simulated numbers).
+		if kind == tinca.KindTinca {
+			cfg.FlightRecorder = true
+		}
 	}
 	s, err := tinca.NewStack(cfg)
 	if err != nil {
@@ -131,14 +137,29 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := s.Tracer.WriteChromeTrace(f); err != nil {
+		// Flight-recorder events become thread-scoped instant markers on a
+		// dedicated track (tid -1) beside the span tracks.
+		var instants []tinca.TraceInstant
+		if s.TCache != nil {
+			if bb := s.TCache.Blackbox(); bb != nil {
+				for _, r := range bb.Records {
+					instants = append(instants, tinca.TraceInstant{
+						Name: "flight." + r.Type.String(),
+						TS:   r.TimeNS,
+						TID:  -1,
+						Args: map[string]uint64{"seq": r.Seq, "gen": r.Gen, "block": r.Block, "arg": r.Arg},
+					})
+				}
+			}
+		}
+		if err := s.Tracer.WriteChromeTraceWith(f, instants); err != nil {
 			fatal(err)
 		}
 		if err := f.Close(); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "wrote %d spans to %s (load in chrome://tracing or ui.perfetto.dev)\n",
-			len(s.Tracer.Spans()), *traceOut)
+		fmt.Fprintf(os.Stderr, "wrote %d spans + %d flight events to %s (load in chrome://tracing or ui.perfetto.dev)\n",
+			len(s.Tracer.Spans()), len(instants), *traceOut)
 	}
 
 	if err := s.FS.Check(); err != nil {

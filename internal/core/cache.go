@@ -10,6 +10,7 @@ import (
 	"tinca/internal/blockdev"
 	"tinca/internal/bufpool"
 	"tinca/internal/errs"
+	"tinca/internal/flight"
 	"tinca/internal/index"
 	"tinca/internal/metrics"
 	"tinca/internal/pmem"
@@ -178,6 +179,15 @@ type Options struct {
 	// default. (Serial/ablation modes always copy: they mutate cached
 	// bytes in place, so no stable window exists to alias.)
 	DisableZeroCopy bool
+	// FlightRecorder enables the crash-surviving black box (DESIGN.md
+	// §13): a flight.DefaultSlots-record event ring carved out of the NVM
+	// layout, written crash-consistently at seal, recovery, destage and
+	// eviction boundaries via silent persists that charge no simulated
+	// time, counters or wear — figures are bit-identical with the
+	// recorder on or off. The region costs a few cache blocks of
+	// capacity; layouts with the recorder off are byte-identical to
+	// before the feature existed.
+	FlightRecorder bool
 }
 
 // Validate reports a descriptive error for a nonsensical configuration
@@ -423,6 +433,14 @@ type Cache struct {
 	// instrumentation site branches on that nil).
 	obs *obs
 
+	// fl is the crash-surviving flight recorder (nil when
+	// Options.FlightRecorder is off; every hook branches on that nil).
+	fl *flight.Ring
+
+	// recStats is populated by recover() when Open found a formatted
+	// image; zero (Ran == false) after a fresh format.
+	recStats RecoveryStats
+
 	serial bool // legacy one-at-a-time commit path (ablation modes)
 }
 
@@ -442,7 +460,11 @@ func Open(mem *pmem.Device, disk *blockdev.Device, opts Options) (*Cache, error)
 	if opts.RotatePointers {
 		ptrSlots = DefaultPtrSlots
 	}
-	lay, err := ComputeLayout(mem.Size(), opts.RingBytes, ptrSlots)
+	flightSlots := 0
+	if opts.FlightRecorder {
+		flightSlots = flight.DefaultSlots
+	}
+	lay, err := ComputeLayoutFlight(mem.Size(), opts.RingBytes, ptrSlots, flightSlots)
 	if err != nil {
 		return nil, err
 	}
@@ -485,11 +507,19 @@ func Open(mem *pmem.Device, disk *blockdev.Device, opts Options) (*Cache, error)
 		sh.wbCond = sync.NewCond(&sh.mu)
 	}
 	if c.isFormatted() {
+		if opts.FlightRecorder {
+			// Attach before recovery runs: recovery extends the surviving
+			// pre-crash timeline with its own phase events.
+			c.fl = flight.Attach(mem, mem.Clock(), lay.FlightOff, lay.FlightSlots)
+		}
 		if err := c.recover(); err != nil {
 			return nil, err
 		}
 	} else {
 		c.format()
+		if opts.FlightRecorder {
+			c.fl = flight.New(mem, mem.Clock(), lay.FlightOff, lay.FlightSlots)
+		}
 	}
 	if opts.DestageDepth > 0 {
 		workers := opts.DestageWorkers
@@ -633,7 +663,8 @@ func (c *Cache) isFormatted() bool {
 		c.mem.Load8(c.lay.HeaderOff+hdrVersion) == layoutVersion &&
 		c.mem.Load8(c.lay.HeaderOff+hdrCapacity) == uint64(c.lay.Capacity) &&
 		c.mem.Load8(c.lay.HeaderOff+hdrRingSlot) == uint64(c.lay.RingSlots) &&
-		c.mem.Load8(c.lay.HeaderOff+hdrPtrSlots) == uint64(c.lay.PtrSlots)
+		c.mem.Load8(c.lay.HeaderOff+hdrPtrSlots) == uint64(c.lay.PtrSlots) &&
+		c.mem.Load8(c.lay.HeaderOff+hdrFlight) == uint64(c.lay.FlightSlots)
 }
 
 // loadPointer reads a possibly-rotated pointer: the latest persisted
@@ -658,10 +689,18 @@ func (c *Cache) format() {
 	// the header last so a crash mid-format is just an unformatted device.
 	c.mem.Persist8(c.lay.HeadOff, 0)
 	c.mem.Persist8(c.lay.TailOff, 0)
+	// Clear any stale flight records a previous (differently laid out)
+	// image may have left where the new region sits, so Attach after the
+	// next crash can never resurrect another lifetime's timeline. Silent:
+	// formatting the black box charges nothing observable.
+	for s := 0; s < c.lay.FlightSlots; s++ {
+		c.mem.PersistLineSilent(c.lay.FlightOff+s*flight.RecordSize, [pmem.LineSize]byte{})
+	}
 	c.mem.Store8(c.lay.HeaderOff+hdrVersion, layoutVersion)
 	c.mem.Store8(c.lay.HeaderOff+hdrCapacity, uint64(c.lay.Capacity))
 	c.mem.Store8(c.lay.HeaderOff+hdrRingSlot, uint64(c.lay.RingSlots))
 	c.mem.Store8(c.lay.HeaderOff+hdrPtrSlots, uint64(c.lay.PtrSlots))
+	c.mem.Store8(c.lay.HeaderOff+hdrFlight, uint64(c.lay.FlightSlots))
 	c.mem.CLFlush(c.lay.HeaderOff, pmem.LineSize)
 	c.mem.SFence()
 	c.mem.Persist8(c.lay.HeaderOff+hdrMagic, layoutMagic)
@@ -674,6 +713,42 @@ func (c *Cache) format() {
 
 // Layout exposes the computed NVM layout (for tests and tooling).
 func (c *Cache) Layout() Layout { return c.lay }
+
+// Pointers returns the cache's view of the persistent Head and Tail ring
+// pointers — after Open they equal the recovered (durable) values, which
+// is what the crash sweep's blackbox oracle compares flight records
+// against.
+func (c *Cache) Pointers() (head, tail uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.head, c.tail
+}
+
+// flEmit books one flight-recorder event: one nil check when the recorder
+// is off, one silent (zero-perturbation) persisted record when on.
+func (c *Cache) flEmit(t flight.EventType, shard uint16, gen, block, arg uint64) {
+	if c.fl != nil {
+		c.fl.Emit(t, shard, gen, block, arg)
+	}
+}
+
+// Blackbox decodes the flight-recorder region into a forensic report, or
+// nil when the recorder is off. Decoding is silent (no simulated time), so
+// it is safe to call live — /blackbox scrapes it while the cache serves
+// traffic.
+func (c *Cache) Blackbox() *flight.Blackbox {
+	if c.fl == nil {
+		return nil
+	}
+	return flight.Decode(c.mem, c.lay.FlightOff, c.lay.FlightSlots)
+}
+
+// RecoveryStats returns the per-phase breakdown of the recovery pass Open
+// ran, or a zero struct (Ran == false) when the device was freshly
+// formatted. Populated unconditionally — the struct is plain bookkeeping
+// off the simulated clock — so the recovery-breakdown figure does not
+// require Observe.
+func (c *Cache) RecoveryStats() RecoveryStats { return c.recStats }
 
 // Capacity returns the number of cacheable 4KB blocks.
 func (c *Cache) Capacity() int { return c.lay.Capacity }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"tinca/internal/bufpool"
+	"tinca/internal/flight"
 	"tinca/internal/metrics"
 )
 
@@ -101,6 +102,7 @@ func (c *Cache) destageOne(item destageItem, buf []byte) {
 	// block, which is merely a redundant future write-back.
 	if c.writeBack(c.shardOf(item.no), item.no, item.slot, buf) {
 		c.rec.Inc(metrics.DestageDone)
+		c.flEmit(flight.EvDestage, 0, 0, item.no, 0)
 		if c.obs != nil {
 			c.obs.phase(c.obs.destage, item.no, spanDestage, t0, c.obs.gid())
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"tinca/internal/bufpool"
+	"tinca/internal/flight"
 	"tinca/internal/metrics"
 )
 
@@ -265,6 +266,7 @@ func (c *Cache) evictorRun(scratch *[]victim) {
 		if n == 0 {
 			return // nothing evictable now; the foreground falls back
 		}
+		c.flEmit(flight.EvEvictBatch, 0, 0, 0, uint64(n))
 		if c.obs != nil {
 			c.obs.phase(c.obs.evict, 0, spanEvictBatch, t0, c.obs.gid())
 		}

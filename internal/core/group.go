@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"tinca/internal/bufpool"
+	"tinca/internal/flight"
 	"tinca/internal/metrics"
 )
 
@@ -266,6 +267,7 @@ planLoop:
 	for _, r := range batch {
 		r.t.sealSeq = seq
 	}
+	c.flEmit(flight.EvSealBegin, 0, seq, uint64(len(plan)), uint64(len(batch)))
 
 	// Phase A — data. Every target block is freshly allocated, so no
 	// reader can observe it yet; store + flush each, one fence for all.
@@ -382,6 +384,10 @@ planLoop:
 	// Phase E — the commit point: ONE Tail persist seals every
 	// transaction in the batch at once.
 	c.setTail(c.head)
+	// Book the commit point after the Tail flip: the flight record durable
+	// implies the flip durable, which is the invariant the crash oracle
+	// checks against the recovered Tail.
+	c.flEmit(flight.EvSealPersist, 0, seq, c.head, uint64(len(plan)))
 	if c.opts.SealHook != nil {
 		c.opts.SealHook(seq)
 	}
@@ -419,6 +425,7 @@ planLoop:
 	c.rec.Inc(metrics.TxnGroupSeals)
 	c.rec.Add(metrics.TxnGroupSize, int64(len(batch)))
 	c.rec.Add(metrics.TxnAbsorbed, int64(absorbed))
+	c.flEmit(flight.EvSealComplete, 0, seq, c.head, uint64(len(batch)))
 	if c.obs != nil {
 		c.obs.phase(c.obs.seal, sealID, spanSeal, tSeal, g)
 	}

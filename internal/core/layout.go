@@ -54,9 +54,15 @@ type Layout struct {
 	PtrSlots  int // wear-leveling rotation slots per pointer (1 = fixed)
 	RingOff   int
 	RingSlots int // number of 8B slots
-	EntryOff  int
-	DataOff   int
-	Capacity  int // number of 4KB NVM cache blocks == number of entry slots
+	// Flight recorder region (DESIGN.md §13): FlightSlots 64B event
+	// records between the ring and the entry table. Zero slots (the
+	// default, Options.FlightRecorder off) collapses the region and keeps
+	// the layout byte-identical to the paper's Figure 5.
+	FlightOff   int
+	FlightSlots int
+	EntryOff    int
+	DataOff     int
+	Capacity    int // number of 4KB NVM cache blocks == number of entry slots
 }
 
 // Header fields within the header line.
@@ -66,6 +72,7 @@ const (
 	hdrCapacity = 16 // +16: capacity (blocks)
 	hdrRingSlot = 24 // +24: ring slots
 	hdrPtrSlots = 32 // +32: pointer rotation slots
+	hdrFlight   = 40 // +40: flight-recorder slots (0 = no region)
 )
 
 // DefaultPtrSlots is the rotation factor used when pointer wear leveling
@@ -80,11 +87,22 @@ func alignUp(x, a int) int { return (x + a - 1) / a * a }
 // keeps the paper's fixed Head/Tail lines). It returns an error when the
 // device is too small to hold even a handful of blocks.
 func ComputeLayout(devSize, ringBytes, ptrSlots int) (Layout, error) {
+	return ComputeLayoutFlight(devSize, ringBytes, ptrSlots, 0)
+}
+
+// ComputeLayoutFlight is ComputeLayout plus a flight-recorder region of
+// flightSlots 64B records (0 = none). The region sits between the ring and
+// the entry table, so enabling it shifts the entry/data areas and shaves a
+// few blocks off Capacity (256 slots = 16KiB = 4 data blocks).
+func ComputeLayoutFlight(devSize, ringBytes, ptrSlots, flightSlots int) (Layout, error) {
 	if ringBytes <= 0 {
 		ringBytes = DefaultRingBytes
 	}
 	if ptrSlots <= 1 {
 		ptrSlots = 1
+	}
+	if flightSlots < 0 {
+		flightSlots = 0
 	}
 	ringBytes = alignUp(ringBytes, pmem.LineSize)
 	var l Layout
@@ -94,7 +112,9 @@ func ComputeLayout(devSize, ringBytes, ptrSlots int) (Layout, error) {
 	l.TailOff = l.HeadOff + ptrSlots*pmem.LineSize
 	l.RingOff = l.TailOff + ptrSlots*pmem.LineSize
 	l.RingSlots = ringBytes / RingSlotSize
-	l.EntryOff = l.RingOff + ringBytes
+	l.FlightOff = l.RingOff + ringBytes
+	l.FlightSlots = flightSlots
+	l.EntryOff = l.FlightOff + flightSlots*pmem.LineSize
 
 	// Capacity: each cached block needs one 16B entry and one 4KB data
 	// block. Solve, then re-check with the 4KB alignment of the data area.

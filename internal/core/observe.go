@@ -30,6 +30,7 @@ type obs struct {
 
 	wait, absorb, data, entries, ring, roleSw, tail, seal *metrics.Histogram
 	total, destage, evict, recovery                       *metrics.Histogram
+	recScan, recRedo, recUndo, recRebuild                 *metrics.Histogram
 
 	// readRetry counts seqlock retries per successful fast-path hit that
 	// needed at least one (a count histogram, not nanoseconds).
@@ -40,21 +41,25 @@ type obs struct {
 // registry map.
 func newObs(clock *sim.Clock, rec *metrics.Recorder, tr *metrics.Tracer) *obs {
 	return &obs{
-		clock:     clock,
-		tr:        tr,
-		wait:      rec.Hist(metrics.HistCommitWait),
-		absorb:    rec.Hist(metrics.HistCommitAbsorb),
-		data:      rec.Hist(metrics.HistCommitData),
-		entries:   rec.Hist(metrics.HistCommitEntries),
-		ring:      rec.Hist(metrics.HistCommitRing),
-		roleSw:    rec.Hist(metrics.HistCommitSwitch),
-		tail:      rec.Hist(metrics.HistCommitTail),
-		seal:      rec.Hist(metrics.HistCommitSeal),
-		total:     rec.Hist(metrics.HistCommitTotal),
-		destage:   rec.Hist(metrics.HistDestageWrite),
-		evict:     rec.Hist(metrics.HistEvictBatch),
-		recovery:  rec.Hist(metrics.HistRecovery),
-		readRetry: rec.Hist(metrics.HistReadHitRetry),
+		clock:      clock,
+		tr:         tr,
+		wait:       rec.Hist(metrics.HistCommitWait),
+		absorb:     rec.Hist(metrics.HistCommitAbsorb),
+		data:       rec.Hist(metrics.HistCommitData),
+		entries:    rec.Hist(metrics.HistCommitEntries),
+		ring:       rec.Hist(metrics.HistCommitRing),
+		roleSw:     rec.Hist(metrics.HistCommitSwitch),
+		tail:       rec.Hist(metrics.HistCommitTail),
+		seal:       rec.Hist(metrics.HistCommitSeal),
+		total:      rec.Hist(metrics.HistCommitTotal),
+		destage:    rec.Hist(metrics.HistDestageWrite),
+		evict:      rec.Hist(metrics.HistEvictBatch),
+		recovery:   rec.Hist(metrics.HistRecovery),
+		recScan:    rec.Hist(metrics.HistRecoveryScan),
+		recRedo:    rec.Hist(metrics.HistRecoveryRedo),
+		recUndo:    rec.Hist(metrics.HistRecoveryUndo),
+		recRebuild: rec.Hist(metrics.HistRecoveryRebuild),
+		readRetry:  rec.Hist(metrics.HistReadHitRetry),
 	}
 }
 
@@ -97,6 +102,11 @@ const (
 	spanDestage    = "destage.write"
 	spanEvictBatch = "evict.batch"
 	spanRecover    = "recovery"
+
+	spanRecoverScan    = "recovery.scan"
+	spanRecoverRedo    = "recovery.redo"
+	spanRecoverUndo    = "recovery.undo"
+	spanRecoverRebuild = "recovery.rebuild"
 )
 
 // PhaseLatency is one named histogram digest surfaced through CacheStats.
@@ -112,7 +122,7 @@ func (o *obs) phaseLatencies() []PhaseLatency {
 	if o == nil {
 		return nil
 	}
-	hs := []*metrics.Histogram{o.wait, o.absorb, o.data, o.entries, o.ring, o.roleSw, o.tail, o.seal, o.total, o.destage, o.evict, o.recovery}
+	hs := []*metrics.Histogram{o.wait, o.absorb, o.data, o.entries, o.ring, o.roleSw, o.tail, o.seal, o.total, o.destage, o.evict, o.recovery, o.recScan, o.recRedo, o.recUndo, o.recRebuild}
 	out := make([]PhaseLatency, 0, len(hs))
 	for _, h := range hs {
 		s := h.Snapshot()

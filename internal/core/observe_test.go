@@ -112,6 +112,66 @@ func TestObserveDoesNotPerturbSimulation(t *testing.T) {
 	if t0 != t1 || f0 != f1 {
 		t.Fatalf("observe changed the simulation: time %d vs %d, clflush %d vs %d", t0, t1, f0, f1)
 	}
+	// The flight recorder's persists are silent (no clock, no counters), so
+	// flying with the black box on must also be bit-identical — that is the
+	// contract that lets every figure and every crash-sweep trial keep the
+	// recorder enabled.
+	t2, f2 := run(Options{FlightRecorder: true})
+	if t0 != t2 || f0 != f2 {
+		t.Fatalf("flight recorder changed the simulation: time %d vs %d, clflush %d vs %d", t0, t2, f0, f2)
+	}
+	t3, f3 := run(Options{FlightRecorder: true, Observe: true})
+	if t0 != t3 || f0 != f3 {
+		t.Fatalf("flight recorder + observe changed the simulation: time %d vs %d, clflush %d vs %d", t0, t3, f0, f3)
+	}
+}
+
+// TestFlightRecorderDeterministic proves the stronger property the figure
+// pipeline relies on: the full counter snapshot — not just time and
+// flushes — is identical with the recorder on and off, and two flights of
+// the same workload decode to the same event sequence.
+func TestFlightRecorderDeterministic(t *testing.T) {
+	run := func(opts Options) (metrics.Snapshot, *Cache) {
+		r := newRig(t, 8<<20, opts)
+		commitSome(t, r.cache, 1, 50)
+		if err := r.cache.FlushAll(); err != nil {
+			t.Fatalf("flush: %v", err)
+		}
+		return r.rec.Snapshot(), r.cache
+	}
+	off, _ := run(Options{})
+	on, c1 := run(Options{FlightRecorder: true})
+	for k, v := range on {
+		if off[k] != v {
+			t.Errorf("counter %s: %d with recorder on, %d off", k, v, off[k])
+		}
+	}
+	for k, v := range off {
+		if _, ok := on[k]; !ok && v != 0 {
+			t.Errorf("counter %s: %d off, absent on", k, v)
+		}
+	}
+	on2, c2 := run(Options{FlightRecorder: true})
+	for k, v := range on2 {
+		if on[k] != v {
+			t.Errorf("counter %s: %d vs %d across identical flights", k, on[k], v)
+		}
+	}
+	bb1, bb2 := c1.Blackbox(), c2.Blackbox()
+	if bb1 == nil || bb2 == nil {
+		t.Fatal("no blackbox from a flight-recorded cache")
+	}
+	if len(bb1.Records) == 0 {
+		t.Fatal("flight ring empty after 50 commits")
+	}
+	if len(bb1.Records) != len(bb2.Records) {
+		t.Fatalf("flights diverged: %d vs %d records", len(bb1.Records), len(bb2.Records))
+	}
+	for i := range bb1.Records {
+		if bb1.Records[i] != bb2.Records[i] {
+			t.Fatalf("flight record %d diverged: %v vs %v", i, bb1.Records[i], bb2.Records[i])
+		}
+	}
 }
 
 func TestTracerSpansFromCommits(t *testing.T) {

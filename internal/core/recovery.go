@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"tinca/internal/flight"
+)
 
 // recover implements Tinca's crash recovery (Section 4.5). On entry the
 // device holds whatever the crash left in the persistence domain; on
@@ -30,10 +34,21 @@ import "fmt"
 // correct because no transaction in the batch was acknowledged before the
 // batch's single Tail flip.
 func (c *Cache) recover() error {
+	// Instrumentation (the §4.5 recovery breakdown): every phase boundary
+	// stamps the simulated clock into RecoveryStats — reads never advance
+	// it, so the breakdown is free and always on — records a histogram
+	// when Observe is, and books a flight event when the recorder is on.
+	clock := c.mem.Clock()
+	rs := &c.recStats
+	*rs = RecoveryStats{Ran: true}
+	t0 := int64(clock.Now())
+	var g int64
 	if c.obs != nil {
-		t0 := c.obs.now()
-		defer func() { c.obs.phase(c.obs.recovery, 0, spanRecover, t0, c.obs.gid()) }()
+		g = c.obs.gid()
+		defer func() { c.obs.phase(c.obs.recovery, 0, spanRecover, t0, g) }()
 	}
+	c.flEmit(flight.EvRecoverBegin, 0, 0, 0, 0)
+
 	c.head = c.loadPointer(c.lay.HeadOff)
 	c.tail = c.loadPointer(c.lay.TailOff)
 	if c.head < c.tail {
@@ -42,6 +57,7 @@ func (c *Cache) recover() error {
 	if c.head-c.tail > uint64(c.lay.RingSlots) {
 		return fmt.Errorf("core: recovery found ring span %d beyond capacity %d", c.head-c.tail, c.lay.RingSlots)
 	}
+	rs.RingSpan = int64(c.head - c.tail)
 
 	// Index the persistent entry table.
 	byDisk := make(map[uint64]int32)
@@ -55,6 +71,13 @@ func (c *Cache) recover() error {
 		}
 		byDisk[e.disk] = int32(i)
 	}
+	rs.EntriesScanned = int64(len(byDisk))
+	tScan := int64(clock.Now())
+	rs.ScanNS = tScan - t0
+	if c.obs != nil {
+		c.obs.phase(c.obs.recScan, 0, spanRecoverScan, t0, g)
+	}
+	c.flEmit(flight.EvRecoverScan, 0, 0, 0, uint64(rs.EntriesScanned))
 
 	if c.head != c.tail {
 		// Collect the interrupted transaction's entries.
@@ -74,9 +97,11 @@ func (c *Cache) recover() error {
 			slots = append(slots, i)
 		}
 		if redo {
+			rs.Redo = true
 			for _, i := range slots {
 				if e := c.readEntry(i); e.role == RoleLog {
 					c.recoverSwitch(i, e)
+					rs.EntriesRedone++
 				}
 			}
 			c.setTail(c.head)
@@ -94,10 +119,19 @@ func (c *Cache) recover() error {
 			for _, i := range slots {
 				if e := c.readEntry(i); e.role == RoleLog {
 					c.recoverRevoke(i, e, byDisk)
+					rs.EntriesUndone++
 				}
 			}
 		}
 	}
+	tBranch := int64(clock.Now())
+	if rs.Redo {
+		rs.RedoNS = tBranch - tScan
+	}
+	if c.obs != nil {
+		c.obs.phase(c.obs.recRedo, 0, spanRecoverRedo, tBranch-rs.RedoNS, g)
+	}
+	c.flEmit(flight.EvRecoverRedo, 0, 0, 0, uint64(rs.EntriesRedone))
 
 	// Sweep for stray log entries: a crash after persisting block entries
 	// but before their ring records leaves log-role entries that no ring
@@ -111,10 +145,28 @@ func (c *Cache) recover() error {
 		e := c.readEntry(int32(i))
 		if e.valid && e.role == RoleLog {
 			c.recoverRevoke(int32(i), e, byDisk)
+			rs.StrayRevoked++
 		}
 	}
+	tUndo := int64(clock.Now())
+	rs.UndoNS = tUndo - tBranch
+	if !rs.Redo {
+		rs.UndoNS += tBranch - tScan
+	}
+	if c.obs != nil {
+		c.obs.phase(c.obs.recUndo, 0, spanRecoverUndo, tUndo-rs.UndoNS, g)
+	}
+	c.flEmit(flight.EvRecoverUndo, 0, 0, 0, uint64(rs.EntriesUndone+rs.StrayRevoked))
 
-	c.rebuildVolatile()
+	rs.Resident = int64(c.rebuildVolatile())
+	tReb := int64(clock.Now())
+	rs.RebuildNS = tReb - tUndo
+	rs.TotalNS = tReb - t0
+	if c.obs != nil {
+		c.obs.phase(c.obs.recRebuild, 0, spanRecoverRebuild, tUndo, g)
+	}
+	c.flEmit(flight.EvRecoverRebuild, 0, 0, 0, uint64(rs.Resident))
+	c.flEmit(flight.EvRecoverDone, 0, 0, 0, 0)
 	return nil
 }
 
@@ -186,9 +238,10 @@ func (c *Cache) revokeRange(from, to uint64) {
 
 // rebuildVolatile reconstructs the DRAM hash shards, LRU lists, free block
 // monitor and free slot list from the (now consistent) persistent entry
-// table. LRU order after a crash is arbitrary, which only affects future
-// replacement choices, never correctness.
-func (c *Cache) rebuildVolatile() {
+// table, returning how many entries are resident. LRU order after a crash
+// is arbitrary, which only affects future replacement choices, never
+// correctness.
+func (c *Cache) rebuildVolatile() int {
 	for s := range c.shards {
 		sh := &c.shards[s]
 		// Recovery is single-threaded, so the reset is race-free (the
@@ -199,6 +252,7 @@ func (c *Cache) rebuildVolatile() {
 	}
 	c.alloc.reset()
 	used := make([]bool, c.lay.Capacity)
+	resident := 0
 	for i := 0; i < c.lay.Capacity; i++ {
 		e := c.readEntry(int32(i))
 		if !e.valid {
@@ -210,6 +264,7 @@ func (c *Cache) rebuildVolatile() {
 		sh.mapStore(e.disk, int32(i))
 		c.pushFrontLocked(sh, int32(i))
 		used[e.cur] = true
+		resident++
 		// Dirty entries may be written back later; their eviction must
 		// then invalidate optimistic fills in flight (see shard.evictGen).
 		c.dirtied[i] = e.modified
@@ -219,4 +274,5 @@ func (c *Cache) rebuildVolatile() {
 			c.alloc.pushBlock(uint32(b))
 		}
 	}
+	return resident
 }

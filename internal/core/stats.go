@@ -83,6 +83,39 @@ type CacheStats struct {
 	CommitPhases  []PhaseLatency
 }
 
+// RecoveryStats is the typed per-phase breakdown of one §4.5 recovery
+// pass (the baseline measurement ROADMAP item 2 needs before parallel or
+// incremental recovery can be claimed). Durations are simulated
+// nanoseconds; counters are entries. It is populated by every recovery
+// regardless of Options.Observe — the bookkeeping reads the clock but
+// never advances it — while the matching histograms
+// (metrics.HistRecoveryScan/Redo/Undo/Rebuild) exist only under Observe.
+type RecoveryStats struct {
+	// Ran distinguishes a real recovery from a fresh format.
+	Ran bool
+	// Redo reports which direction the interrupted seal was resolved:
+	// true = completed (some role switch was durable), false = revoked.
+	// Meaningful only when RingSpan > 0.
+	Redo bool
+	// RingSpan is Head - Tail at recovery entry: the interrupted seal's
+	// block count (0 = clean shutdown or crash between seals).
+	RingSpan int64
+
+	// Phase durations, in pipeline order. TotalNS covers the whole pass.
+	ScanNS    int64 // pointer loads + entry-table scan/index
+	RedoNS    int64 // completing the interrupted seal's role switches
+	UndoNS    int64 // revoking the interrupted seal + stray-log sweep
+	RebuildNS int64 // rebuilding the DRAM index/LRU/allocator
+	TotalNS   int64
+
+	// Work counters.
+	EntriesScanned int64 // valid entries found in the table scan
+	EntriesRedone  int64 // log entries whose role switch was completed
+	EntriesUndone  int64 // ring-named log entries rolled back/deleted
+	StrayRevoked   int64 // stray log entries revoked by the sweep
+	Resident       int64 // entries resident after rebuild
+}
+
 // AvgGroupSize reports the mean transactions per seal (0 when no seal has
 // happened).
 func (s CacheStats) AvgGroupSize() float64 {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"tinca/internal/bufpool"
+	"tinca/internal/flight"
 	"tinca/internal/metrics"
 )
 
@@ -137,6 +138,7 @@ func (t *Txn) Commit() error {
 func (c *Cache) commitSerialLocked(t *Txn) error {
 	c.sealSeq++
 	t.sealSeq = c.sealSeq
+	c.flEmit(flight.EvSerialBegin, 0, t.sealSeq, uint64(len(t.order)), 0)
 	// Every slot this commit touches stays pinned (in its block's shard)
 	// until the Tail flip below is durable: after the role switch an
 	// entry looks like an ordinary dirty buffer, but evicting it — with
@@ -168,6 +170,7 @@ func (c *Cache) commitSerialLocked(t *Txn) error {
 			start := c.tail
 			c.setTail(c.head)
 			c.revokeRange(start, c.head)
+			c.flEmit(flight.EvSealAbort, 0, t.sealSeq, c.head, uint64(c.head-start))
 			c.rec.Inc(metrics.TxnAbort)
 			return err
 		}
@@ -197,6 +200,9 @@ func (c *Cache) commitSerialLocked(t *Txn) error {
 
 	// Step 5: Tail catches up with Head; this ends the transaction.
 	c.setTail(c.head)
+	// After the flip, so this record durable implies the commit durable
+	// (the invariant the crash oracle checks against the recovered Tail).
+	c.flEmit(flight.EvSerialCommit, 0, t.sealSeq, c.head, uint64(len(t.order)))
 	if c.opts.SealHook != nil {
 		c.opts.SealHook(t.sealSeq)
 	}

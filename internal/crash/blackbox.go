@@ -1,0 +1,103 @@
+package crash
+
+import (
+	"bytes"
+	"fmt"
+
+	"tinca/internal/core"
+	"tinca/internal/flight"
+	"tinca/internal/pmem"
+	"tinca/internal/sim"
+	"tinca/internal/stack"
+)
+
+// BlackboxResult is one forensic crash run: the flight-recorder report
+// decoded straight from the crash image, and the recovery breakdown of
+// the remount that followed.
+type BlackboxResult struct {
+	BoundarySpace int64 // persist ops the workload spans (0 when boundary was given)
+	Boundary      int64 // boundary the crash was armed at
+	Crashed       bool  // whether the armed crash actually fired
+	Report        string
+	Recovery      core.RecoveryStats
+	// Err holds any post-recovery verification failure (fsck, cache
+	// invariants, flight window). The report above is still valid — it was
+	// decoded before recovery ran — which is exactly when it matters.
+	Err error
+}
+
+// Blackbox runs one deterministic Tinca trial with the flight recorder
+// on, crashes at the given persist-op boundary (negative = midway through
+// the workload, sized by a counting run), decodes the surviving flight
+// ring into a forensic report, then remounts and reports the §4.5
+// recovery breakdown. The returned error is reserved for harness
+// problems; verification failures land in BlackboxResult.Err.
+func Blackbox(seed int64, ops int, boundary int64, evictP float64) (*BlackboxResult, error) {
+	if ops <= 0 {
+		ops = 200
+	}
+	sp := trialSpec{
+		kind:      stack.Tinca,
+		trace:     GenTrace(seed, ops),
+		boundary:  -1,
+		evictP:    1,
+		imageSeed: imageSeed(seed, -1, 1),
+	}
+	res := &BlackboxResult{Boundary: boundary}
+	if boundary < 0 {
+		cout, err := runTrial(sp)
+		if err != nil {
+			return nil, fmt.Errorf("crash: blackbox counting run: %w", err)
+		}
+		res.BoundarySpace = cout.boundarySpace
+		res.Boundary = cout.boundarySpace / 2
+	}
+
+	s, err := stack.New(sp.stackConfig(nil))
+	if err != nil {
+		return nil, err
+	}
+	s.Mem.ArmCrash(res.Boundary)
+	crashed, _ := pmem.CatchCrash(func() {
+		for i := range sp.trace {
+			o := sp.trace[i]
+			if err := Issue(s.FS, o); err != nil && !o.WantErr {
+				panic(fmt.Sprintf("crash: blackbox op %d %v: %v", i, o, err))
+			}
+		}
+	})
+	res.Crashed = crashed
+	if !crashed {
+		s.Mem.DisarmCrash()
+	}
+
+	lay := s.TCache.Layout()
+	s.Crash(sim.NewRand(imageSeed(seed, res.Boundary, evictP)), evictP)
+
+	// Decode before Remount: the report must show the pre-crash timeline,
+	// not recovery's own events.
+	bb := flight.Decode(s.Mem, lay.FlightOff, lay.FlightSlots)
+	var buf bytes.Buffer
+	if err := bb.Report(&buf, 32); err != nil {
+		return nil, err
+	}
+	res.Report = buf.String()
+	if err := bb.CheckWindow(); err != nil {
+		res.Err = fmt.Errorf("flight window: %w", err)
+	}
+
+	if err := s.Remount(); err != nil {
+		if res.Err == nil {
+			res.Err = fmt.Errorf("remount: %w", err)
+		}
+		return res, nil
+	}
+	res.Recovery = s.TCache.RecoveryStats()
+	if err := checkStructure(s); err != nil && res.Err == nil {
+		res.Err = err
+	}
+	if err := flightPostCheck(bb, s.TCache, 0); err != nil && res.Err == nil {
+		res.Err = err
+	}
+	return res, nil
+}

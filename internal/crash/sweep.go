@@ -35,6 +35,7 @@ import (
 	"sync/atomic"
 
 	"tinca/internal/core"
+	"tinca/internal/flight"
 	"tinca/internal/pmem"
 	"tinca/internal/sim"
 	"tinca/internal/stack"
@@ -291,8 +292,67 @@ func (sp trialSpec) stackConfig(hook func(uint64)) stack.Config {
 	if sp.kind == stack.Tinca {
 		cfg.Fault = sp.fault
 		cfg.SealHook = hook
+		// Every Tinca trial flies with the recorder on: the sweep is the
+		// standing proof that flight persists never induce a false positive
+		// (they add crash boundaries but zero observable cost), and the
+		// surviving ring feeds the blackbox cross-checks after the crash.
+		cfg.FlightRecorder = true
 	}
 	return cfg
+}
+
+// flightPreCheck decodes the flight ring straight from the crash image —
+// before Remount, so recovery's own events are not mixed into the
+// pre-crash timeline — and checks the §13 window invariant: the surviving
+// sequence numbers are contiguous up to MaxSeq with at most the one
+// in-flight record missing. A torn interior or a duplicate means the
+// recorder itself violated its persist ordering.
+func flightPreCheck(mem *pmem.Device, lay core.Layout) (*flight.Blackbox, error) {
+	if lay.FlightSlots == 0 {
+		return nil, nil
+	}
+	bb := flight.Decode(mem, lay.FlightOff, lay.FlightSlots)
+	if err := bb.CheckWindow(); err != nil {
+		return bb, fmt.Errorf("flight window: %w", err)
+	}
+	return bb, nil
+}
+
+// flightPostCheck cross-checks the pre-crash flight record against the
+// recovered cache. Commit-point records (EvSealPersist, EvSerialCommit)
+// are emitted after the Tail flip's persist completes, so any such record
+// present in the crash image — flushed or evicted into it — proves the
+// flip was durable first: the recovered Tail must cover it. When a
+// SealHook observed seal sealedQ before the crash and the ring never
+// wrapped (MinSeq == 1, so no record was overwritten), the fully-persisted
+// record for that seal must also have survived.
+func flightPostCheck(bb *flight.Blackbox, c *core.Cache, sealedQ uint64) error {
+	if bb == nil {
+		return nil
+	}
+	var maxCommit, maxGen uint64
+	for _, r := range bb.Records {
+		if r.Type == flight.EvSealPersist || r.Type == flight.EvSerialCommit {
+			if r.Block > maxCommit {
+				maxCommit = r.Block
+			}
+			if r.Gen > maxGen {
+				maxGen = r.Gen
+			}
+		}
+	}
+	_, tail := c.Pointers()
+	if tail < maxCommit {
+		return fmt.Errorf(
+			"flight oracle: recorded commit point at ring position %d but recovered Tail is %d",
+			maxCommit, tail)
+	}
+	if sealedQ > 0 && bb.MinSeq == 1 && maxGen < sealedQ {
+		return fmt.Errorf(
+			"flight oracle: SealHook reported seal %d before the crash but the un-wrapped ring records no commit past gen %d",
+			sealedQ, maxGen)
+	}
+	return nil
 }
 
 func checkStructure(s *stack.Stack) error {
@@ -354,11 +414,22 @@ func runSerialTrial(sp trialSpec) (trialOut, error) {
 	out.inflight = inflight
 	out.boundarySpace = s.Mem.PersistOps() - setupOps
 
+	var lay core.Layout
+	if s.TCache != nil {
+		lay = s.TCache.Layout()
+	}
 	s.Crash(sim.NewRand(sp.imageSeed), sp.evictP)
+	bb, ferr := flightPreCheck(s.Mem, lay)
+	if ferr != nil {
+		return out, ferr
+	}
 	if err := s.Remount(); err != nil {
 		return out, fmt.Errorf("remount: %w", err)
 	}
 	if err := checkStructure(s); err != nil {
+		return out, err
+	}
+	if err := flightPostCheck(bb, s.TCache, 0); err != nil {
 		return out, err
 	}
 
@@ -527,11 +598,22 @@ func runGroupTrial(sp trialSpec) (trialOut, error) {
 	out.boundarySpace = s.Mem.PersistOps() - setupOps
 	sealedQ := sealedMax.Load()
 
+	var lay core.Layout
+	if s.TCache != nil {
+		lay = s.TCache.Layout()
+	}
 	s.Crash(sim.NewRand(sp.imageSeed), sp.evictP)
+	bb, ferr := flightPreCheck(s.Mem, lay)
+	if ferr != nil {
+		return out, ferr
+	}
 	if err := s.Remount(); err != nil {
 		return out, fmt.Errorf("remount: %w", err)
 	}
 	if err := checkStructure(s); err != nil {
+		return out, err
+	}
+	if err := flightPostCheck(bb, s.TCache, sealedQ); err != nil {
 		return out, err
 	}
 

@@ -24,7 +24,7 @@ func cellF(t *testing.T, tb *Table, row int, col string) float64 {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"table1", "table2", "3a", "3b", "4", "7", "8", "10", "11", "12a", "12b", "12c", "13",
 		"recover", "ablate", "endurance", "clwb", "recovertime", "modes", "groupcommit", "phases",
-		"misspath", "readhit", "indexscale"}
+		"misspath", "readhit", "indexscale", "recoverybreakdown"}
 	names := Names()
 	if len(names) != len(want) {
 		t.Fatalf("registry has %d entries, want %d: %v", len(names), len(want), names)
@@ -437,5 +437,50 @@ func TestIndexScale(t *testing.T) {
 	// it by an order of magnitude at full scale.
 	if f, ok := tb.Metrics["bucket_hit_flatness_x"]; !ok || f > 6 {
 		t.Fatalf("bucket hit cost grew %vx across table sizes (want metric present and <= 6)\n%s", f, tb)
+	}
+}
+
+func TestRecoveryBreakdown(t *testing.T) {
+	tb, err := RecoveryBreakdown(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6 (undo/redo x 3 sizes)\n%s", len(tb.Rows), tb)
+	}
+	for r := range tb.Rows {
+		mode := tb.Cell(r, "mode")
+		switch mode {
+		case "undo":
+			// Mid-log crash: recovery must have revoked stray log entries
+			// and done no role-switch completion.
+			if s := cellF(t, tb, r, "stray"); s == 0 {
+				t.Fatalf("row %d: undo trial revoked no strays\n%s", r, tb)
+			}
+			if n := cellF(t, tb, r, "redone"); n != 0 {
+				t.Fatalf("row %d: undo trial redid %v entries\n%s", r, n, tb)
+			}
+		case "redo":
+			// Post-Head-flip crash: a nonzero ring span whose role switch
+			// recovery completed.
+			if sp := cellF(t, tb, r, "ring span"); sp == 0 {
+				t.Fatalf("row %d: redo trial has empty ring span\n%s", r, tb)
+			}
+			if n := cellF(t, tb, r, "redone"); n == 0 {
+				t.Fatalf("row %d: redo trial redid nothing\n%s", r, tb)
+			}
+		default:
+			t.Fatalf("row %d: unexpected mode %q\n%s", r, mode, tb)
+		}
+		if n := cellF(t, tb, r, "scanned"); n == 0 {
+			t.Fatalf("row %d: entry-table scan saw nothing\n%s", r, tb)
+		}
+	}
+	// The scan phase is O(capacity): 32MB must cost measurably more than
+	// 8MB (the quick scale keeps the fill small; the sweep is not).
+	s8 := tb.Metrics["recovery_8mb_undo_scan_ns"]
+	s32 := tb.Metrics["recovery_32mb_undo_scan_ns"]
+	if s8 == 0 || s32 < s8*2 {
+		t.Fatalf("scan did not scale with capacity: 8MB %.0fns vs 32MB %.0fns\n%s", s8, s32, tb)
 	}
 }

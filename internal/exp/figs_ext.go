@@ -185,11 +185,15 @@ func RecoveryTime(o Options) (*Table, error) {
 	return t, nil
 }
 
-// crashMidCommit injects a power failure while a write is in flight.
+// crashMidCommit injects a power failure while a commit is in flight. The
+// Sync forces the group committer to seal the victim write now — without
+// it the write sits in DRAM, nothing persists, and the armed crash never
+// fires inside the commit sequence.
 func crashMidCommit(s *stack.Stack, seed int64) {
-	s.Mem.ArmCrash(40) // lands inside the next commit's persist sequence
+	s.Mem.ArmCrash(40) // lands inside the forced seal's persist sequence
 	pmem.CatchCrash(func() {
 		_ = s.FS.WriteFile("/crash-victim", make([]byte, 32<<10))
+		_ = s.FS.Sync()
 	})
 	s.Crash(sim.NewRand(seed), 0.5)
 }

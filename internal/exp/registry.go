@@ -27,15 +27,16 @@ var Registry = map[string]Runner{
 	"recover": Recoverability,
 	"ablate":  Ablations,
 	// Extensions beyond the paper (DESIGN.md §6 and motivation claims).
-	"endurance":   Endurance,
-	"clwb":        CLWB,
-	"recovertime": RecoveryTime,
-	"modes":       JournalModes,
-	"groupcommit": GroupCommitScaling,
-	"phases":      CommitPhaseBreakdown,
-	"misspath":    MissPathScaling,
-	"readhit":     ReadHitScaling,
-	"indexscale":  IndexScale,
+	"endurance":         Endurance,
+	"clwb":              CLWB,
+	"recovertime":       RecoveryTime,
+	"modes":             JournalModes,
+	"groupcommit":       GroupCommitScaling,
+	"phases":            CommitPhaseBreakdown,
+	"misspath":          MissPathScaling,
+	"readhit":           ReadHitScaling,
+	"indexscale":        IndexScale,
+	"recoverybreakdown": RecoveryBreakdown,
 }
 
 // Names lists the registered experiments in a stable order.
@@ -95,6 +96,8 @@ func expOrder(n string) string {
 		return "985"
 	case "indexscale":
 		return "986"
+	case "recoverybreakdown":
+		return "987"
 	default:
 		return "99" + n
 	}

@@ -56,6 +56,11 @@ const (
 	CacheViewZeroCopy  = "cache.view_zero_copy"  // views served by aliasing pinned NVM bytes
 	CacheViewCopied    = "cache.view_copied"     // views served as private copies (serial/ablation/opt-out)
 	CacheViewDeferFree = "cache.view_defer_free" // block frees deferred to a view's last unpin
+	// Scrape-time gauges published by the stack's /metrics handler: the
+	// backing values live outside the Recorder (the sharded index and the
+	// views-open atomic), so the handler Sets them at each scrape.
+	CacheIndexGrows = "cache.index_grows" // incremental index resizes since Open (gauge)
+	CacheViewsOpen  = "cache.views_open"  // live unclosed zero-copy views (gauge)
 	// Journal-area traffic through the Classic cache, counted separately
 	// so data-block hit rates are comparable across systems.
 	CacheJournalWriteHit  = "cache.journal_write_hit"
@@ -111,6 +116,12 @@ const (
 	HistDestageWrite = "destage.write_ns" // one queued block written back
 	HistEvictBatch   = "evict.batch_ns"   // one background eviction batch
 	HistRecovery     = "recovery.ns"      // one full recovery pass
+	// Per-phase recovery breakdown (internal/core/recovery.go). One sample
+	// per recovery pass each, zeros included, so counts match HistRecovery.
+	HistRecoveryScan    = "recovery.scan_ns"    // pointer load + entry-table scan
+	HistRecoveryRedo    = "recovery.redo_ns"    // completing interrupted role switches
+	HistRecoveryUndo    = "recovery.undo_ns"    // revocation + stray-log sweep
+	HistRecoveryRebuild = "recovery.rebuild_ns" // DRAM index/LRU/allocator rebuild
 
 	// Lock-free read path (internal/core/readfast.go): seqlock retries per
 	// successful fast hit that needed at least one retry (a count, not ns).

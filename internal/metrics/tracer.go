@@ -110,13 +110,29 @@ func (t *Tracer) Len() uint64 {
 	return t.pos.Load()
 }
 
+// Instant is one point-in-time marker merged into the Chrome export as a
+// thread-scoped instant event (ph "i") on its own track — used for the
+// NVM flight-recorder timeline, whose events are moments, not phases.
+type Instant struct {
+	Name string
+	TS   int64 // simulated ns
+	TID  int64 // track ("thread") the marker renders on
+	Args map[string]uint64
+}
+
 // WriteChromeTrace exports the recorded spans as Chrome trace_event JSON
 // (the "X" complete-event form), loadable in chrome://tracing and
 // Perfetto. Timestamps are simulated microseconds; each goroutine becomes
 // a trace thread so concurrent seals render as parallel tracks.
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	return t.WriteChromeTraceWith(w, nil)
+}
+
+// WriteChromeTraceWith is WriteChromeTrace with extra instant events
+// merged into the same timeline (same pid, their own tids).
+func (t *Tracer) WriteChromeTraceWith(w io.Writer, instants []Instant) error {
 	spans := t.Spans()
-	events := make([]chromeEvent, 0, len(spans))
+	events := make([]chromeEvent, 0, len(spans)+len(instants))
 	for _, s := range spans {
 		events = append(events, chromeEvent{
 			Name: s.Name,
@@ -126,6 +142,17 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 			PID:  1,
 			TID:  s.G,
 			Args: map[string]uint64{"id": s.ID},
+		})
+	}
+	for _, in := range instants {
+		events = append(events, chromeEvent{
+			Name: in.Name,
+			Ph:   "i",
+			S:    "t",
+			TS:   float64(in.TS) / 1000,
+			PID:  1,
+			TID:  in.TID,
+			Args: in.Args,
 		})
 	}
 	enc := json.NewEncoder(w)
@@ -140,8 +167,9 @@ type chromeTrace struct {
 type chromeEvent struct {
 	Name string            `json:"name"`
 	Ph   string            `json:"ph"`
+	S    string            `json:"s,omitempty"` // instant-event scope
 	TS   float64           `json:"ts"`
-	Dur  float64           `json:"dur"`
+	Dur  float64           `json:"dur,omitempty"`
 	PID  int               `json:"pid"`
 	TID  int64             `json:"tid"`
 	Args map[string]uint64 `json:"args,omitempty"`

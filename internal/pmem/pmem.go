@@ -463,6 +463,52 @@ func (d *Device) Persist16(off int, v [16]byte) {
 	d.SFence()
 }
 
+// PersistLineSilent durably writes one whole cache line with the same
+// {store, clflush, sfence} discipline as the main log, but charges nothing
+// observable: no simulated time, no metrics counters, no wear, no
+// flush/fence histograms. It is the flight recorder's write primitive —
+// the black box must not perturb the figures it explains (the same
+// contract observe.go states for histograms: observability never advances
+// the clock).
+//
+// Crash semantics are NOT silent: the three sub-operations each count as a
+// persistence-relevant boundary (exactly like a Store/CLFlush/SFence
+// triple), so an armed crash can fire between the store and the flush and
+// leave the line dirty — Crash() then tears it word by word like any other
+// un-flushed line. This is what makes torn flight records a reachable
+// state the decode path must (and does) tolerate.
+func (d *Device) PersistLineSilent(off int, line [LineSize]byte) {
+	if off%LineSize != 0 {
+		panic("pmem: PersistLineSilent misaligned")
+	}
+	d.check(off, LineSize)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	// Store: volatile only; the line becomes dirty and torn-able.
+	d.maybeCrash("flight-store")
+	copy(d.volatile[off:off+LineSize], line[:])
+	d.clearAtomic16(off, LineSize)
+	d.dirty[off/LineSize] = true
+	// CLFlush: write the line back to the persistence domain.
+	d.maybeCrash("flight-clflush")
+	copy(d.persist[off:off+LineSize], d.volatile[off:off+LineSize])
+	d.dirty[off/LineSize] = false
+	// SFence: orders this record before the next one's store.
+	d.maybeCrash("flight-sfence")
+}
+
+// LoadSilent copies n = len(p) bytes at off into p without charging
+// simulated time or counters — the flight recorder's read primitive, used
+// to decode the black box both live (/blackbox) and after a crash. Reads
+// see the CPU-visible contents; immediately after Crash() those equal the
+// surviving persistence-domain image.
+func (d *Device) LoadSilent(off int, p []byte) {
+	d.check(off, len(p))
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	copy(p, d.volatile[off:off+len(p)])
+}
+
 // clearAtomic16 drops 16B-atomicity marks overlapping [off, off+n): the
 // range was rewritten by a non-16B store, so its halves may tear.
 func (d *Device) clearAtomic16(off, n int) {

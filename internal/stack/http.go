@@ -20,6 +20,10 @@ import (
 //	/trace         Chrome trace_event JSON of the tracer ring (load in
 //	               chrome://tracing or https://ui.perfetto.dev). 404
 //	               when the stack was built without TraceEvents/Tracer.
+//	/blackbox      Plain-text forensic report decoded live from the NVM
+//	               flight ring: last sealed generation, txns in flight,
+//	               last-N event timeline. 404 when the stack was built
+//	               without Options.FlightRecorder (or is not Tinca).
 //	/debug/pprof/  net/http/pprof (heap, goroutine, profile, ...), for
 //	               profiling the simulator process itself.
 //
@@ -35,7 +39,32 @@ func (s *Stack) ServeMetrics(addr string) (string, error) {
 		return "", fmt.Errorf("stack: metrics listen: %w", err)
 	}
 	mux := http.NewServeMux()
-	mux.Handle("/metrics", metricsHandler(s.Rec))
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		// A few cache-level values live outside the Recorder (the sharded
+		// index and the views-open atomic); publish them as gauges at
+		// scrape time so Prometheus sees the full counter surface.
+		if c := s.TCache; c != nil {
+			st := c.Stats()
+			s.Rec.Set(metrics.CacheIndexGrows, st.IndexGrows)
+			s.Rec.Set(metrics.CacheViewsOpen, st.OpenViews)
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		metrics.WritePrometheus(w, s.Rec, "")
+	})
+	mux.HandleFunc("/blackbox", func(w http.ResponseWriter, r *http.Request) {
+		c := s.TCache
+		if c == nil {
+			http.Error(w, "no Tinca cache in this stack", http.StatusNotFound)
+			return
+		}
+		bb := c.Blackbox()
+		if bb == nil {
+			http.Error(w, "stack built without Options.FlightRecorder", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		bb.Report(w, 32)
+	})
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
 		if s.Tracer == nil {
 			http.Error(w, "stack built without a tracer (set TraceEvents)", http.StatusNotFound)
@@ -69,14 +98,4 @@ func (s *Stack) CloseMetrics() {
 	}
 	s.metricsSrv.Close()
 	s.metricsSrv = nil
-}
-
-// metricsHandler serves one Recorder as Prometheus text. Unlike
-// metrics.Handler (which serves the global Publish registry), this binds
-// to the stack's own Recorder with no global state.
-func metricsHandler(r *metrics.Recorder) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		metrics.WritePrometheus(w, r, "")
-	})
 }

@@ -161,6 +161,9 @@ func (c Config) Validate() error {
 	if c.Kind != Tinca && (c.IndexBuckets != 0 || c.SyncMapIndex || c.DisableZeroCopy) {
 		return fmt.Errorf("stack: IndexBuckets/SyncMapIndex/DisableZeroCopy apply only to the Tinca kind, not %v", c.Kind)
 	}
+	if c.Kind != Tinca && c.FlightRecorder {
+		return fmt.Errorf("stack: FlightRecorder applies only to the Tinca kind, not %v", c.Kind)
+	}
 	if c.JournalMode < DataJournal || c.JournalMode > Ordered {
 		return fmt.Errorf("stack: unknown journal mode %d", int(c.JournalMode))
 	}

@@ -62,6 +62,13 @@
 // /metrics and net/http/pprof. All of it charges zero simulated time —
 // enabling observability never changes the simulated results.
 //
+// CacheOptions.FlightRecorder additionally keeps a crash-surviving black
+// box in the NVM image itself (DESIGN.md Section 13): a ring of
+// checksummed 64-byte event records written with silent persists, decoded
+// after a power failure via Cache.Blackbox, tincacrash -blackbox, or a
+// live stack's /blackbox endpoint. Cache.RecoveryStats reports the last
+// remount's Section 4.5 recovery pass broken down by phase.
+//
 // # Layers
 //
 // The exported names below are curated aliases over the implementation
@@ -86,6 +93,7 @@ import (
 	"tinca/internal/core"
 	"tinca/internal/errs"
 	"tinca/internal/exp"
+	"tinca/internal/flight"
 	"tinca/internal/fs"
 	"tinca/internal/jbd"
 	"tinca/internal/metrics"
@@ -245,6 +253,24 @@ type Tracer = metrics.Tracer
 // NewTracer allocates a span ring of n events (rounded up to a power of
 // two; n <= 0 picks the 65536-event default).
 var NewTracer = metrics.NewTracer
+
+// TraceInstant is a point-in-time marker merged into the Chrome trace
+// export via Tracer.WriteChromeTraceWith — used for the NVM flight
+// recorder's event timeline (CacheOptions.FlightRecorder).
+type TraceInstant = metrics.Instant
+
+// FlightRecord is one decoded 64-byte event from the crash-surviving NVM
+// flight ring; FlightBlackbox is the forensic digest Cache.Blackbox
+// returns (last sealed generation, txns in flight, event timeline). See
+// DESIGN.md §13.
+type (
+	FlightRecord   = flight.Record
+	FlightBlackbox = flight.Blackbox
+)
+
+// RecoveryStats is the per-phase breakdown of the last §4.5 recovery pass
+// (Cache.RecoveryStats). Populated by every remount, Observe or not.
+type RecoveryStats = core.RecoveryStats
 
 // Frequently needed counter names; the full list lives in the metrics
 // package documentation.
