@@ -40,9 +40,10 @@ func main() {
 	maxDirectEvict := flag.Float64("max-direct-evict-pct", -1, "fail (exit 1) if any experiment reports a direct_evict_pct above this percentage; <0 disables")
 	minFastHit := flag.Float64("min-fast-hit-ratio", -1, "fail (exit 1) if any experiment reports a fast_hit_ratio below this fraction; <0 disables")
 	maxAllocs := flag.Float64("max-allocs-per-op", -1, "fail (exit 1) if any experiment reports an *_allocs_per_op metric above this value; <0 disables")
+	maxRecoveryGrowth := flag.Float64("max-recovery-growth", -1, "fail (exit 1) if recoveryscale reports recovery_scale_on_growth above this ratio (checkpointed restart must stay flat); <0 disables")
 	flag.Parse()
 	outputCSV = *format == "csv"
-	defer finish(*benchJSON, *maxDirectEvict, *minFastHit, *maxAllocs)
+	defer finish(*benchJSON, *maxDirectEvict, *minFastHit, *maxAllocs, *maxRecoveryGrowth)
 
 	var tracer *metrics.Tracer
 	if *traceOut != "" {
@@ -85,9 +86,9 @@ var outputCSV bool
 var benchMetrics = make(map[string]map[string]float64)
 
 // finish writes the accumulated metrics and enforces the direct-eviction,
-// fast-hit and allocation gates. Runs deferred from main so both -fig and
-// -all paths share it.
-func finish(benchJSON string, maxDirectEvict, minFastHit, maxAllocs float64) {
+// fast-hit, allocation and recovery-flatness gates. Runs deferred from
+// main so both -fig and -all paths share it.
+func finish(benchJSON string, maxDirectEvict, minFastHit, maxAllocs, maxRecoveryGrowth float64) {
 	if benchJSON != "" {
 		data, err := json.MarshalIndent(benchMetrics, "", "  ")
 		if err == nil {
@@ -115,6 +116,17 @@ func finish(benchJSON string, maxDirectEvict, minFastHit, maxAllocs float64) {
 				fmt.Fprintf(os.Stderr,
 					"tincabench: %s: fast-hit ratio %.3f below the required %.3f — hits are falling back to the locked path\n",
 					name, r, minFastHit)
+				os.Exit(1)
+			}
+		}
+	}
+	if maxRecoveryGrowth >= 0 {
+		for name, m := range benchMetrics {
+			if g, ok := m["recovery_scale_on_growth"]; ok && g > maxRecoveryGrowth {
+				off := m["recovery_scale_off_growth"]
+				fmt.Fprintf(os.Stderr,
+					"tincabench: %s: checkpointed restart grew %.2fx from the smallest to the largest NVM size (max allowed %.2fx; full-scan baseline grew %.2fx) — recovery is scanning instead of loading the frame\n",
+					name, g, maxRecoveryGrowth, off)
 				os.Exit(1)
 			}
 		}

@@ -20,6 +20,7 @@
 // failing trial is shrunk to a minimal reproducer line.
 //
 //	tincacrash -sweep -kind tinca -ops 200
+//	tincacrash -sweep -kind tinca -ops 200 -checkpoint   # checkpoint writer at every commit point
 //	tincacrash -sweep -kind classic -ops 100 -stride 3
 //	tincacrash -sweep -group-blocks 4 -fs-workers 4 -committers 2 -max-boundaries 200
 //	tincacrash -sweep -fault skip-data-flush -evictps 0   # harness self-test: must fail
@@ -72,6 +73,7 @@ func main() {
 		maxB    = flag.Int("max-boundaries", 0, "cap on boundaries swept, evenly subsampled (0 = exhaustive)")
 		workers = flag.Int("workers", 0, "parallel trial runners (0 = GOMAXPROCS)")
 		faultF  = flag.String("fault", "none", "injected protocol fault: none, skip-data-flush (harness self-test)")
+		ckpt    = flag.Bool("checkpoint", false, "run the checkpoint writer at every commit point (sweep mode, tinca only)")
 
 		groupBlocks = flag.Int("group-blocks", 0, "FS group-commit threshold; > 0 selects the group oracle")
 		fsWorkers   = flag.Int("fs-workers", 4, "concurrent FS op streams (group mode)")
@@ -97,7 +99,7 @@ func main() {
 	case *sweep:
 		os.Exit(runSweep(sweepArgs{
 			kind: *kindF, seed: *seed, ops: *ops, evictPs: *evictPs,
-			stride: *stride, maxB: *maxB, workers: *workers, fault: *faultF,
+			stride: *stride, maxB: *maxB, workers: *workers, fault: *faultF, ckpt: *ckpt,
 			groupBlocks: *groupBlocks, fsWorkers: *fsWorkers, committers: *committers,
 			minimize: *minimize, verbose: *verbose, bbOut: *bbOut,
 		}))
@@ -131,7 +133,7 @@ type sweepArgs struct {
 	seed, stride                       int64
 	ops, maxB, workers                 int
 	groupBlocks, fsWorkers, committers int
-	minimize, verbose                  bool
+	minimize, verbose, ckpt            bool
 	bbOut                              string
 }
 
@@ -223,6 +225,7 @@ func runSweep(a sweepArgs) int {
 		MaxBoundaries: a.maxB,
 		Workers:       a.workers,
 		Fault:         fault,
+		Checkpoint:    a.ckpt,
 	}
 	if a.groupBlocks > 0 {
 		cfg.Group = crash.GroupConfig{Blocks: a.groupBlocks, FSWorkers: a.fsWorkers, RawCommitters: a.committers}
@@ -244,6 +247,9 @@ func runSweep(a sweepArgs) int {
 	mode := "serial"
 	if a.groupBlocks > 0 {
 		mode = fmt.Sprintf("group(blocks=%d,fs=%d,raw=%d)", a.groupBlocks, a.fsWorkers, a.committers)
+	}
+	if a.ckpt {
+		mode += "+ckpt"
 	}
 	fmt.Printf("tincacrash: %s %s sweep: %d boundaries of %d-op space x %d evictPs = %d trials, %d crashed, %d failures\n",
 		a.kind, mode, res.Boundaries, res.BoundarySpace, len(ps), res.Runs, res.Crashes, len(res.Failures))

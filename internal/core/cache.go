@@ -188,6 +188,25 @@ type Options struct {
 	// capacity; layouts with the recorder off are byte-identical to
 	// before the feature existed.
 	FlightRecorder bool
+	// Checkpoint enables the checkpoint region (DESIGN.md §14): a delta
+	// journal plus two alternating entry-table snapshot frames carved out
+	// of the NVM layout. A checkpoint writer runs at commit points on the
+	// simulated clock; recovery then loads the newest valid frame and
+	// replays only the journaled deltas instead of scanning the whole
+	// entry table, making restart time proportional to the resident set
+	// rather than the capacity. Bumps the layout version; images with the
+	// option off are byte-identical to before the feature existed.
+	Checkpoint bool
+	// CheckpointIntervalNS is the minimum simulated time between
+	// checkpoint writes (DefaultCheckpointIntervalNS when 0). Requires
+	// Checkpoint. The crash sweeps set it to 1 so every commit point
+	// writes a checkpoint and the sweep visits every checkpoint boundary.
+	CheckpointIntervalNS int64
+	// SerialRecovery forces the shard-parallel recovery phases to run
+	// their striped work items on one goroutine. The recovered image is
+	// bit-identical either way (the parity sweep proves it); the knob
+	// exists for that proof and for debugging.
+	SerialRecovery bool
 }
 
 // Validate reports a descriptive error for a nonsensical configuration
@@ -243,6 +262,15 @@ func (o Options) Validate() error {
 	}
 	if o.IndexBuckets > 0 && o.SyncMapIndex {
 		return errors.New("core: IndexBuckets is meaningless with the SyncMapIndex baseline")
+	}
+	if o.CheckpointIntervalNS < 0 {
+		return fmt.Errorf("core: CheckpointIntervalNS %d is negative", o.CheckpointIntervalNS)
+	}
+	if o.CheckpointIntervalNS > 0 && !o.Checkpoint {
+		return errors.New("core: CheckpointIntervalNS without Checkpoint (no writer to pace)")
+	}
+	if o.Checkpoint && o.Ablation != AblationNone {
+		return errors.New("core: Checkpoint requires the paper's commit path (AblationNone)")
 	}
 	return nil
 }
@@ -441,6 +469,10 @@ type Cache struct {
 	// image; zero (Ran == false) after a fresh format.
 	recStats RecoveryStats
 
+	// ckpt is the checkpoint writer state (nil when Options.Checkpoint is
+	// off; every hook branches on that nil). See checkpoint.go.
+	ckpt *ckptState
+
 	serial bool // legacy one-at-a-time commit path (ablation modes)
 }
 
@@ -464,7 +496,7 @@ func Open(mem *pmem.Device, disk *blockdev.Device, opts Options) (*Cache, error)
 	if opts.FlightRecorder {
 		flightSlots = flight.DefaultSlots
 	}
-	lay, err := ComputeLayoutFlight(mem.Size(), opts.RingBytes, ptrSlots, flightSlots)
+	lay, err := ComputeLayoutExt(mem.Size(), opts.RingBytes, ptrSlots, flightSlots, opts.Checkpoint)
 	if err != nil {
 		return nil, err
 	}
@@ -505,6 +537,13 @@ func Open(mem *pmem.Device, disk *blockdev.Device, opts Options) (*Cache, error)
 		sh.pinned = make(map[int32]bool)
 		sh.wb = make(map[int32]bool)
 		sh.wbCond = sync.NewCond(&sh.mu)
+	}
+	if opts.Checkpoint {
+		iv := opts.CheckpointIntervalNS
+		if iv == 0 {
+			iv = DefaultCheckpointIntervalNS
+		}
+		c.ckpt = &ckptState{interval: iv, journaled: make([]bool, lay.Capacity)}
 	}
 	if c.isFormatted() {
 		if opts.FlightRecorder {
@@ -659,12 +698,17 @@ func (c *Cache) poison(pv any) {
 }
 
 func (c *Cache) isFormatted() bool {
+	wantVer := layoutVersion
+	if c.lay.CkptJournalSlots > 0 {
+		wantVer = layoutVersionCkpt
+	}
 	return c.mem.Load8(c.lay.HeaderOff+hdrMagic) == layoutMagic &&
-		c.mem.Load8(c.lay.HeaderOff+hdrVersion) == layoutVersion &&
+		c.mem.Load8(c.lay.HeaderOff+hdrVersion) == wantVer &&
 		c.mem.Load8(c.lay.HeaderOff+hdrCapacity) == uint64(c.lay.Capacity) &&
 		c.mem.Load8(c.lay.HeaderOff+hdrRingSlot) == uint64(c.lay.RingSlots) &&
 		c.mem.Load8(c.lay.HeaderOff+hdrPtrSlots) == uint64(c.lay.PtrSlots) &&
-		c.mem.Load8(c.lay.HeaderOff+hdrFlight) == uint64(c.lay.FlightSlots)
+		c.mem.Load8(c.lay.HeaderOff+hdrFlight) == uint64(c.lay.FlightSlots) &&
+		c.mem.Load8(c.lay.HeaderOff+hdrCkpt) == uint64(c.lay.CkptJournalSlots)
 }
 
 // loadPointer reads a possibly-rotated pointer: the latest persisted
@@ -696,11 +740,17 @@ func (c *Cache) format() {
 	for s := 0; s < c.lay.FlightSlots; s++ {
 		c.mem.PersistLineSilent(c.lay.FlightOff+s*flight.RecordSize, [pmem.LineSize]byte{})
 	}
-	c.mem.Store8(c.lay.HeaderOff+hdrVersion, layoutVersion)
+	ver := layoutVersion
+	if c.ckpt != nil {
+		c.formatCheckpoint()
+		ver = layoutVersionCkpt
+	}
+	c.mem.Store8(c.lay.HeaderOff+hdrVersion, ver)
 	c.mem.Store8(c.lay.HeaderOff+hdrCapacity, uint64(c.lay.Capacity))
 	c.mem.Store8(c.lay.HeaderOff+hdrRingSlot, uint64(c.lay.RingSlots))
 	c.mem.Store8(c.lay.HeaderOff+hdrPtrSlots, uint64(c.lay.PtrSlots))
 	c.mem.Store8(c.lay.HeaderOff+hdrFlight, uint64(c.lay.FlightSlots))
+	c.mem.Store8(c.lay.HeaderOff+hdrCkpt, uint64(c.lay.CkptJournalSlots))
 	c.mem.CLFlush(c.lay.HeaderOff, pmem.LineSize)
 	c.mem.SFence()
 	c.mem.Persist8(c.lay.HeaderOff+hdrMagic, layoutMagic)
@@ -764,14 +814,18 @@ func (c *Cache) readEntry(i int32) entry {
 }
 
 // writeEntry persists entry slot i with one atomic 16B store + flush +
-// fence (the cmpxchg16b path of Section 4.2).
+// fence (the cmpxchg16b path of Section 4.2). The checkpoint delta
+// journal, when on, records the slot first (journal-before-entry; see
+// checkpoint.go).
 func (c *Cache) writeEntry(i int32, e entry) {
+	c.ckptJournal(int(i))
 	c.mem.Persist16(c.lay.entryOff(int(i)), encodeEntry(e))
 }
 
 // storeEntry writes and flushes entry slot i without the trailing fence,
 // for batch phases that amortize one fence over many entries.
 func (c *Cache) storeEntry(i int32, e entry) {
+	c.ckptJournal(int(i))
 	off := c.lay.entryOff(int(i))
 	c.mem.Store16(off, encodeEntry(e))
 	c.mem.CLFlush(off, EntrySize)
@@ -779,6 +833,7 @@ func (c *Cache) storeEntry(i int32, e entry) {
 
 // clearEntry atomically invalidates entry slot i.
 func (c *Cache) clearEntry(i int32) {
+	c.ckptJournal(int(i))
 	c.mem.Persist16(c.lay.entryOff(int(i)), [16]byte{})
 }
 

@@ -46,15 +46,24 @@ func TestFlightBlackboxSurvivesCrash(t *testing.T) {
 		t.Fatalf("last sealed generation = %d, want 20", bb.LastSealedGen)
 	}
 	var phases []flight.EventType
+	sawRedo := false
 	for _, rec := range bb.Records {
 		switch rec.Type {
-		case flight.EvRecoverBegin, flight.EvRecoverScan, flight.EvRecoverRedo,
+		case flight.EvRecoverRedo:
+			sawRedo = true
+		case flight.EvRecoverBegin, flight.EvRecoverScan,
 			flight.EvRecoverUndo, flight.EvRecoverRebuild, flight.EvRecoverDone:
 			phases = append(phases, rec.Type)
 		}
 	}
-	if len(phases) != 6 || phases[0] != flight.EvRecoverBegin || phases[5] != flight.EvRecoverDone {
+	if len(phases) != 5 || phases[0] != flight.EvRecoverBegin || phases[4] != flight.EvRecoverDone {
 		t.Fatalf("recovery phase events out of order or missing: %v", phases)
+	}
+	// EvRecoverRedo is emitted exactly when the redo branch ran — a
+	// zero-length record for a branch that never executed would pollute
+	// the timeline (see the matching observe_test assertion).
+	if sawRedo != rs.Redo {
+		t.Fatalf("EvRecoverRedo presence %v does not match rs.Redo %v", sawRedo, rs.Redo)
 	}
 }
 

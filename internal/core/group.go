@@ -429,6 +429,7 @@ planLoop:
 	if c.obs != nil {
 		c.obs.phase(c.obs.seal, sealID, spanSeal, tSeal, g)
 	}
+	c.maybeCheckpoint()
 	return nil
 }
 

@@ -43,6 +43,21 @@ const Fresh uint32 = 0xFFFFFFFF
 const (
 	layoutMagic   uint64 = 0x61636e6974 // "tinca"
 	layoutVersion uint64 = 1
+	// layoutVersionCkpt is the on-NVM version written when the checkpoint
+	// region exists (Options.Checkpoint). Bumping the version keeps a
+	// checkpointed image from being opened by a build (or a configuration)
+	// that does not know the region is there; with the option off the
+	// layout and version are byte-identical to layoutVersion images.
+	layoutVersionCkpt uint64 = 2
+)
+
+// Checkpoint-region geometry (DESIGN.md §14). The region holds a delta
+// journal of 8-byte records (one per entry slot first dirtied after the
+// last checkpoint) followed by two alternating snapshot frames, each a
+// 64B header plus Capacity worth of 24B records (slot number + raw entry).
+const (
+	ckptRecSize  = 24 // one frame payload record: u32 slot, u32 pad, 16B entry
+	ckptFrameHdr = 64 // frame header: one cache line
 )
 
 // Layout describes where each NVM region lives. All offsets are cache-line
@@ -60,9 +75,16 @@ type Layout struct {
 	// the layout byte-identical to the paper's Figure 5.
 	FlightOff   int
 	FlightSlots int
-	EntryOff    int
-	DataOff     int
-	Capacity    int // number of 4KB NVM cache blocks == number of entry slots
+	// Checkpoint region (DESIGN.md §14): a delta journal of
+	// CkptJournalSlots 8B records followed by two alternating snapshot
+	// frames, between the flight region and the entry table. Zero slots
+	// (the default, Options.Checkpoint off) collapses the region and keeps
+	// the layout byte-identical to the pre-checkpoint versions.
+	CkptOff          int
+	CkptJournalSlots int
+	EntryOff         int
+	DataOff          int
+	Capacity         int // number of 4KB NVM cache blocks == number of entry slots
 }
 
 // Header fields within the header line.
@@ -73,6 +95,7 @@ const (
 	hdrRingSlot = 24 // +24: ring slots
 	hdrPtrSlots = 32 // +32: pointer rotation slots
 	hdrFlight   = 40 // +40: flight-recorder slots (0 = no region)
+	hdrCkpt     = 48 // +48: checkpoint journal slots (0 = no region)
 )
 
 // DefaultPtrSlots is the rotation factor used when pointer wear leveling
@@ -95,6 +118,17 @@ func ComputeLayout(devSize, ringBytes, ptrSlots int) (Layout, error) {
 // the entry table, so enabling it shifts the entry/data areas and shaves a
 // few blocks off Capacity (256 slots = 16KiB = 4 data blocks).
 func ComputeLayoutFlight(devSize, ringBytes, ptrSlots, flightSlots int) (Layout, error) {
+	return ComputeLayoutExt(devSize, ringBytes, ptrSlots, flightSlots, false)
+}
+
+// ComputeLayoutExt is ComputeLayoutFlight plus an optional checkpoint
+// region (DESIGN.md §14) between the flight region and the entry table:
+// a delta journal of Capacity+8 8B slots and two alternating snapshot
+// frames of one 64B header plus Capacity 24B records each. The region is
+// sized per candidate capacity inside the solve loop, since both the
+// journal and the frames scale with the entry count. With checkpoint off
+// the layout is byte-identical to ComputeLayoutFlight's.
+func ComputeLayoutExt(devSize, ringBytes, ptrSlots, flightSlots int, checkpoint bool) (Layout, error) {
 	if ringBytes <= 0 {
 		ringBytes = DefaultRingBytes
 	}
@@ -114,13 +148,28 @@ func ComputeLayoutFlight(devSize, ringBytes, ptrSlots, flightSlots int) (Layout,
 	l.RingSlots = ringBytes / RingSlotSize
 	l.FlightOff = l.RingOff + ringBytes
 	l.FlightSlots = flightSlots
-	l.EntryOff = l.FlightOff + flightSlots*pmem.LineSize
+	ckptBase := l.FlightOff + flightSlots*pmem.LineSize
 
-	// Capacity: each cached block needs one 16B entry and one 4KB data
-	// block. Solve, then re-check with the 4KB alignment of the data area.
-	avail := devSize - l.EntryOff
-	cap := avail / (BlockSize + EntrySize)
+	// Capacity: each cached block needs one 16B entry, one 4KB data block
+	// and — with the checkpoint region on — one 8B journal slot plus two
+	// 24B frame records. Solve with the cheap per-block denominator, then
+	// walk down until the exact region sizes (alignment padding included)
+	// fit the device.
+	perBlock := BlockSize + EntrySize
+	if checkpoint {
+		perBlock += RingSlotSize + 2*ckptRecSize
+	}
+	cap := (devSize - ckptBase) / perBlock
 	for cap > 0 {
+		if checkpoint {
+			jSlots := cap + 8
+			l.CkptOff = ckptBase
+			l.CkptJournalSlots = jSlots
+			l.EntryOff = ckptBase + alignUp(jSlots*RingSlotSize, pmem.LineSize) +
+				2*alignUp(ckptFrameHdr+cap*ckptRecSize, pmem.LineSize)
+		} else {
+			l.EntryOff = ckptBase
+		}
 		dataOff := alignUp(l.EntryOff+cap*EntrySize, BlockSize)
 		if dataOff+cap*BlockSize <= devSize {
 			l.DataOff = dataOff
@@ -132,6 +181,9 @@ func ComputeLayoutFlight(devSize, ringBytes, ptrSlots, flightSlots int) (Layout,
 		return Layout{}, fmt.Errorf("core: NVM device too small (%d bytes) for a Tinca layout with a %d-byte ring", devSize, ringBytes)
 	}
 	l.Capacity = cap
+	if checkpoint {
+		l.CkptJournalSlots = cap + 8
+	}
 	return l, nil
 }
 
@@ -145,6 +197,19 @@ func (l Layout) blockOff(b uint32) int { return l.DataOff + int(b)*BlockSize }
 // position p (slots are used round-robin).
 func (l Layout) ringSlotOff(p uint64) int {
 	return l.RingOff + int(p%uint64(l.RingSlots))*RingSlotSize
+}
+
+// ckptJournalOff returns the NVM offset of checkpoint-journal slot j.
+func (l Layout) ckptJournalOff(j int) int { return l.CkptOff + j*RingSlotSize }
+
+// ckptFrameBytes returns the line-aligned size of one snapshot frame.
+func (l Layout) ckptFrameBytes() int {
+	return alignUp(ckptFrameHdr+l.Capacity*ckptRecSize, pmem.LineSize)
+}
+
+// ckptFrameOff returns the NVM offset of snapshot frame k (k in {0,1}).
+func (l Layout) ckptFrameOff(k int) int {
+	return l.CkptOff + alignUp(l.CkptJournalSlots*RingSlotSize, pmem.LineSize) + k*l.ckptFrameBytes()
 }
 
 // headSlotOff returns where to store Head value v: with wear leveling the

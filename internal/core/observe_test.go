@@ -75,6 +75,12 @@ func TestObservePhaseHistograms(t *testing.T) {
 	if n := r.rec.HistSnapshot(metrics.HistRecovery).Count; n != 1 {
 		t.Fatalf("recovery samples = %d", n)
 	}
+	// A clean reopen never runs the redo branch, so the redo histogram
+	// must stay empty: a zero-length sample here would also mean a
+	// zero-length span polluting Chrome traces (the gated-redo fix).
+	if n := r.rec.HistSnapshot(metrics.HistRecoveryRedo).Count; n != 0 {
+		t.Fatalf("redo phase recorded %d samples on a clean reopen, want 0", n)
+	}
 	// NVM flush/fence cadence histograms are only armed via pmem
 	// Observe(), which the stack layer wires; the rig leaves them off.
 }

@@ -1,10 +1,94 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"tinca/internal/flight"
 )
+
+// Recovery failure codes carried in the EvRecoverFail flight record's Arg
+// (the Block field holds the offending value). A failed recovery returns
+// its error from Open, so these plus RecoveryStats.Failed are the only
+// forensic trail a dead restart leaves.
+const (
+	recFailHeadBehindTail = 1 // Head pointer behind Tail
+	recFailRingSpan       = 2 // Head-Tail span beyond the ring capacity
+	recFailDuplicateEntry = 3 // two valid entries name the same disk block
+	recFailUnmappedBlock  = 4 // ring names a disk block with no entry
+	recFailNoCheckpoint   = 5 // checkpointed image with no valid frame
+	recFailBadCheckpoint  = 6 // frame payload or journal record corrupt
+)
+
+// recoverFail marks the stats, books the terminal flight event and
+// returns err, so every structural bail-out in recover() leaves the same
+// forensic trail (satellite: a failed recovery used to be
+// indistinguishable from one that crashed mid-pass).
+func (c *Cache) recoverFail(code int, detail uint64, err error) error {
+	c.recStats.Failed = true
+	c.flEmit(flight.EvRecoverFail, 0, 0, detail, uint64(code))
+	return err
+}
+
+// recoveryWorkers is the shard-parallel recovery fan-out width. It equals
+// shardCount so the rebuild phase can dedicate one worker per shard.
+const recoveryWorkers = shardCount
+
+// recoveryFanout runs fn(0..recoveryWorkers-1), concurrently unless
+// Options.SerialRecovery. Both modes execute the EXACT same work items
+// with the same stripe boundaries; concurrent NVM loads charge the shared
+// simulated clock additively (stock profiles have no channel
+// parallelism), so the final clock — and with it every later flight
+// timestamp — is identical however the goroutines interleave. That is
+// what makes the parallel recovered image bit-identical to the serial
+// one, and the parity sweep holds the implementation to it. Workers must
+// not emit flight records or stamp phases (ordering would race); panics
+// are captured and re-raised by lowest worker index after all workers
+// finish.
+func (c *Cache) recoveryFanout(fn func(worker int)) {
+	if c.opts.SerialRecovery {
+		for w := 0; w < recoveryWorkers; w++ {
+			fn(w)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	panics := make([]any, recoveryWorkers)
+	for w := 0; w < recoveryWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer func() {
+				if pv := recover(); pv != nil {
+					panics[w] = pv
+				}
+			}()
+			fn(w)
+		}(w)
+	}
+	wg.Wait()
+	for _, pv := range panics {
+		if pv != nil {
+			panic(pv)
+		}
+	}
+}
+
+// mirrorEntry decodes entry slot i from the DRAM mirror of the entry
+// table that recovery works against (NVM is loaded once, in bulk).
+func mirrorEntry(mirror []byte, i int32) entry {
+	var b [16]byte
+	copy(b[:], mirror[int(i)*EntrySize:])
+	return decodeEntry(b)
+}
+
+// mirrorSet writes entry slot i's new value into the DRAM mirror; callers
+// persist the matching NVM update themselves.
+func mirrorSet(mirror []byte, i int32, e entry) {
+	b := encodeEntry(e)
+	copy(mirror[int(i)*EntrySize:], b[:])
+}
 
 // recover implements Tinca's crash recovery (Section 4.5). On entry the
 // device holds whatever the crash left in the persistence domain; on
@@ -33,6 +117,14 @@ import (
 // either the whole batch redone or the whole batch revoked, which is
 // correct because no transaction in the batch was acknowledged before the
 // batch's single Tail flip.
+//
+// Restart-time shape (DESIGN.md §14): the entry table reaches DRAM either
+// via a striped bulk load (checkpoint off — O(capacity) NVM reads) or via
+// the newest checkpoint frame plus its delta journal (checkpoint on —
+// O(resident + deltas) NVM reads); every later pass runs against that
+// DRAM mirror, and the scan/rebuild work fans out across recoveryWorkers
+// stripes. The repairs themselves (ring replay, redo/undo, stray
+// revocation) stay serial: they are O(interrupted seal), not O(capacity).
 func (c *Cache) recover() error {
 	// Instrumentation (the §4.5 recovery breakdown): every phase boundary
 	// stamps the simulated clock into RecoveryStats — reads never advance
@@ -52,26 +144,61 @@ func (c *Cache) recover() error {
 	c.head = c.loadPointer(c.lay.HeadOff)
 	c.tail = c.loadPointer(c.lay.TailOff)
 	if c.head < c.tail {
-		return fmt.Errorf("core: recovery found Head %d behind Tail %d", c.head, c.tail)
+		return c.recoverFail(recFailHeadBehindTail, c.tail,
+			fmt.Errorf("core: recovery found Head %d behind Tail %d", c.head, c.tail))
 	}
 	if c.head-c.tail > uint64(c.lay.RingSlots) {
-		return fmt.Errorf("core: recovery found ring span %d beyond capacity %d", c.head-c.tail, c.lay.RingSlots)
+		return c.recoverFail(recFailRingSpan, c.head-c.tail,
+			fmt.Errorf("core: recovery found ring span %d beyond capacity %d", c.head-c.tail, c.lay.RingSlots))
 	}
 	rs.RingSpan = int64(c.head - c.tail)
 
-	// Index the persistent entry table.
-	byDisk := make(map[uint64]int32)
-	for i := 0; i < c.lay.Capacity; i++ {
-		e := c.readEntry(int32(i))
-		if !e.valid {
-			continue
+	// Bring the entry table into DRAM: bulk-striped from NVM, or from the
+	// newest checkpoint frame plus the delta journal.
+	mirror := make([]byte, c.lay.Capacity*EntrySize)
+	if c.ckpt != nil {
+		if err := c.loadMirrorCheckpoint(mirror, rs, int64(clock.Now())); err != nil {
+			return err
 		}
-		if prev, dup := byDisk[e.disk]; dup {
-			return fmt.Errorf("core: recovery found duplicate entries %d and %d for disk block %d", prev, i, e.disk)
-		}
-		byDisk[e.disk] = int32(i)
+	} else {
+		c.recoveryFanout(func(w int) {
+			lo := c.lay.Capacity * w / recoveryWorkers
+			hi := c.lay.Capacity * (w + 1) / recoveryWorkers
+			if lo < hi {
+				c.mem.Load(c.lay.EntryOff+lo*EntrySize, mirror[lo*EntrySize:hi*EntrySize])
+			}
+		})
 	}
-	rs.EntriesScanned = int64(len(byDisk))
+
+	// Index the mirrored entry table: one worker per shard builds that
+	// shard's byDisk map (each worker filters the full mirror, so maps
+	// never share writers). Duplicate detection reports the smallest
+	// shard's error for determinism.
+	var byDisk [shardCount]map[uint64]int32
+	var dupErr [shardCount]error
+	c.recoveryFanout(func(w int) {
+		m := make(map[uint64]int32)
+		for i := 0; i < c.lay.Capacity; i++ {
+			e := mirrorEntry(mirror, int32(i))
+			if !e.valid || shardIdx(e.disk) != w {
+				continue
+			}
+			if prev, dup := m[e.disk]; dup {
+				if dupErr[w] == nil {
+					dupErr[w] = fmt.Errorf("core: recovery found duplicate entries %d and %d for disk block %d", prev, i, e.disk)
+				}
+				continue
+			}
+			m[e.disk] = int32(i)
+		}
+		byDisk[w] = m
+	})
+	for w := 0; w < shardCount; w++ {
+		if dupErr[w] != nil {
+			return c.recoverFail(recFailDuplicateEntry, 0, dupErr[w])
+		}
+		rs.EntriesScanned += int64(len(byDisk[w]))
+	}
 	tScan := int64(clock.Now())
 	rs.ScanNS = tScan - t0
 	if c.obs != nil {
@@ -85,13 +212,14 @@ func (c *Cache) recover() error {
 		redo := false
 		for p := c.tail; p < c.head; p++ {
 			no := c.mem.Load8(c.lay.ringSlotOff(p))
-			i, ok := byDisk[no]
+			i, ok := byDisk[shardIdx(no)][no]
 			if !ok {
 				// The entry is persisted and flushed before the ring slot,
 				// so a recorded block always has an entry.
-				return fmt.Errorf("core: ring names disk block %d with no cache entry", no)
+				return c.recoverFail(recFailUnmappedBlock, no,
+					fmt.Errorf("core: ring names disk block %d with no cache entry", no))
 			}
-			if c.readEntry(i).role == RoleBuffer {
+			if mirrorEntry(mirror, i).role == RoleBuffer {
 				redo = true
 			}
 			slots = append(slots, i)
@@ -99,8 +227,8 @@ func (c *Cache) recover() error {
 		if redo {
 			rs.Redo = true
 			for _, i := range slots {
-				if e := c.readEntry(i); e.role == RoleLog {
-					c.recoverSwitch(i, e)
+				if e := mirrorEntry(mirror, i); e.role == RoleLog {
+					c.recoverSwitch(mirror, i, e)
 					rs.EntriesRedone++
 				}
 			}
@@ -117,21 +245,25 @@ func (c *Cache) recover() error {
 			// resurrecting half of a transaction that was being revoked.
 			c.setTail(c.head)
 			for _, i := range slots {
-				if e := c.readEntry(i); e.role == RoleLog {
-					c.recoverRevoke(i, e, byDisk)
+				if e := mirrorEntry(mirror, i); e.role == RoleLog {
+					c.recoverRevoke(mirror, i, e, &byDisk)
 					rs.EntriesUndone++
 				}
 			}
 		}
 	}
 	tBranch := int64(clock.Now())
+	// Satellite fix: the redo span and flight record are emitted only when
+	// the redo branch actually ran — a zero-length span stamped here for
+	// every undo-or-clean restart polluted Chrome traces and the blackbox
+	// timeline.
 	if rs.Redo {
 		rs.RedoNS = tBranch - tScan
+		if c.obs != nil {
+			c.obs.phase(c.obs.recRedo, 0, spanRecoverRedo, tScan, g)
+		}
+		c.flEmit(flight.EvRecoverRedo, 0, 0, 0, uint64(rs.EntriesRedone))
 	}
-	if c.obs != nil {
-		c.obs.phase(c.obs.recRedo, 0, spanRecoverRedo, tBranch-rs.RedoNS, g)
-	}
-	c.flEmit(flight.EvRecoverRedo, 0, 0, 0, uint64(rs.EntriesRedone))
 
 	// Sweep for stray log entries: a crash after persisting block entries
 	// but before their ring records leaves log-role entries that no ring
@@ -140,11 +272,11 @@ func (c *Cache) recover() error {
 	// entry of the batch is durable). Each is revoked independently; none
 	// was part of an acknowledged transaction. (In the redo case the
 	// write phase had finished, so no stray can exist and the sweep is a
-	// no-op.)
+	// no-op.) The sweep walks the DRAM mirror, so it costs no NVM reads.
 	for i := 0; i < c.lay.Capacity; i++ {
-		e := c.readEntry(int32(i))
+		e := mirrorEntry(mirror, int32(i))
 		if e.valid && e.role == RoleLog {
-			c.recoverRevoke(int32(i), e, byDisk)
+			c.recoverRevoke(mirror, int32(i), e, &byDisk)
 			rs.StrayRevoked++
 		}
 	}
@@ -158,7 +290,7 @@ func (c *Cache) recover() error {
 	}
 	c.flEmit(flight.EvRecoverUndo, 0, 0, 0, uint64(rs.EntriesUndone+rs.StrayRevoked))
 
-	rs.Resident = int64(c.rebuildVolatile())
+	rs.Resident = int64(c.rebuildVolatileFromMirror(mirror))
 	tReb := int64(clock.Now())
 	rs.RebuildNS = tReb - tUndo
 	rs.TotalNS = tReb - t0
@@ -170,13 +302,139 @@ func (c *Cache) recover() error {
 	return nil
 }
 
+// loadMirrorCheckpoint reconstructs the entry table image from the newest
+// valid checkpoint frame plus the delta journal (DESIGN.md §14): frame
+// records give every entry as of the checkpoint, journaled slots are
+// re-read from the live table. NVM reads are O(resident + deltas) instead
+// of O(capacity). It also restores the checkpoint writer's DRAM state —
+// before any repair runs, so the journal hook no-ops on repaired slots
+// (every repairable, i.e. log-role, entry postdates the frame and is
+// already journaled).
+//
+// Correctness under re-crash: the function only reads NVM. Repairs and
+// later checkpoints journal/write through the ordinary hooks, so a crash
+// at any point during or after recovery leaves a journal+frame pair this
+// same function replays correctly.
+func (c *Cache) loadMirrorCheckpoint(mirror []byte, rs *RecoveryStats, now int64) error {
+	lay := c.lay
+	k := c.ckpt
+
+	// Pick the newest valid frame: magic, header checksum, max epoch.
+	best := -1
+	var bestH [ckptFrameHdr]byte
+	var bestEpoch uint64
+	for f := 0; f < 2; f++ {
+		var h [ckptFrameHdr]byte
+		c.mem.Load(lay.ckptFrameOff(f), h[:])
+		if binary.LittleEndian.Uint64(h[0:]) != ckptMagic {
+			continue
+		}
+		if binary.LittleEndian.Uint64(h[56:]) != ckptSum(h[:56]) {
+			continue
+		}
+		if ep := binary.LittleEndian.Uint64(h[8:]); best < 0 || ep > bestEpoch {
+			best, bestH, bestEpoch = f, h, ep
+		}
+	}
+	if best < 0 {
+		// Unreachable within the crash model — format persists an epoch-1
+		// frame and the writer never touches the active frame — but a
+		// corrupted device must fail loudly, not recover garbage.
+		return c.recoverFail(recFailNoCheckpoint, 0,
+			fmt.Errorf("core: checkpointed image has no valid checkpoint frame"))
+	}
+	count := int(binary.LittleEndian.Uint64(bestH[40:]))
+	if count > lay.Capacity {
+		return c.recoverFail(recFailBadCheckpoint, uint64(count),
+			fmt.Errorf("core: checkpoint frame %d claims %d entries beyond capacity %d", best, count, lay.Capacity))
+	}
+
+	// Striped bulk load of the frame payload, checksum-verified in DRAM.
+	payload := make([]byte, count*ckptRecSize)
+	base := lay.ckptFrameOff(best) + ckptFrameHdr
+	c.recoveryFanout(func(w int) {
+		lo := count * w / recoveryWorkers
+		hi := count * (w + 1) / recoveryWorkers
+		if lo < hi {
+			c.mem.Load(base+lo*ckptRecSize, payload[lo*ckptRecSize:hi*ckptRecSize])
+		}
+	})
+	if ckptSum(payload) != binary.LittleEndian.Uint64(bestH[48:]) {
+		return c.recoverFail(recFailBadCheckpoint, bestEpoch,
+			fmt.Errorf("core: checkpoint frame %d payload checksum mismatch", best))
+	}
+	for r := 0; r < count; r++ {
+		rec := payload[r*ckptRecSize : (r+1)*ckptRecSize]
+		slot := int(binary.LittleEndian.Uint32(rec))
+		if slot >= lay.Capacity {
+			return c.recoverFail(recFailBadCheckpoint, uint64(slot),
+				fmt.Errorf("core: checkpoint record names slot %d beyond capacity %d", slot, lay.Capacity))
+		}
+		copy(mirror[slot*EntrySize:(slot+1)*EntrySize], rec[8:8+EntrySize])
+	}
+
+	// Scan the delta journal: records tagged with the active epoch name
+	// the slots mutated since the frame. The scan stops at the first
+	// epoch mismatch (a stale or zeroed slot). A record whose entry write
+	// never landed is spurious but harmless — the re-read below fetches
+	// whatever the table currently holds.
+	deltas := make([]int32, 0, 64)
+	for j := 0; j < lay.CkptJournalSlots; j++ {
+		rec := c.mem.Load8(lay.ckptJournalOff(j))
+		if uint32(rec>>32) != uint32(bestEpoch) {
+			break
+		}
+		slot := uint32(rec)
+		if int(slot) >= lay.Capacity {
+			return c.recoverFail(recFailBadCheckpoint, uint64(slot),
+				fmt.Errorf("core: checkpoint journal names slot %d beyond capacity %d", slot, lay.Capacity))
+		}
+		deltas = append(deltas, int32(slot))
+	}
+
+	// Re-read the journaled slots' live entries over the frame image, in
+	// parallel chunks.
+	c.recoveryFanout(func(w int) {
+		lo := len(deltas) * w / recoveryWorkers
+		hi := len(deltas) * (w + 1) / recoveryWorkers
+		for x := lo; x < hi; x++ {
+			i := int(deltas[x])
+			v := c.mem.Load16(lay.entryOff(i))
+			copy(mirror[i*EntrySize:], v[:])
+		}
+	})
+
+	// Restore the writer's DRAM state so the next epoch continues where
+	// the crash left off: same active epoch, same journal append
+	// position, inactive frame opposite the one just loaded.
+	k.epoch = bestEpoch
+	k.frame = best ^ 1
+	k.lastNS = now
+	k.marks = k.marks[:0]
+	for _, s := range deltas {
+		if !k.journaled[s] {
+			k.journaled[s] = true
+			k.marks = append(k.marks, s)
+		}
+	}
+	// Seal numbering resumes from the checkpoint so SealHook sequences
+	// stay monotonic across a checkpointed restart.
+	c.sealSeq = binary.LittleEndian.Uint64(bestH[32:])
+
+	rs.FromCheckpoint = true
+	rs.CkptEpoch = bestEpoch
+	rs.DeltaSlots = int64(len(deltas))
+	return nil
+}
+
 // recoverSwitch completes a role switch during redo recovery. DRAM
-// structures are rebuilt afterwards, so only the persistent entry is
-// touched here.
-func (c *Cache) recoverSwitch(i int32, e entry) {
+// structures are rebuilt afterwards, so only the persistent entry and the
+// recovery mirror are touched here.
+func (c *Cache) recoverSwitch(mirror []byte, i int32, e entry) {
 	e.role = RoleBuffer
 	e.prev = Fresh
 	c.writeEntry(i, e)
+	mirrorSet(mirror, i, e)
 }
 
 // recoverRevoke undoes one block of an uncommitted transaction: roll the
@@ -184,13 +442,16 @@ func (c *Cache) recoverSwitch(i int32, e entry) {
 // block was fresh (Section 4.5). The modified bit is set conservatively:
 // the previous version may have been dirtier than disk, and an extra
 // write-back is always safe.
-func (c *Cache) recoverRevoke(i int32, e entry, byDisk map[uint64]int32) {
+func (c *Cache) recoverRevoke(mirror []byte, i int32, e entry, byDisk *[shardCount]map[uint64]int32) {
 	if e.prev == Fresh {
 		c.clearEntry(i)
-		delete(byDisk, e.disk)
+		mirrorSet(mirror, i, entry{})
+		delete(byDisk[shardIdx(e.disk)], e.disk)
 		return
 	}
-	c.writeEntry(i, entry{valid: true, role: RoleBuffer, modified: true, disk: e.disk, prev: Fresh, cur: e.prev})
+	ne := entry{valid: true, role: RoleBuffer, modified: true, disk: e.disk, prev: Fresh, cur: e.prev}
+	c.writeEntry(i, ne)
+	mirrorSet(mirror, i, ne)
 }
 
 // revokeRange is the live (mid-commit) revocation used when an allocation
@@ -236,38 +497,67 @@ func (c *Cache) revokeRange(from, to uint64) {
 	}
 }
 
-// rebuildVolatile reconstructs the DRAM hash shards, LRU lists, free block
-// monitor and free slot list from the (now consistent) persistent entry
-// table, returning how many entries are resident. LRU order after a crash
-// is arbitrary, which only affects future replacement choices, never
-// correctness.
-func (c *Cache) rebuildVolatile() int {
+// rebuildVolatileFromMirror reconstructs the DRAM hash shards, LRU lists,
+// free block monitor and free slot list from the recovered entry-table
+// mirror, returning how many entries are resident. The per-shard work
+// (index inserts, LRU pushes, access-tick stamps) fans out one worker per
+// shard; access ticks are precomputed so the result is bit-identical to
+// the historical single-threaded ascending-slot rebuild. LRU order after
+// a crash is arbitrary, which only affects future replacement choices,
+// never correctness. The rebuild touches no NVM, so it cannot perturb the
+// recovered image.
+func (c *Cache) rebuildVolatileFromMirror(mirror []byte) int {
 	for s := range c.shards {
 		sh := &c.shards[s]
-		// Recovery is single-threaded, so the reset is race-free (the
-		// bucket index swaps in a fresh table; the sync.Map baseline is
-		// cleared key by key — it embeds a mutex and can't be reassigned).
+		// The reset is single-threaded and race-free (the bucket index
+		// swaps in a fresh table; the sync.Map baseline is cleared key by
+		// key — it embeds a mutex and can't be reassigned).
 		sh.mapReset()
 		sh.lru = newLRU(c.lay.Capacity)
 	}
 	c.alloc.reset()
+
+	// Precompute, in one ascending pass, each valid slot's access tick
+	// (the k-th valid slot gets tick k — exactly the serial insert order)
+	// and the set of used data blocks.
 	used := make([]bool, c.lay.Capacity)
+	rank := make([]int64, c.lay.Capacity)
 	resident := 0
 	for i := 0; i < c.lay.Capacity; i++ {
-		e := c.readEntry(int32(i))
+		e := mirrorEntry(mirror, int32(i))
 		if !e.valid {
-			c.dirtied[i] = false
-			c.alloc.pushSlot(int32(i))
 			continue
 		}
-		sh := c.shardOf(e.disk)
-		sh.mapStore(e.disk, int32(i))
-		c.pushFrontLocked(sh, int32(i))
-		used[e.cur] = true
 		resident++
-		// Dirty entries may be written back later; their eviction must
-		// then invalidate optimistic fills in flight (see shard.evictGen).
-		c.dirtied[i] = e.modified
+		rank[i] = int64(resident)
+		used[e.cur] = true
+	}
+
+	// One worker per shard: every slot lands in exactly one worker's
+	// shard (by disk-block affinity), so index, LRU, atime and dirtied
+	// writes never overlap.
+	c.recoveryFanout(func(w int) {
+		sh := &c.shards[w]
+		for i := 0; i < c.lay.Capacity; i++ {
+			e := mirrorEntry(mirror, int32(i))
+			if !e.valid || shardIdx(e.disk) != w {
+				continue
+			}
+			sh.mapStore(e.disk, int32(i))
+			sh.lru.pushFront(int32(i))
+			c.atime[i].Store(rank[i])
+			// Dirty entries may be written back later; their eviction must
+			// then invalidate optimistic fills in flight (see shard.evictGen).
+			c.dirtied[i] = e.modified
+		}
+	})
+	c.tick.Store(int64(resident))
+
+	for i := 0; i < c.lay.Capacity; i++ {
+		if !mirrorEntry(mirror, int32(i)).valid {
+			c.dirtied[i] = false
+			c.alloc.pushSlot(int32(i))
+		}
 	}
 	for b := c.lay.Capacity - 1; b >= 0; b-- {
 		if !used[b] {

@@ -64,6 +64,11 @@ type CacheStats struct {
 	DestageDropped int64 // opportunistic cleanings skipped (queue full)
 	DestageQueue   int64 // current queue depth (gauge)
 
+	// Checkpoint writer (0 when Options.Checkpoint is off).
+	Checkpoints           int64 // frames persisted
+	CheckpointEntries     int64 // valid entries snapshotted, cumulative
+	CheckpointJournalRecs int64 // delta-journal records persisted
+
 	// NVM traffic.
 	NVMBytesWritten  int64
 	NVMBytesRead     int64
@@ -114,6 +119,18 @@ type RecoveryStats struct {
 	EntriesUndone  int64 // ring-named log entries rolled back/deleted
 	StrayRevoked   int64 // stray log entries revoked by the sweep
 	Resident       int64 // entries resident after rebuild
+
+	// Failed marks a recovery that gave up with a structural error
+	// (Head behind Tail, ring span beyond capacity, duplicate entry,
+	// ring naming an unmapped block, unreadable checkpoint). Open
+	// returned that error; the partial stats plus the terminal
+	// EvRecoverFail flight record are the forensic trail.
+	Failed bool
+
+	// Checkpoint fast path (Options.Checkpoint images only).
+	FromCheckpoint bool   // recovery loaded a frame instead of scanning
+	CkptEpoch      uint64 // epoch of the frame recovery loaded
+	DeltaSlots     int64  // journaled slots replayed on top of the frame
 }
 
 // AvgGroupSize reports the mean transactions per seal (0 when no seal has
@@ -131,41 +148,44 @@ func (s CacheStats) AvgGroupSize() float64 {
 func (c *Cache) Stats() CacheStats {
 	r := c.rec
 	st := CacheStats{
-		ReadHits:          r.Get(metrics.CacheReadHit),
-		ReadMisses:        r.Get(metrics.CacheReadMiss),
-		ReadHitFast:       r.Get(metrics.CacheReadHitFast),
-		ReadHitSlow:       r.Get(metrics.CacheReadHitSlow),
-		SeqlockRetries:    r.Get(metrics.CacheSeqlockRetry),
-		TouchRingDrops:    r.Get(metrics.CacheTouchDrop),
-		TouchBatchDrained: r.Get(metrics.CacheTouchDrained),
-		WriteHits:         r.Get(metrics.CacheWriteHit),
-		WriteMisses:       r.Get(metrics.CacheWriteMiss),
-		Evictions:         r.Get(metrics.CacheEvict),
-		DirtyEvictions:    r.Get(metrics.CacheEvictDirty),
-		BgEvictions:       r.Get(metrics.CacheEvictBg),
-		DirectEvictions:   r.Get(metrics.CacheEvictDirect),
-		FillRaces:         r.Get(metrics.CacheFillRace),
-		AllocRefills:      r.Get(metrics.CacheAllocRefill),
-		Commits:           r.Get(metrics.TxnCommit),
-		Aborts:            r.Get(metrics.TxnAbort),
-		Blocks:            r.Get(metrics.TxnBlocks),
-		COWBlocks:         r.Get(metrics.TxnCOWBlocks),
-		GroupSeals:        r.Get(metrics.TxnGroupSeals),
-		GroupedTxns:       r.Get(metrics.TxnGroupSize),
-		AbsorbedBlocks:    r.Get(metrics.TxnAbsorbed),
-		DestageDone:       r.Get(metrics.DestageDone),
-		DestageDropped:    r.Get(metrics.DestageDrop),
-		DestageQueue:      r.Get(metrics.DestageQueueDepth),
-		NVMBytesWritten:   r.Get(metrics.NVMBytesWrite),
-		NVMBytesRead:      r.Get(metrics.NVMBytesRead),
-		CacheLineFlushes:  r.Get(metrics.NVMCLFlush),
-		StoreFences:       r.Get(metrics.NVMSFence),
-		DiskBlocksWritten: r.Get(metrics.DiskBlocksWrite),
-		DiskBlocksRead:    r.Get(metrics.DiskBlocksRead),
-		ZeroCopyViews:     r.Get(metrics.CacheViewZeroCopy),
-		CopiedViews:       r.Get(metrics.CacheViewCopied),
-		ViewDeferredFrees: r.Get(metrics.CacheViewDeferFree),
-		OpenViews:         c.viewsOpen.Load(),
+		ReadHits:              r.Get(metrics.CacheReadHit),
+		ReadMisses:            r.Get(metrics.CacheReadMiss),
+		ReadHitFast:           r.Get(metrics.CacheReadHitFast),
+		ReadHitSlow:           r.Get(metrics.CacheReadHitSlow),
+		SeqlockRetries:        r.Get(metrics.CacheSeqlockRetry),
+		TouchRingDrops:        r.Get(metrics.CacheTouchDrop),
+		TouchBatchDrained:     r.Get(metrics.CacheTouchDrained),
+		WriteHits:             r.Get(metrics.CacheWriteHit),
+		WriteMisses:           r.Get(metrics.CacheWriteMiss),
+		Evictions:             r.Get(metrics.CacheEvict),
+		DirtyEvictions:        r.Get(metrics.CacheEvictDirty),
+		BgEvictions:           r.Get(metrics.CacheEvictBg),
+		DirectEvictions:       r.Get(metrics.CacheEvictDirect),
+		FillRaces:             r.Get(metrics.CacheFillRace),
+		AllocRefills:          r.Get(metrics.CacheAllocRefill),
+		Commits:               r.Get(metrics.TxnCommit),
+		Aborts:                r.Get(metrics.TxnAbort),
+		Blocks:                r.Get(metrics.TxnBlocks),
+		COWBlocks:             r.Get(metrics.TxnCOWBlocks),
+		GroupSeals:            r.Get(metrics.TxnGroupSeals),
+		GroupedTxns:           r.Get(metrics.TxnGroupSize),
+		AbsorbedBlocks:        r.Get(metrics.TxnAbsorbed),
+		DestageDone:           r.Get(metrics.DestageDone),
+		DestageDropped:        r.Get(metrics.DestageDrop),
+		DestageQueue:          r.Get(metrics.DestageQueueDepth),
+		Checkpoints:           r.Get(metrics.CkptWrites),
+		CheckpointEntries:     r.Get(metrics.CkptEntries),
+		CheckpointJournalRecs: r.Get(metrics.CkptJournalRecs),
+		NVMBytesWritten:       r.Get(metrics.NVMBytesWrite),
+		NVMBytesRead:          r.Get(metrics.NVMBytesRead),
+		CacheLineFlushes:      r.Get(metrics.NVMCLFlush),
+		StoreFences:           r.Get(metrics.NVMSFence),
+		DiskBlocksWritten:     r.Get(metrics.DiskBlocksWrite),
+		DiskBlocksRead:        r.Get(metrics.DiskBlocksRead),
+		ZeroCopyViews:         r.Get(metrics.CacheViewZeroCopy),
+		CopiedViews:           r.Get(metrics.CacheViewCopied),
+		ViewDeferredFrees:     r.Get(metrics.CacheViewDeferFree),
+		OpenViews:             c.viewsOpen.Load(),
 	}
 	for s := range c.shards {
 		if idx := c.shards[s].idx; idx != nil {

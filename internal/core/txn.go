@@ -223,6 +223,7 @@ func (c *Cache) commitSerialLocked(t *Txn) error {
 
 	c.rec.Inc(metrics.TxnCommit)
 	c.rec.Add(metrics.TxnBlocks, int64(len(t.order)))
+	c.maybeCheckpoint()
 	return nil
 }
 

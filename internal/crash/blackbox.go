@@ -90,6 +90,14 @@ func Blackbox(seed int64, ops int, boundary int64, evictP float64) (*BlackboxRes
 		if res.Err == nil {
 			res.Err = fmt.Errorf("remount: %w", err)
 		}
+		// Recovery refused the image: re-decode the flight ring so the
+		// report carries the terminal recover-fail event (and its
+		// structural-failure code) instead of only the pre-crash timeline.
+		fb := flight.Decode(s.Mem, lay.FlightOff, lay.FlightSlots)
+		var fbuf bytes.Buffer
+		if rerr := fb.Report(&fbuf, 32); rerr == nil {
+			res.Report = fbuf.String()
+		}
 		return res, nil
 	}
 	res.Recovery = s.TCache.RecoveryStats()

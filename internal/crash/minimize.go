@@ -54,6 +54,7 @@ func Minimize(cfg SweepConfig, f Failure) (*MinimizeResult, error) {
 			boundary:  b,
 			evictP:    f.EvictP,
 			fault:     cfg.Fault,
+			ckpt:      cfg.Checkpoint,
 			imageSeed: imageSeed(cfg.Seed, b, f.EvictP),
 		})
 	}
@@ -123,6 +124,7 @@ func Minimize(cfg SweepConfig, f Failure) (*MinimizeResult, error) {
 			Boundary: curB,
 			EvictP:   f.EvictP,
 			Fault:    cfg.Fault,
+			Ckpt:     cfg.Checkpoint,
 			Seed:     cfg.Seed,
 			Trace:    cur,
 		},

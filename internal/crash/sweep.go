@@ -78,7 +78,12 @@ type SweepConfig struct {
 	MaxBoundaries int
 	Workers       int        // parallel trial runners; default GOMAXPROCS
 	Fault         core.Fault // injected protocol violation (Tinca only)
-	Group         GroupConfig
+	// Checkpoint runs every Tinca trial with the checkpoint writer firing
+	// at EVERY commit point (CheckpointIntervalNS = 1), so the boundary
+	// enumeration visits every persist inside the checkpoint frame/journal
+	// writes and the oracle verifies recovery through the checkpoint path.
+	Checkpoint bool
+	Group      GroupConfig
 	// Progress, when non-nil, is called after every trial with completed
 	// and total trial counts and failures so far. Called under a lock;
 	// keep it fast.
@@ -132,6 +137,9 @@ func Sweep(cfg SweepConfig) (*SweepResult, error) {
 	if cfg.Fault != core.FaultNone && cfg.Kind != stack.Tinca {
 		return nil, errors.New("crash: fault injection requires the Tinca stack")
 	}
+	if cfg.Checkpoint && cfg.Kind != stack.Tinca {
+		return nil, errors.New("crash: checkpoint sweeps require the Tinca stack")
+	}
 	if cfg.Group.RawCommitters > 0 && cfg.Kind != stack.Tinca {
 		return nil, errors.New("crash: raw committers require the Tinca stack")
 	}
@@ -139,7 +147,7 @@ func Sweep(cfg SweepConfig) (*SweepResult, error) {
 		return nil, fmt.Errorf("crash: %d raw committers exceed the spare disk region", cfg.Group.RawCommitters)
 	}
 
-	base := trialSpec{kind: cfg.Kind, fault: cfg.Fault, group: cfg.Group}
+	base := trialSpec{kind: cfg.Kind, fault: cfg.Fault, ckpt: cfg.Checkpoint, group: cfg.Group}
 	if cfg.Group.Blocks > 0 {
 		if cfg.Group.FSWorkers <= 0 {
 			base.group.FSWorkers = 4
@@ -245,6 +253,7 @@ func (cfg SweepConfig) ReplayLine(f Failure) string {
 		Boundary: f.Boundary,
 		EvictP:   f.EvictP,
 		Fault:    cfg.Fault,
+		Ckpt:     cfg.Checkpoint,
 		Seed:     cfg.Seed,
 		Trace:    GenTrace(cfg.Seed, ops),
 	}.String()
@@ -262,6 +271,7 @@ type trialSpec struct {
 	evictP    float64
 	imageSeed int64
 	fault     core.Fault
+	ckpt      bool // checkpoint writer on, firing at every commit point
 	group     GroupConfig
 }
 
@@ -297,6 +307,10 @@ func (sp trialSpec) stackConfig(hook func(uint64)) stack.Config {
 		// (they add crash boundaries but zero observable cost), and the
 		// surviving ring feeds the blackbox cross-checks after the crash.
 		cfg.FlightRecorder = true
+		if sp.ckpt {
+			cfg.Checkpoint = true
+			cfg.CheckpointIntervalNS = 1
+		}
 	}
 	return cfg
 }

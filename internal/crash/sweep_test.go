@@ -39,6 +39,39 @@ func TestSweepSerialExhaustive(t *testing.T) {
 	}
 }
 
+// TestSweepCheckpointed re-runs the exhaustive serial sweep with the
+// checkpoint writer firing at every commit point (IntervalNS=1), so every
+// boundary the sweep visits is also a boundary inside or between
+// checkpoint writes. Any ordering bug in the journal-first protocol or
+// the frame commit point shows up as an oracle failure here.
+func TestSweepCheckpointed(t *testing.T) {
+	res, err := Sweep(SweepConfig{Kind: stack.Tinca, Seed: 11, Ops: 15, Checkpoint: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failures) != 0 {
+		f := res.Failures[0]
+		t.Fatalf("%d failures; first at boundary %d evictP %v: %v",
+			len(res.Failures), f.Boundary, f.EvictP, f.Err)
+	}
+	if res.Crashes != res.Runs {
+		t.Fatalf("only %d/%d trials crashed; boundary space over-counted", res.Crashes, res.Runs)
+	}
+	// The checkpointed boundary space must be strictly wider than the plain
+	// one: the writer's journal records and frame persists add persist ops,
+	// and if they don't the sweep silently stopped covering the new code.
+	plain, err := Sweep(SweepConfig{Kind: stack.Tinca, Seed: 11, Ops: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BoundarySpace <= plain.BoundarySpace {
+		t.Fatalf("checkpoint writer added no persist boundaries: %d vs %d",
+			res.BoundarySpace, plain.BoundarySpace)
+	}
+	t.Logf("checkpointed: %d boundaries (plain %d), %d trials, all consistent",
+		res.Boundaries, plain.BoundarySpace, res.Runs)
+}
+
 // TestSweepGroupCommit runs the group-commit-aware oracle: concurrent
 // namespaced FS workers plus raw core.Txn committers under
 // GroupCommitBlocks > 0, crashed across the boundary space. Verifies
@@ -179,6 +212,16 @@ func TestReplaySpecRoundTrip(t *testing.T) {
 	if !reflect.DeepEqual(spec, back) {
 		t.Fatalf("spec does not round-trip:\n  %s\n  %s", spec.String(), back.String())
 	}
+	// Checkpointed reproducers must round-trip too — a dropped ckpt=1
+	// would replay the failure against the wrong layout and "pass".
+	spec.Kind, spec.Ckpt = stack.Tinca, true
+	back, err = ParseReplaySpec(spec.String())
+	if err != nil {
+		t.Fatalf("%v\n%s", err, spec.String())
+	}
+	if !reflect.DeepEqual(spec, back) {
+		t.Fatalf("ckpt spec does not round-trip:\n  %s\n  %s", spec.String(), back.String())
+	}
 	if _, err := ParseReplaySpec("kind=tinca boundary=1"); err == nil {
 		t.Fatal("traceless spec accepted")
 	}
@@ -202,7 +245,7 @@ func TestRecoveryCrashIdempotence(t *testing.T) {
 	for _, kind := range []stack.Kind{stack.Tinca, stack.Classic} {
 		total := 0
 		for wb := int64(50); wb <= 1000; wb += 50 {
-			total += recoveryCrashScenario(t, kind, wb)
+			total += recoveryCrashScenario(t, kind, wb, false)
 		}
 		if total == 0 {
 			t.Fatalf("%v: no workload boundary produced a crashable recovery; test is vacuous", kind)
@@ -211,13 +254,28 @@ func TestRecoveryCrashIdempotence(t *testing.T) {
 	}
 }
 
+// TestRecoveryCrashIdempotenceCheckpointed is the idempotence loop with
+// the checkpoint writer at every commit point: the re-crashed images now
+// carry a frame plus journal deltas, and each crashed recovery pass must
+// leave a state the next checkpoint-aware pass still recovers exactly.
+func TestRecoveryCrashIdempotenceCheckpointed(t *testing.T) {
+	total := 0
+	for wb := int64(50); wb <= 1000; wb += 50 {
+		total += recoveryCrashScenario(t, stack.Tinca, wb, true)
+	}
+	if total == 0 {
+		t.Fatal("no workload boundary produced a crashable recovery; test is vacuous")
+	}
+	t.Logf("consistent through %d crashes during checkpointed recovery", total)
+}
+
 // recoveryCrashScenario runs one workload crash at boundary wb followed
 // by the crash-every-recovery-boundary loop, verifying the oracle at the
 // end. It returns how many recovery passes were themselves crashed.
-func recoveryCrashScenario(t *testing.T, kind stack.Kind, wb int64) int {
+func recoveryCrashScenario(t *testing.T, kind stack.Kind, wb int64, ckpt bool) int {
 	t.Helper()
 	trace := GenTrace(17, 30)
-	sp := trialSpec{kind: kind, trace: trace}
+	sp := trialSpec{kind: kind, trace: trace, ckpt: ckpt}
 	s, err := stack.New(sp.stackConfig(nil))
 	if err != nil {
 		t.Fatal(err)

@@ -231,6 +231,7 @@ type ReplaySpec struct {
 	Boundary int64 // persist-op boundary (ArmCrash argument)
 	EvictP   float64
 	Fault    core.Fault
+	Ckpt     bool  // checkpoint writer on at every commit point
 	Seed     int64 // sweep seed; combined with Boundary/EvictP for the crash image
 	Trace    []Op
 }
@@ -293,10 +294,14 @@ func (r ReplaySpec) String() string {
 	if err != nil {
 		trace = "<unencodable:" + err.Error() + ">"
 	}
-	return fmt.Sprintf("kind=%s boundary=%d evictp=%s fault=%s seed=%d trace=%s",
+	ck := ""
+	if r.Ckpt {
+		ck = " ckpt=1"
+	}
+	return fmt.Sprintf("kind=%s boundary=%d evictp=%s fault=%s%s seed=%d trace=%s",
 		kindName(r.Kind), r.Boundary,
 		strconv.FormatFloat(r.EvictP, 'g', -1, 64),
-		faultName(r.Fault), r.Seed, trace)
+		faultName(r.Fault), ck, r.Seed, trace)
 }
 
 // ParseReplaySpec parses a ReplaySpec.String line.
@@ -318,6 +323,8 @@ func ParseReplaySpec(s string) (ReplaySpec, error) {
 			r.EvictP, err = strconv.ParseFloat(val, 64)
 		case "fault":
 			r.Fault, err = ParseFault(val)
+		case "ckpt":
+			r.Ckpt = val == "1" || val == "true"
 		case "seed":
 			r.Seed, err = strconv.ParseInt(val, 10, 64)
 		case "trace":
@@ -345,6 +352,7 @@ func Replay(r ReplaySpec) (Result, error) {
 		boundary:  r.Boundary,
 		evictP:    r.EvictP,
 		fault:     r.Fault,
+		ckpt:      r.Ckpt,
 		imageSeed: imageSeed(r.Seed, r.Boundary, r.EvictP),
 	})
 	res := Result{Crashed: out.crashed, OpsAcked: out.acked}

@@ -24,7 +24,7 @@ func cellF(t *testing.T, tb *Table, row int, col string) float64 {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"table1", "table2", "3a", "3b", "4", "7", "8", "10", "11", "12a", "12b", "12c", "13",
 		"recover", "ablate", "endurance", "clwb", "recovertime", "modes", "groupcommit", "phases",
-		"misspath", "readhit", "indexscale", "recoverybreakdown"}
+		"misspath", "readhit", "indexscale", "recoverybreakdown", "recoveryscale"}
 	names := Names()
 	if len(names) != len(want) {
 		t.Fatalf("registry has %d entries, want %d: %v", len(names), len(want), names)
@@ -482,5 +482,28 @@ func TestRecoveryBreakdown(t *testing.T) {
 	s32 := tb.Metrics["recovery_32mb_undo_scan_ns"]
 	if s8 == 0 || s32 < s8*2 {
 		t.Fatalf("scan did not scale with capacity: 8MB %.0fns vs 32MB %.0fns\n%s", s8, s32, tb)
+	}
+}
+
+func TestRecoveryScaleFlat(t *testing.T) {
+	tb, err := RecoveryScale(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 8 {
+		t.Fatalf("rows = %d, want 8 (off/on x 4 sizes)\n%s", len(tb.Rows), tb)
+	}
+	on, off := tb.Metrics["recovery_scale_on_growth"], tb.Metrics["recovery_scale_off_growth"]
+	// The checkpointed restart must be flat (the CI gate), and the
+	// full-scan baseline must actually grow — otherwise the figure is
+	// vacuous and the flatness proves nothing.
+	if on > 2 {
+		t.Fatalf("checkpointed restart grew %.2fx across sizes\n%s", on, tb)
+	}
+	if off < 2 {
+		t.Fatalf("full-scan baseline grew only %.2fx; the linear comparison is vacuous\n%s", off, tb)
+	}
+	if off <= on {
+		t.Fatalf("baseline growth %.2fx not above checkpointed growth %.2fx\n%s", off, on, tb)
 	}
 }

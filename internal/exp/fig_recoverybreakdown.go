@@ -99,6 +99,6 @@ func RecoveryBreakdown(o Options) (*Table, error) {
 			t.SetMetric(prefix+"entries_scanned", float64(rs.EntriesScanned))
 		}
 	}
-	t.Note = "scan, rebuild and the undo pass's stray-log sweep are O(capacity) and dominate; redo touches only the interrupted seal's blocks (flight recorder on: identical numbers with it off)"
+	t.Note = "scan bulk-loads the entry table and dominates (O(capacity) without a checkpoint; see fig: recovery scale); the stray sweep and rebuild run on the DRAM mirror and charge nothing; redo touches only the interrupted seal's blocks (flight recorder on: identical numbers with it off)"
 	return t, nil
 }

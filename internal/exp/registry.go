@@ -37,6 +37,7 @@ var Registry = map[string]Runner{
 	"readhit":           ReadHitScaling,
 	"indexscale":        IndexScale,
 	"recoverybreakdown": RecoveryBreakdown,
+	"recoveryscale":     RecoveryScale,
 }
 
 // Names lists the registered experiments in a stable order.
@@ -98,6 +99,8 @@ func expOrder(n string) string {
 		return "986"
 	case "recoverybreakdown":
 		return "987"
+	case "recoveryscale":
+		return "988"
 	default:
 		return "99" + n
 	}

@@ -73,6 +73,17 @@ const (
 	EvDestage    // Block = disk block destaged
 	EvEvictBatch // Arg = victims evicted in the batch
 
+	// Recovery failure (core/recovery.go): one of recover()'s structural
+	// error returns fired. Block carries the offending value (position,
+	// slot or block number) and Arg the failure code, so a failed restart
+	// is distinguishable from one that crashed mid-pass.
+	EvRecoverFail
+
+	// Checkpoint writer lifecycle (core/checkpoint.go). Gen is the
+	// checkpoint epoch being written.
+	EvCkptBegin // Block = ring Head, Arg = ring Tail at the snapshot
+	EvCkptDone  // Block = valid entries snapshotted
+
 	evSentinel // one past the last valid type
 )
 
@@ -108,6 +119,12 @@ func (t EventType) String() string {
 		return "destage"
 	case EvEvictBatch:
 		return "evict-batch"
+	case EvRecoverFail:
+		return "recover-fail"
+	case EvCkptBegin:
+		return "ckpt-begin"
+	case EvCkptDone:
+		return "ckpt-done"
 	default:
 		return fmt.Sprintf("event(%d)", uint16(t))
 	}
@@ -295,6 +312,11 @@ type Blackbox struct {
 	LastSealedGen  uint64   // Gen of the newest durable seal/serial commit record
 	LastSealedHead uint64   // ring Head that commit recorded
 	InFlight       []uint64 // seal gens with a begin but no persist/commit/abort in the window
+
+	// Recovery failure digest: set when the window holds an EvRecoverFail
+	// record (the restart gave up with a structural error).
+	RecoverFailed   bool
+	RecoverFailCode uint64
 }
 
 // Analyze builds the forensic digest over decoded records.
@@ -319,6 +341,9 @@ func Analyze(slots int, recs []Record) *Blackbox {
 			}
 		case EvSealAbort:
 			delete(open, r.Gen)
+		case EvRecoverFail:
+			b.RecoverFailed = true
+			b.RecoverFailCode = r.Arg
 		}
 	}
 	for g := range open {
@@ -391,6 +416,9 @@ func (b *Blackbox) Report(w io.Writer, n int) error {
 		fmt.Fprintf(w, "txns in flight at crash: gens %v\n", b.InFlight)
 	} else {
 		fmt.Fprintln(w, "txns in flight at crash: none")
+	}
+	if b.RecoverFailed {
+		fmt.Fprintf(w, "RECOVERY FAILED: structural error, code %d (see core.RecoveryStats.Failed)\n", b.RecoverFailCode)
 	}
 	recs := b.Records
 	if n > 0 && n < len(recs) {

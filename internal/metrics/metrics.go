@@ -85,6 +85,11 @@ const (
 	DestageDone       = "destage.done"    // blocks written back by the destager
 	DestageDrop       = "destage.dropped" // write-back cleanings skipped (queue full)
 
+	// Checkpoint counters (charged by internal/core's checkpoint writer).
+	CkptWrites      = "ckpt.writes"       // checkpoint frames persisted
+	CkptEntries     = "ckpt.entries"      // valid entries snapshotted, cumulative
+	CkptJournalRecs = "ckpt.journal_recs" // delta-journal records persisted
+
 	// Workload-level counters (charged by drivers).
 	OpsWrite = "ops.write"
 	OpsRead  = "ops.read"
@@ -116,12 +121,17 @@ const (
 	HistDestageWrite = "destage.write_ns" // one queued block written back
 	HistEvictBatch   = "evict.batch_ns"   // one background eviction batch
 	HistRecovery     = "recovery.ns"      // one full recovery pass
-	// Per-phase recovery breakdown (internal/core/recovery.go). One sample
-	// per recovery pass each, zeros included, so counts match HistRecovery.
+	// Per-phase recovery breakdown (internal/core/recovery.go). Scan, undo
+	// and rebuild record one sample per recovery pass, zeros included;
+	// redo records only when the redo branch actually ran (a zero-length
+	// span for a branch that never executed pollutes trace timelines).
 	HistRecoveryScan    = "recovery.scan_ns"    // pointer load + entry-table scan
 	HistRecoveryRedo    = "recovery.redo_ns"    // completing interrupted role switches
 	HistRecoveryUndo    = "recovery.undo_ns"    // revocation + stray-log sweep
 	HistRecoveryRebuild = "recovery.rebuild_ns" // DRAM index/LRU/allocator rebuild
+	// Checkpoint writer (internal/core/checkpoint.go): one sample per
+	// checkpoint frame persisted.
+	HistCheckpoint = "ckpt.write_ns"
 
 	// Lock-free read path (internal/core/readfast.go): seqlock retries per
 	// successful fast hit that needed at least one retry (a count, not ns).
