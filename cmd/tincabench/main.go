@@ -41,9 +41,10 @@ func main() {
 	minFastHit := flag.Float64("min-fast-hit-ratio", -1, "fail (exit 1) if any experiment reports a fast_hit_ratio below this fraction; <0 disables")
 	maxAllocs := flag.Float64("max-allocs-per-op", -1, "fail (exit 1) if any experiment reports an *_allocs_per_op metric above this value; <0 disables")
 	maxRecoveryGrowth := flag.Float64("max-recovery-growth", -1, "fail (exit 1) if recoveryscale reports recovery_scale_on_growth above this ratio (checkpointed restart must stay flat); <0 disables")
+	minWriterSpeedup := flag.Float64("min-writer-speedup", -1, "fail (exit 1) if writerscaling reports writer_speedup_8 below this factor (multi-ring commit at 8 disjoint committers); <0 disables")
 	flag.Parse()
 	outputCSV = *format == "csv"
-	defer finish(*benchJSON, *maxDirectEvict, *minFastHit, *maxAllocs, *maxRecoveryGrowth)
+	defer finish(*benchJSON, *maxDirectEvict, *minFastHit, *maxAllocs, *maxRecoveryGrowth, *minWriterSpeedup)
 
 	var tracer *metrics.Tracer
 	if *traceOut != "" {
@@ -86,9 +87,9 @@ var outputCSV bool
 var benchMetrics = make(map[string]map[string]float64)
 
 // finish writes the accumulated metrics and enforces the direct-eviction,
-// fast-hit, allocation and recovery-flatness gates. Runs deferred from
-// main so both -fig and -all paths share it.
-func finish(benchJSON string, maxDirectEvict, minFastHit, maxAllocs, maxRecoveryGrowth float64) {
+// fast-hit, allocation, recovery-flatness and writer-scaling gates. Runs
+// deferred from main so both -fig and -all paths share it.
+func finish(benchJSON string, maxDirectEvict, minFastHit, maxAllocs, maxRecoveryGrowth, minWriterSpeedup float64) {
 	if benchJSON != "" {
 		data, err := json.MarshalIndent(benchMetrics, "", "  ")
 		if err == nil {
@@ -127,6 +128,16 @@ func finish(benchJSON string, maxDirectEvict, minFastHit, maxAllocs, maxRecovery
 				fmt.Fprintf(os.Stderr,
 					"tincabench: %s: checkpointed restart grew %.2fx from the smallest to the largest NVM size (max allowed %.2fx; full-scan baseline grew %.2fx) — recovery is scanning instead of loading the frame\n",
 					name, g, maxRecoveryGrowth, off)
+				os.Exit(1)
+			}
+		}
+	}
+	if minWriterSpeedup >= 0 {
+		for name, m := range benchMetrics {
+			if s, ok := m["writer_speedup_8"]; ok && s < minWriterSpeedup {
+				fmt.Fprintf(os.Stderr,
+					"tincabench: %s: multi-ring speedup at 8 disjoint committers was %.2fx (min required %.2fx) — per-shard rings are not overlapping seals\n",
+					name, s, minWriterSpeedup)
 				os.Exit(1)
 			}
 		}

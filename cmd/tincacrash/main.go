@@ -21,6 +21,7 @@
 //
 //	tincacrash -sweep -kind tinca -ops 200
 //	tincacrash -sweep -kind tinca -ops 200 -checkpoint   # checkpoint writer at every commit point
+//	tincacrash -sweep -kind tinca -ops 200 -rings 16     # multi-ring commit layout
 //	tincacrash -sweep -kind classic -ops 100 -stride 3
 //	tincacrash -sweep -group-blocks 4 -fs-workers 4 -committers 2 -max-boundaries 200
 //	tincacrash -sweep -fault skip-data-flush -evictps 0   # harness self-test: must fail
@@ -74,6 +75,7 @@ func main() {
 		workers = flag.Int("workers", 0, "parallel trial runners (0 = GOMAXPROCS)")
 		faultF  = flag.String("fault", "none", "injected protocol fault: none, skip-data-flush (harness self-test)")
 		ckpt    = flag.Bool("checkpoint", false, "run the checkpoint writer at every commit point (sweep mode, tinca only)")
+		rings   = flag.Int("rings", 0, "CommitRings: split the NVM log into N per-shard rings (sweep mode, tinca only; 0 = single ring)")
 
 		groupBlocks = flag.Int("group-blocks", 0, "FS group-commit threshold; > 0 selects the group oracle")
 		fsWorkers   = flag.Int("fs-workers", 4, "concurrent FS op streams (group mode)")
@@ -99,7 +101,7 @@ func main() {
 	case *sweep:
 		os.Exit(runSweep(sweepArgs{
 			kind: *kindF, seed: *seed, ops: *ops, evictPs: *evictPs,
-			stride: *stride, maxB: *maxB, workers: *workers, fault: *faultF, ckpt: *ckpt,
+			stride: *stride, maxB: *maxB, workers: *workers, fault: *faultF, ckpt: *ckpt, rings: *rings,
 			groupBlocks: *groupBlocks, fsWorkers: *fsWorkers, committers: *committers,
 			minimize: *minimize, verbose: *verbose, bbOut: *bbOut,
 		}))
@@ -131,7 +133,7 @@ func runReplay(line string) int {
 type sweepArgs struct {
 	kind, evictPs, fault               string
 	seed, stride                       int64
-	ops, maxB, workers                 int
+	ops, maxB, workers, rings          int
 	groupBlocks, fsWorkers, committers int
 	minimize, verbose, ckpt            bool
 	bbOut                              string
@@ -226,6 +228,7 @@ func runSweep(a sweepArgs) int {
 		Workers:       a.workers,
 		Fault:         fault,
 		Checkpoint:    a.ckpt,
+		Rings:         a.rings,
 	}
 	if a.groupBlocks > 0 {
 		cfg.Group = crash.GroupConfig{Blocks: a.groupBlocks, FSWorkers: a.fsWorkers, RawCommitters: a.committers}
@@ -250,6 +253,9 @@ func runSweep(a sweepArgs) int {
 	}
 	if a.ckpt {
 		mode += "+ckpt"
+	}
+	if a.rings > 1 {
+		mode += fmt.Sprintf("+rings=%d", a.rings)
 	}
 	fmt.Printf("tincacrash: %s %s sweep: %d boundaries of %d-op space x %d evictPs = %d trials, %d crashed, %d failures\n",
 		a.kind, mode, res.Boundaries, res.BoundarySpace, len(ps), res.Runs, res.Crashes, len(res.Failures))

@@ -34,6 +34,7 @@ func main() {
 	fsMB := flag.Int("fs", 64, "file system size (MB)")
 	observe := flag.Bool("observe", false, "enable latency histograms (see the 'lat' command)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus) and /debug/pprof on this address (implies -observe)")
+	rings := flag.Int("rings", 0, "CommitRings: split the NVM log into N per-shard commit rings (tinca only; 0 = single ring)")
 	flag.Parse()
 
 	var kind = tinca.KindTinca
@@ -52,7 +53,7 @@ func main() {
 		Kind:     kind,
 		NVMBytes: *nvmMB << 20,
 		FSBlocks: uint64(*fsMB) << 20 / tinca.BlockSize,
-		Options:  tinca.CacheOptions{Observe: *observe || *metricsAddr != ""},
+		Options:  tinca.CacheOptions{Observe: *observe || *metricsAddr != "", CommitRings: *rings},
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tincafs:", err)
@@ -216,6 +217,19 @@ func run(s *tinca.Stack, cmd string, args []string, rng interface{ Int63n(int64)
 				c.ReadHitFast, c.ReadHitSlow, c.SeqlockRetries)
 			fmt.Printf("views:  %d zero-copy, %d copied, %d deferred frees, %d open\n",
 				c.ZeroCopyViews, c.CopiedViews, c.ViewDeferredFrees, c.OpenViews)
+			if len(c.RingSeals) > 0 {
+				fmt.Printf("rings:  %d commit rings, %d cross-shard txns, %d seal-lock conflicts\n",
+					len(c.RingSeals), c.CrossShardTxns, c.RingSealConflicts)
+				fmt.Printf("        seals/ring:")
+				for _, n := range c.RingSeals {
+					fmt.Printf(" %d", n)
+				}
+				fmt.Printf("\n        queued/ring:")
+				for _, n := range c.RingQueueDepth {
+					fmt.Printf(" %d", n)
+				}
+				fmt.Println()
+			}
 		}
 		fmt.Printf("fs:     %d read ops, %d write ops, %d group commits, %d free blocks\n",
 			st.FS.ReadOps, st.FS.WriteOps, st.FS.GroupCommits, st.FS.FreeBlocks)

@@ -207,6 +207,18 @@ type Options struct {
 	// bit-identical either way (the parity sweep proves it); the knob
 	// exists for that proof and for debugging.
 	SerialRecovery bool
+	// CommitRings splits the single commit log ring into this many
+	// independent per-shard rings (DESIGN.md §15): ring r serializes the
+	// blocks of shards congruent to r mod CommitRings, each ring has its
+	// own Head/Tail pointer pair and group-commit leader, records are
+	// stamped with a global commit-point generation, and recovery merges
+	// the rings by generation. Transactions touching disjoint rings seal
+	// fully in parallel; cross-ring transactions take a deterministic
+	// multi-ring seal with the rings locked in index order. Must be a
+	// power of two between 1 and 16 (shardCount) and requires the
+	// concurrent commit path. 0 or 1 keeps the paper's single ring and a
+	// byte-identical layout.
+	CommitRings int
 }
 
 // Validate reports a descriptive error for a nonsensical configuration
@@ -271,6 +283,17 @@ func (o Options) Validate() error {
 	}
 	if o.Checkpoint && o.Ablation != AblationNone {
 		return errors.New("core: Checkpoint requires the paper's commit path (AblationNone)")
+	}
+	if o.CommitRings < 0 {
+		return fmt.Errorf("core: CommitRings %d is negative", o.CommitRings)
+	}
+	if o.CommitRings > 1 {
+		if o.CommitRings > shardCount || o.CommitRings&(o.CommitRings-1) != 0 {
+			return fmt.Errorf("core: CommitRings %d must be a power of two between 1 and %d", o.CommitRings, shardCount)
+		}
+		if o.serialOnly() {
+			return errors.New("core: CommitRings > 1 requires the concurrent commit path (no ablations, txn pinning on)")
+		}
 	}
 	return nil
 }
@@ -430,6 +453,14 @@ type Cache struct {
 	// when a seal starts, reported after its Tail persist. Guarded by mu.
 	sealSeq uint64
 
+	// Multi-ring commit state (nil when CommitRings <= 1; DESIGN.md §15).
+	// rings[r] owns ring r's persistent Head/Tail pair and its group-commit
+	// queue; gen is the global commit-point generation counter every seal
+	// draws from (assigned while holding all participating ring seal locks,
+	// so per-ring generations are strictly increasing).
+	rings []ringState
+	gen   atomic.Uint64
+
 	// Watermark-evictor state (evictWake nil when EvictLowWater == 0).
 	evictLow    int
 	evictHigh   int
@@ -496,7 +527,11 @@ func Open(mem *pmem.Device, disk *blockdev.Device, opts Options) (*Cache, error)
 	if opts.FlightRecorder {
 		flightSlots = flight.DefaultSlots
 	}
-	lay, err := ComputeLayoutExt(mem.Size(), opts.RingBytes, ptrSlots, flightSlots, opts.Checkpoint)
+	rings := 1
+	if opts.CommitRings > 1 {
+		rings = opts.CommitRings
+	}
+	lay, err := ComputeLayoutRings(mem.Size(), opts.RingBytes, ptrSlots, flightSlots, opts.Checkpoint, rings)
 	if err != nil {
 		return nil, err
 	}
@@ -514,6 +549,12 @@ func Open(mem *pmem.Device, disk *blockdev.Device, opts Options) (*Cache, error)
 	}
 	c.alloc.init(mem.Recorder(), lay.Capacity)
 	c.gcCond = sync.NewCond(&c.gcMu)
+	if rings > 1 {
+		c.rings = make([]ringState, rings)
+		for r := range c.rings {
+			c.rings[r].init(c.rec, r)
+		}
+	}
 	c.destageWake = sync.NewCond(&c.destageWakeMu)
 	if opts.Observe || opts.Tracer != nil {
 		c.obs = newObs(mem.Clock(), mem.Recorder(), opts.Tracer)
@@ -702,13 +743,19 @@ func (c *Cache) isFormatted() bool {
 	if c.lay.CkptJournalSlots > 0 {
 		wantVer = layoutVersionCkpt
 	}
+	wantRings := uint64(0) // single-ring images predate the field and hold 0
+	if c.lay.Rings > 1 {
+		wantVer = layoutVersionRings
+		wantRings = uint64(c.lay.Rings)
+	}
 	return c.mem.Load8(c.lay.HeaderOff+hdrMagic) == layoutMagic &&
 		c.mem.Load8(c.lay.HeaderOff+hdrVersion) == wantVer &&
 		c.mem.Load8(c.lay.HeaderOff+hdrCapacity) == uint64(c.lay.Capacity) &&
 		c.mem.Load8(c.lay.HeaderOff+hdrRingSlot) == uint64(c.lay.RingSlots) &&
 		c.mem.Load8(c.lay.HeaderOff+hdrPtrSlots) == uint64(c.lay.PtrSlots) &&
 		c.mem.Load8(c.lay.HeaderOff+hdrFlight) == uint64(c.lay.FlightSlots) &&
-		c.mem.Load8(c.lay.HeaderOff+hdrCkpt) == uint64(c.lay.CkptJournalSlots)
+		c.mem.Load8(c.lay.HeaderOff+hdrCkpt) == uint64(c.lay.CkptJournalSlots) &&
+		c.mem.Load8(c.lay.HeaderOff+hdrRings) == wantRings
 }
 
 // loadPointer reads a possibly-rotated pointer: the latest persisted
@@ -733,6 +780,20 @@ func (c *Cache) format() {
 	// the header last so a crash mid-format is just an unformatted device.
 	c.mem.Persist8(c.lay.HeadOff, 0)
 	c.mem.Persist8(c.lay.TailOff, 0)
+	if c.lay.Rings > 1 {
+		// A reformat over a previous multi-ring image must not leave stale
+		// rotation slots whose max would resurrect old pointers; clear
+		// every slot of every ring (ring 0 slot 0 was cleared above).
+		for r := 0; r < c.lay.Rings; r++ {
+			for s := 0; s < c.lay.PtrSlots; s++ {
+				if r == 0 && s == 0 {
+					continue
+				}
+				c.mem.Persist8(c.lay.ringHeadOff(r)+s*pmem.LineSize, 0)
+				c.mem.Persist8(c.lay.ringTailOff(r)+s*pmem.LineSize, 0)
+			}
+		}
+	}
 	// Clear any stale flight records a previous (differently laid out)
 	// image may have left where the new region sits, so Attach after the
 	// next crash can never resurrect another lifetime's timeline. Silent:
@@ -744,6 +805,10 @@ func (c *Cache) format() {
 	if c.ckpt != nil {
 		c.formatCheckpoint()
 		ver = layoutVersionCkpt
+	}
+	if c.lay.Rings > 1 {
+		ver = layoutVersionRings
+		c.mem.Store8(c.lay.HeaderOff+hdrRings, uint64(c.lay.Rings))
 	}
 	c.mem.Store8(c.lay.HeaderOff+hdrVersion, ver)
 	c.mem.Store8(c.lay.HeaderOff+hdrCapacity, uint64(c.lay.Capacity))
@@ -772,6 +837,26 @@ func (c *Cache) Pointers() (head, tail uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.head, c.tail
+}
+
+// RingPointers returns the cache's view of every ring's persistent Head
+// and Tail pointers (CommitRings > 1). For the single-ring layout it
+// returns one-element slices equal to Pointers(). The crash sweep's
+// per-ring blackbox oracle compares flight records against these.
+func (c *Cache) RingPointers() (heads, tails []uint64) {
+	if len(c.rings) == 0 {
+		h, t := c.Pointers()
+		return []uint64{h}, []uint64{t}
+	}
+	heads = make([]uint64, len(c.rings))
+	tails = make([]uint64, len(c.rings))
+	for r := range c.rings {
+		rs := &c.rings[r]
+		rs.mu.Lock()
+		heads[r], tails[r] = rs.head, rs.tail
+		rs.mu.Unlock()
+	}
+	return heads, tails
 }
 
 // flEmit books one flight-recorder event: one nil check when the recorder
@@ -1232,6 +1317,12 @@ func (c *Cache) Close() error {
 	// background workers go away (batches enqueue destage work under c.mu).
 	c.mu.Lock()
 	c.mu.Unlock() //nolint:staticcheck // empty critical section is the barrier
+	for r := range c.rings {
+		// Multi-ring seals run under their ring locks, not c.mu: barrier
+		// over each ring so no seal is mid-flight when the workers stop.
+		c.rings[r].mu.Lock()
+		c.rings[r].mu.Unlock() //nolint:staticcheck // barrier
+	}
 	if c.evictStop != nil {
 		close(c.evictStop)
 		c.evictWG.Wait()

@@ -130,7 +130,10 @@ func (c *Cache) maybeCheckpoint() {
 }
 
 // writeCheckpointLocked persists the inactive frame and retires the
-// delta journal. Caller holds c.mu and all shard locks.
+// delta journal. Caller holds the commit exclusion — c.mu on the
+// single-ring layout, every ring's seal lock on the multi-ring one — and
+// all shard locks, so every mutator is quiesced and no entry is in the
+// log role.
 func (c *Cache) writeCheckpointLocked(now int64) {
 	k := c.ckpt
 	lay := c.lay
@@ -141,7 +144,19 @@ func (c *Cache) writeCheckpointLocked(now int64) {
 	// ~4x cheaper than per-entry Load16), then pack the valid entries.
 	raw := make([]byte, lay.Capacity*EntrySize)
 	c.mem.Load(lay.EntryOff, raw)
-	payload := make([]byte, 0, 64*ckptRecSize)
+	payload := make([]byte, 0, lay.ckptVecBytes()+64*ckptRecSize)
+	if len(c.rings) > 0 {
+		// Multi-ring layout: the payload opens with the per-ring
+		// {head, tail} vector (checksummed with the records). The caller
+		// holds every ring's seal lock, so the cached values are the
+		// persisted ones and every ring is quiescent (head == tail).
+		vec := make([]byte, lay.ckptVecBytes())
+		for r := range c.rings {
+			binary.LittleEndian.PutUint64(vec[r*16:], c.rings[r].head)
+			binary.LittleEndian.PutUint64(vec[r*16+8:], c.rings[r].tail)
+		}
+		payload = append(payload, vec...)
+	}
 	count := 0
 	for i := 0; i < lay.Capacity; i++ {
 		var eb [16]byte
@@ -171,7 +186,13 @@ func (c *Cache) writeCheckpointLocked(now int64) {
 	binary.LittleEndian.PutUint64(hdr[8:], epoch)
 	binary.LittleEndian.PutUint64(hdr[16:], c.head)
 	binary.LittleEndian.PutUint64(hdr[24:], c.tail)
-	binary.LittleEndian.PutUint64(hdr[32:], c.sealSeq)
+	// The seq field carries the generation counter on the multi-ring
+	// layout (loadMirrorCheckpoint restores whichever the layout uses).
+	seq := c.sealSeq
+	if len(c.rings) > 0 {
+		seq = c.gen.Load()
+	}
+	binary.LittleEndian.PutUint64(hdr[32:], seq)
 	binary.LittleEndian.PutUint64(hdr[40:], uint64(count))
 	binary.LittleEndian.PutUint64(hdr[48:], ckptSum(payload))
 	binary.LittleEndian.PutUint64(hdr[56:], ckptSum(hdr[:56]))
@@ -218,10 +239,18 @@ func (c *Cache) formatCheckpoint() {
 	}
 	c.mem.SFence()
 
+	// On the multi-ring layout even an empty frame carries the per-ring
+	// {head, tail} vector (all zero at format time) — the reader always
+	// expects it ahead of the records and checksums it with them.
+	var payload []byte
+	if len(c.rings) > 0 {
+		payload = make([]byte, lay.ckptVecBytes())
+		c.mem.PersistRange(lay.ckptFrameOff(0)+ckptFrameHdr, payload)
+	}
 	var hdr [ckptFrameHdr]byte
 	binary.LittleEndian.PutUint64(hdr[0:], ckptMagic)
 	binary.LittleEndian.PutUint64(hdr[8:], 1) // epoch
-	binary.LittleEndian.PutUint64(hdr[48:], ckptSum(nil))
+	binary.LittleEndian.PutUint64(hdr[48:], ckptSum(payload))
 	binary.LittleEndian.PutUint64(hdr[56:], ckptSum(hdr[:56]))
 	c.mem.PersistRange(lay.ckptFrameOff(0), hdr[:])
 	k.epoch = 1

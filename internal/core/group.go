@@ -434,7 +434,10 @@ planLoop:
 }
 
 // unwindPlan releases everything phase 0 allocated or pinned. Nothing has
-// been persisted, so this is pure DRAM bookkeeping. Caller holds c.mu.
+// been persisted, so this is pure DRAM bookkeeping. The caller holds the
+// seal exclusion for every planned block — c.mu on the single-ring path,
+// the participating ring locks on the multi-ring path; the body itself
+// only takes shard locks and the (thread-safe) allocator.
 func (c *Cache) unwindPlan(plan []*planBlock) {
 	for _, pb := range plan {
 		if pb.hit {
@@ -457,10 +460,11 @@ func (c *Cache) unwindPlan(plan []*planBlock) {
 // dropFilledLocked removes a clean read-fill entry that raced in between
 // a commit's plan phase (which decided its block was a write miss) and
 // the entry install. Only a concurrent fill can have installed it — every
-// other writer serializes on c.mu, which the caller holds — so it is
-// always a clean RoleBuffer entry whose loss loses nothing; dropping a
-// committed version here would be a protocol break, hence the panic.
-// Caller holds sh.mu.
+// other writer of this block serializes on the seal exclusion the caller
+// holds (c.mu on the single-ring path, the block's ring seal lock on the
+// multi-ring path) — so it is always a clean RoleBuffer entry whose loss
+// loses nothing; dropping a committed version here would be a protocol
+// break, hence the panic. Caller holds sh.mu.
 func (c *Cache) dropFilledLocked(sh *shard, no uint64, i int32) {
 	e := c.readEntry(i)
 	if !e.valid || e.modified || e.role == RoleLog || e.prev != Fresh {

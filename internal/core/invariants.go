@@ -24,18 +24,43 @@ func (c *Cache) unlockAllShards() {
 func (c *Cache) CheckInvariants() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	// Ring seal locks nest after c.mu and before the shard locks, matching
+	// the seal path's order.
+	for r := range c.rings {
+		c.rings[r].mu.Lock()
+	}
+	defer func() {
+		for r := range c.rings {
+			c.rings[r].mu.Unlock()
+		}
+	}()
 	c.DrainDestage()
 	c.lockAllShards()
 	defer c.unlockAllShards()
 
-	if c.head != c.tail {
-		return fmt.Errorf("invariant: Head (%d) != Tail (%d) while quiescent", c.head, c.tail)
-	}
-	if h := c.loadPointer(c.lay.HeadOff); h != c.head {
-		return fmt.Errorf("invariant: persistent Head %d != cached %d", h, c.head)
-	}
-	if t := c.loadPointer(c.lay.TailOff); t != c.tail {
-		return fmt.Errorf("invariant: persistent Tail %d != cached %d", t, c.tail)
+	if len(c.rings) > 0 {
+		for r := range c.rings {
+			rst := &c.rings[r]
+			if rst.head != rst.tail {
+				return fmt.Errorf("invariant: ring %d Head (%d) != Tail (%d) while quiescent", r, rst.head, rst.tail)
+			}
+			if h := c.loadPointer(c.lay.ringHeadOff(r)); h != rst.head {
+				return fmt.Errorf("invariant: ring %d persistent Head %d != cached %d", r, h, rst.head)
+			}
+			if t := c.loadPointer(c.lay.ringTailOff(r)); t != rst.tail {
+				return fmt.Errorf("invariant: ring %d persistent Tail %d != cached %d", r, t, rst.tail)
+			}
+		}
+	} else {
+		if c.head != c.tail {
+			return fmt.Errorf("invariant: Head (%d) != Tail (%d) while quiescent", c.head, c.tail)
+		}
+		if h := c.loadPointer(c.lay.HeadOff); h != c.head {
+			return fmt.Errorf("invariant: persistent Head %d != cached %d", h, c.head)
+		}
+		if t := c.loadPointer(c.lay.TailOff); t != c.tail {
+			return fmt.Errorf("invariant: persistent Tail %d != cached %d", t, c.tail)
+		}
 	}
 
 	seenDisk := make(map[uint64]int32)

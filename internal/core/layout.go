@@ -32,6 +32,14 @@ const EntrySize = 16
 // RingSlotSize is the size of one ring-buffer element (8B, Section 4.4).
 const RingSlotSize = 8
 
+// mrSlotSize is the size of one multi-ring log record (Options.CommitRings
+// > 1): the 8B on-disk block number plus the 8B commit-point generation,
+// persisted together with one failure-atomic Store16. The single-ring
+// layout has no generation (Head order is the commit order), but with R
+// independent rings only the global generation counter totally orders
+// seals, so every record must carry it.
+const mrSlotSize = 16
+
 // DefaultRingBytes is the paper's default ring buffer size (1MB).
 const DefaultRingBytes = 1 << 20
 
@@ -49,6 +57,13 @@ const (
 	// that does not know the region is there; with the option off the
 	// layout and version are byte-identical to layoutVersion images.
 	layoutVersionCkpt uint64 = 2
+	// layoutVersionRings is the on-NVM version written when the log is
+	// split into multiple per-shard rings (Options.CommitRings > 1): the
+	// pointer areas replicate per ring and ring records widen to 16B
+	// generation-stamped slots, so older builds must not mount the image.
+	// With CommitRings <= 1 the layout and version are byte-identical to
+	// the single-ring versions.
+	layoutVersionRings uint64 = 3
 )
 
 // Checkpoint-region geometry (DESIGN.md §14). The region holds a delta
@@ -75,6 +90,12 @@ type Layout struct {
 	// the layout byte-identical to the paper's Figure 5.
 	FlightOff   int
 	FlightSlots int
+	// Rings is the number of independent commit log rings (1 = the paper's
+	// single ring). With Rings > 1 the Head/Tail areas hold Rings*PtrSlots
+	// cache lines each (ring r's rotation slots start at r*PtrSlots), the
+	// ring region is split into Rings equal sub-rings of RingSlots 16B
+	// generation-stamped records each, and RingSlots is the PER-RING count.
+	Rings int
 	// Checkpoint region (DESIGN.md §14): a delta journal of
 	// CkptJournalSlots 8B records followed by two alternating snapshot
 	// frames, between the flight region and the entry table. Zero slots
@@ -96,6 +117,7 @@ const (
 	hdrPtrSlots = 32 // +32: pointer rotation slots
 	hdrFlight   = 40 // +40: flight-recorder slots (0 = no region)
 	hdrCkpt     = 48 // +48: checkpoint journal slots (0 = no region)
+	hdrRings    = 56 // +56: commit rings (0 = single ring, pre-multi-ring images)
 )
 
 // DefaultPtrSlots is the rotation factor used when pointer wear leveling
@@ -129,6 +151,15 @@ func ComputeLayoutFlight(devSize, ringBytes, ptrSlots, flightSlots int) (Layout,
 // journal and the frames scale with the entry count. With checkpoint off
 // the layout is byte-identical to ComputeLayoutFlight's.
 func ComputeLayoutExt(devSize, ringBytes, ptrSlots, flightSlots int, checkpoint bool) (Layout, error) {
+	return ComputeLayoutRings(devSize, ringBytes, ptrSlots, flightSlots, checkpoint, 1)
+}
+
+// ComputeLayoutRings is ComputeLayoutExt plus the multi-ring split
+// (Options.CommitRings, DESIGN.md §15): with rings > 1 the Head/Tail
+// pointer areas replicate per ring and the ring-buffer bytes divide into
+// rings equal sub-rings of 16B generation-stamped records. rings <= 1
+// yields a layout byte-identical to ComputeLayoutExt's.
+func ComputeLayoutRings(devSize, ringBytes, ptrSlots, flightSlots int, checkpoint bool, rings int) (Layout, error) {
 	if ringBytes <= 0 {
 		ringBytes = DefaultRingBytes
 	}
@@ -138,15 +169,31 @@ func ComputeLayoutExt(devSize, ringBytes, ptrSlots, flightSlots int, checkpoint 
 	if flightSlots < 0 {
 		flightSlots = 0
 	}
+	if rings < 1 {
+		rings = 1
+	}
 	ringBytes = alignUp(ringBytes, pmem.LineSize)
 	var l Layout
 	l.HeaderOff = 0
 	l.PtrSlots = ptrSlots
+	l.Rings = rings
 	l.HeadOff = pmem.LineSize
-	l.TailOff = l.HeadOff + ptrSlots*pmem.LineSize
-	l.RingOff = l.TailOff + ptrSlots*pmem.LineSize
-	l.RingSlots = ringBytes / RingSlotSize
-	l.FlightOff = l.RingOff + ringBytes
+	l.TailOff = l.HeadOff + rings*ptrSlots*pmem.LineSize
+	l.RingOff = l.TailOff + rings*ptrSlots*pmem.LineSize
+	if rings > 1 {
+		// Per-ring slot count: the ring budget splits evenly, each record
+		// is 16B, and the per-ring region stays line-aligned (4 records
+		// per line) so sub-ring boundaries never share a cache line.
+		per := ringBytes / (rings * mrSlotSize) / 4 * 4
+		if per < 8 {
+			return Layout{}, fmt.Errorf("core: %d-byte ring too small for %d commit rings", ringBytes, rings)
+		}
+		l.RingSlots = per
+		l.FlightOff = l.RingOff + rings*per*mrSlotSize
+	} else {
+		l.RingSlots = ringBytes / RingSlotSize
+		l.FlightOff = l.RingOff + ringBytes
+	}
 	l.FlightSlots = flightSlots
 	ckptBase := l.FlightOff + flightSlots*pmem.LineSize
 
@@ -166,7 +213,7 @@ func ComputeLayoutExt(devSize, ringBytes, ptrSlots, flightSlots int, checkpoint 
 			l.CkptOff = ckptBase
 			l.CkptJournalSlots = jSlots
 			l.EntryOff = ckptBase + alignUp(jSlots*RingSlotSize, pmem.LineSize) +
-				2*alignUp(ckptFrameHdr+cap*ckptRecSize, pmem.LineSize)
+				2*alignUp(ckptFrameHdr+l.ckptVecBytes()+cap*ckptRecSize, pmem.LineSize)
 		} else {
 			l.EntryOff = ckptBase
 		}
@@ -202,9 +249,20 @@ func (l Layout) ringSlotOff(p uint64) int {
 // ckptJournalOff returns the NVM offset of checkpoint-journal slot j.
 func (l Layout) ckptJournalOff(j int) int { return l.CkptOff + j*RingSlotSize }
 
+// ckptVecBytes returns the size of the per-ring head/tail vector stored at
+// the start of each checkpoint frame payload (multi-ring layouts only):
+// Rings pairs of 8B head + 8B tail. Zero for the single-ring layout, so
+// pre-multi-ring frames are byte-identical.
+func (l Layout) ckptVecBytes() int {
+	if l.Rings <= 1 {
+		return 0
+	}
+	return l.Rings * 2 * 8
+}
+
 // ckptFrameBytes returns the line-aligned size of one snapshot frame.
 func (l Layout) ckptFrameBytes() int {
-	return alignUp(ckptFrameHdr+l.Capacity*ckptRecSize, pmem.LineSize)
+	return alignUp(ckptFrameHdr+l.ckptVecBytes()+l.Capacity*ckptRecSize, pmem.LineSize)
 }
 
 // ckptFrameOff returns the NVM offset of snapshot frame k (k in {0,1}).
@@ -228,4 +286,34 @@ func (l Layout) tailSlotOff(v uint64) int {
 		return l.TailOff
 	}
 	return l.TailOff + int(v%uint64(l.PtrSlots))*pmem.LineSize
+}
+
+// ringHeadOff returns the base of ring r's Head rotation-slot area
+// (PtrSlots cache lines). Ring 0 coincides with the single-ring HeadOff.
+func (l Layout) ringHeadOff(r int) int { return l.HeadOff + r*l.PtrSlots*pmem.LineSize }
+
+// ringTailOff is ringHeadOff for the Tail pointer.
+func (l Layout) ringTailOff(r int) int { return l.TailOff + r*l.PtrSlots*pmem.LineSize }
+
+// ringHeadSlotOff returns where to store ring r's Head value v, rotating
+// across the ring's PtrSlots lines exactly like headSlotOff.
+func (l Layout) ringHeadSlotOff(r int, v uint64) int {
+	if l.PtrSlots <= 1 {
+		return l.ringHeadOff(r)
+	}
+	return l.ringHeadOff(r) + int(v%uint64(l.PtrSlots))*pmem.LineSize
+}
+
+// ringTailSlotOff is ringHeadSlotOff for the Tail pointer.
+func (l Layout) ringTailSlotOff(r int, v uint64) int {
+	if l.PtrSlots <= 1 {
+		return l.ringTailOff(r)
+	}
+	return l.ringTailOff(r) + int(v%uint64(l.PtrSlots))*pmem.LineSize
+}
+
+// mrSlotOff returns the NVM offset of ring r's 16B log record for
+// monotonic per-ring position p (multi-ring layouts only).
+func (l Layout) mrSlotOff(r int, p uint64) int {
+	return l.RingOff + r*l.RingSlots*mrSlotSize + int(p%uint64(l.RingSlots))*mrSlotSize
 }

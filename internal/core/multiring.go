@@ -1,0 +1,595 @@
+// Multi-ring commit (DESIGN.md §15).
+//
+// With Options.CommitRings = R > 1 the single commit log ring is split
+// into R independent per-shard rings: ring r serializes the blocks of
+// shards congruent to r mod R, owns its own persistent Head/Tail pointer
+// pair and runs its own group-commit leader/follower seal. Transactions
+// touching a single ring seal under that ring's lock alone, so commits to
+// disjoint shards proceed fully in parallel — one Head/Tail persist and
+// one fence set per ring per batch instead of one global seal.
+//
+// A single global generation counter stamps every ring record: the seal
+// draws gen = c.gen.Add(1) AFTER acquiring every participating ring's
+// seal lock, so within each ring record generations are strictly
+// increasing, and recovery can merge the rings back into one total commit
+// order by generation. A cross-ring transaction takes a deterministic
+// multi-ring seal: its rings are locked in index order (deadlock-free
+// against every other seal), one generation is stamped in every
+// participating ring, and the flight-recorder commit event fires after
+// the LAST ring's Tail flip.
+//
+// The seal itself mirrors group.go's five phases, with the ring phases
+// fanned out per ring:
+//
+//	A. data    — every block stored + flushed, ONE fence
+//	B. entries — every entry 16B-stored + flushed (log role), ONE fence
+//	C. ring    — every {block, gen} 16B record stored + flushed, ONE
+//	             fence, then ONE Head persist per participating ring
+//	D. switch  — every entry switched to buffer role, ONE fence
+//	E. tail    — ONE Tail persist per participating ring, index order
+//
+// Unlike the single-ring seal the multi-ring seal never takes c.mu: the
+// ring locks provide the seal-vs-seal exclusion (two seals sharing a
+// block share its ring), the shard locks protect per-entry state exactly
+// as in group.go, and the allocator and destage queue are lock-free /
+// internally synchronized. Lock order: ring seal locks in index order,
+// then shard locks, then the checkpoint writer's k.mu, then the device.
+//
+// Torn multi-ring seals: a crash between two rings' Tail persists (or
+// anywhere at/after the first role switch) is resolved by ROLLING FORWARD
+// — phase D freed the previous COW versions, so revocation is no longer
+// possible, and redo is legal because the commit event (flight record,
+// SealHook) fires only after the last Tail flip: a transaction whose
+// seal was torn was never acknowledged, so either outcome is a correct
+// serial history, and recovery's generation merge picks "committed"
+// exactly when any role switch was durable. A crash before any role
+// switch revokes the whole transaction across all its rings (the pending
+// generations plus the stray-entry sweep cover rings whose records or
+// Head persists never landed). See recovery.go and DESIGN.md §15 for the
+// full ordering argument.
+package core
+
+import (
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tinca/internal/bufpool"
+	"tinca/internal/flight"
+	"tinca/internal/metrics"
+)
+
+// ringState is the DRAM side of one commit ring.
+type ringState struct {
+	// mu is the ring's seal lock: it guards the ring's persistent
+	// Head/Tail pair, its record region and the cached head/tail below.
+	// A seal holds the locks of every participating ring, acquired in
+	// index order, for the whole five-phase protocol.
+	mu         sync.Mutex
+	head, tail uint64 // cached copies of the persistent pointers
+
+	// Leader/follower queue for single-ring commits, mirroring the global
+	// group-commit queue (group.go) per ring.
+	qmu   sync.Mutex
+	qcond *sync.Cond
+	queue []*commitReq
+	busy  bool
+
+	// Resolved counter cells (per-ring names) so the hot path never pays
+	// a registry lookup: seals counts this ring's seals, depth is the
+	// queue-depth gauge (+1 enqueue, -1 when a seal claims the request).
+	seals, depth *atomic.Int64
+}
+
+func (rs *ringState) init(rec *metrics.Recorder, r int) {
+	rs.qcond = sync.NewCond(&rs.qmu)
+	rs.seals = rec.Counter(metrics.RingSealName(r))
+	rs.depth = rec.Counter(metrics.RingQueueDepthName(r))
+}
+
+// ringOf maps a disk block to its commit ring: shardIdx(no) mod R, which
+// for the power-of-two R dividing shardCount is a mask.
+func (c *Cache) ringOf(no uint64) int {
+	return int(no & uint64(len(c.rings)-1))
+}
+
+// commitMultiRing is the Commit entry point when CommitRings > 1: route a
+// single-ring transaction to its ring's leader/follower queue, a
+// cross-ring transaction to a solo multi-ring seal.
+func (c *Cache) commitMultiRing(t *Txn) error {
+	// Per-ring block counts decide the route and the size check — the
+	// capacity bound is per ring, not global.
+	var counts [shardCount]int
+	rings := 0
+	first := -1
+	for _, no := range t.order {
+		r := c.ringOf(no)
+		if counts[r] == 0 {
+			rings++
+			if first < 0 || r < first {
+				first = r
+			}
+		}
+		counts[r]++
+	}
+	for r := range c.rings {
+		if counts[r] > c.lay.RingSlots {
+			return ErrTxnTooLarge
+		}
+	}
+	var err error
+	if rings == 1 {
+		err = c.ringGroupCommit(first, t)
+	} else {
+		err = c.commitCrossRing(t, counts[:len(c.rings)])
+	}
+	// Checkpoint trigger: must run with NO ring locks held (it acquires
+	// all of them in index order), so it lives here rather than inside
+	// the seal.
+	c.maybeCheckpointRings()
+	return err
+}
+
+// ringGroupCommit enqueues t on ring r and waits until some leader
+// (possibly this goroutine) seals it — groupCommit's leader/follower
+// protocol, per ring.
+func (c *Cache) ringGroupCommit(r int, t *Txn) error {
+	rs := &c.rings[r]
+	req := &commitReq{t: t}
+	var tEnq int64
+	if c.obs != nil {
+		tEnq = c.obs.now()
+	}
+	rs.qmu.Lock()
+	rs.queue = append(rs.queue, req)
+	rs.depth.Add(1)
+	for !req.done {
+		if rs.busy {
+			rs.qcond.Wait()
+			continue
+		}
+		rs.busy = true
+		var tWait int64
+		if c.obs != nil {
+			tWait = c.obs.now()
+		}
+		if w := c.opts.GroupCommit.MaxWaitNS; w > 0 && len(rs.queue) < c.opts.groupBatch() {
+			rs.qmu.Unlock()
+			time.Sleep(time.Duration(w) * time.Nanosecond)
+			rs.qmu.Lock()
+		}
+		batch := c.takeRingBatchLocked(rs)
+		rs.depth.Add(-int64(len(batch)))
+		rs.qmu.Unlock()
+
+		var sealID uint64
+		var g int64
+		if c.obs != nil {
+			sealID = c.obs.seals.Add(1)
+			g = c.obs.gid()
+			c.obs.phase(c.obs.wait, sealID, spanWait, tWait, g)
+		}
+
+		pv := c.runRingSeal([]int{r}, batch, sealID, g)
+
+		rs.qmu.Lock()
+		for _, q := range batch {
+			if pv != nil {
+				q.pv = pv
+			}
+			q.done = true
+		}
+		rs.busy = false
+		rs.qcond.Broadcast()
+	}
+	rs.qmu.Unlock()
+	if req.pv != nil {
+		panic(req.pv)
+	}
+	t.done = true
+	if c.obs != nil {
+		c.obs.phase(c.obs.total, 0, spanCommit, tEnq, c.obs.gid())
+	}
+	return req.err
+}
+
+// takeRingBatchLocked pops ring rs's next batch: FIFO, capped by
+// GroupCommit.MaxBatch and by the ring's (per-ring) slot capacity. Caller
+// holds rs.qmu.
+func (c *Cache) takeRingBatchLocked(rs *ringState) []*commitReq {
+	maxBatch := c.opts.groupBatch()
+	blocks := 0
+	n := 0
+	for n < len(rs.queue) && n < maxBatch {
+		blocks += len(rs.queue[n].t.order)
+		if n > 0 && blocks > c.lay.RingSlots {
+			break
+		}
+		n++
+	}
+	batch := rs.queue[:n:n]
+	rs.queue = rs.queue[n:]
+	return batch
+}
+
+// commitCrossRing seals t across its participating rings: a solo seal
+// that locks the rings in index order. counts[r] > 0 marks participation.
+func (c *Cache) commitCrossRing(t *Txn, counts []int) error {
+	var tEnq int64
+	if c.obs != nil {
+		tEnq = c.obs.now()
+	}
+	c.rec.Inc(metrics.TxnCrossShard)
+	ringIDs := make([]int, 0, len(counts))
+	for r, n := range counts {
+		if n > 0 {
+			ringIDs = append(ringIDs, r)
+		}
+	}
+	// Index order makes the multi-lock acquisition deadlock-free against
+	// every other seal; TryLock first only to count contention.
+	for _, r := range ringIDs {
+		rs := &c.rings[r]
+		if !rs.mu.TryLock() {
+			c.rec.Inc(metrics.TxnRingSealConflicts)
+			rs.mu.Lock()
+		}
+	}
+	req := &commitReq{t: t}
+	var sealID uint64
+	var g int64
+	if c.obs != nil {
+		sealID = c.obs.seals.Add(1)
+		g = c.obs.gid()
+	}
+	pv := c.runRingSealLocked(ringIDs, []*commitReq{req}, sealID, g)
+	for _, r := range ringIDs {
+		c.rings[r].mu.Unlock()
+	}
+	if pv != nil {
+		panic(pv)
+	}
+	t.done = true
+	if c.obs != nil {
+		c.obs.phase(c.obs.total, 0, spanCommit, tEnq, c.obs.gid())
+	}
+	return req.err
+}
+
+// runRingSeal acquires the participating ring locks (index order) and
+// runs one seal; see runRingSealLocked for the panic contract.
+func (c *Cache) runRingSeal(ringIDs []int, batch []*commitReq, sealID uint64, g int64) (pv any) {
+	for _, r := range ringIDs {
+		c.rings[r].mu.Lock()
+	}
+	defer func() {
+		for _, r := range ringIDs {
+			c.rings[r].mu.Unlock()
+		}
+	}()
+	return c.runRingSealLocked(ringIDs, batch, sealID, g)
+}
+
+// runRingSealLocked seals one batch on the given rings (ascending; caller
+// holds every ring's seal lock). It returns a recovered injected-crash
+// panic value (nil normally); per-request errors are stored in the
+// requests. When the merged batch cannot be allocated it degrades to
+// one-seal-per-transaction, exactly as runBatch degrades to the serial
+// path.
+func (c *Cache) runRingSealLocked(ringIDs []int, batch []*commitReq, sealID uint64, g int64) (pv any) {
+	defer func() {
+		if r := recover(); r != nil {
+			// A simulated power failure fired mid-seal: poison the cache so
+			// every subsequent operation observes the crash, and hand the
+			// panic value to every transaction in the batch.
+			c.poison(r)
+			pv = r
+		}
+	}()
+	if c.closed.Load() {
+		for _, q := range batch {
+			q.err = ErrClosed
+		}
+		return nil
+	}
+	c.checkPoison()
+	if err := c.sealRings(ringIDs, batch, sealID, g); err != nil {
+		// Phase-0 allocation failed with nothing persisted: retry each
+		// transaction as its own seal, failing only those that cannot
+		// allocate alone.
+		for _, q := range batch {
+			var soloID uint64
+			if c.obs != nil {
+				soloID = c.obs.seals.Add(1)
+			}
+			if q.err = c.sealRings(ringIDs, []*commitReq{q}, soloID, g); q.err != nil {
+				c.rec.Inc(metrics.TxnAbort)
+			}
+		}
+	}
+	return nil
+}
+
+// sealRings runs the five seal phases for one batch over the given rings
+// (ascending; caller holds every ring's seal lock). A non-nil error means
+// phase-0 allocation failed and NOTHING was persisted — the volatile plan
+// was unwound and the batch may be retried or failed by the caller.
+func (c *Cache) sealRings(ringIDs []int, batch []*commitReq, sealID uint64, g int64) error {
+	var ts, tSeal int64
+	if c.obs != nil {
+		ts = c.obs.now()
+		tSeal = ts
+	}
+
+	// Phase 0 — plan (volatile only): merge the batch write set in arrival
+	// order (last writer wins), allocate blocks and slots, pin hit targets.
+	// Identical to runBatch's plan; see group.go for the argument.
+	plan := make([]*planBlock, 0, 16)
+	byNo := make(map[uint64]*planBlock, 16)
+	absorbed := 0
+	for _, q := range batch {
+		for _, no := range q.t.order {
+			if pb, ok := byNo[no]; ok {
+				pb.data = q.t.blocks[no]
+				absorbed++
+				continue
+			}
+			pb := &planBlock{no: no, data: q.t.blocks[no]}
+			byNo[no] = pb
+			plan = append(plan, pb)
+		}
+	}
+	var planErr error
+	for _, pb := range plan {
+		sh := c.shardOf(pb.no)
+		sh.mu.Lock()
+		i, hit := sh.slot(pb.no)
+		if hit {
+			e := c.readEntry(i)
+			if e.role == RoleLog {
+				// Seal-vs-seal exclusion is the ring lock: a live log-role
+				// entry here means a seal escaped it.
+				sh.mu.Unlock()
+				panic("core: live log-role entry outside a seal")
+			}
+			pb.hit, pb.slot, pb.prev = true, i, e.cur
+			sh.pinned[i] = true
+		} else {
+			pb.prev = Fresh
+		}
+		sh.mu.Unlock()
+		nb, err := c.allocBlock(shardIdx(pb.no))
+		if err != nil {
+			planErr = err
+			break
+		}
+		pb.nb = nb
+		if !hit {
+			pb.slot = c.allocSlot(shardIdx(pb.no))
+		}
+		pb.allocated = true
+	}
+	if planErr != nil {
+		c.unwindPlan(plan)
+		return planErr
+	}
+	if c.obs != nil {
+		ts = c.obs.phase(c.obs.absorb, sealID, spanAbsorb, ts, g)
+	}
+
+	// The commit-point generation is drawn while EVERY participating ring
+	// lock is held, so each ring's record generations are strictly
+	// increasing — the property recovery's generation merge rests on. It
+	// doubles as the seal sequence for SealHook and the flight records.
+	gen := c.gen.Add(1)
+	for _, q := range batch {
+		q.t.sealSeq = gen
+	}
+	c.flEmit(flight.EvSealBegin, uint16(ringIDs[0]), gen, uint64(len(plan)), uint64(len(batch)))
+
+	// Phase A — data: freshly allocated targets, no reader can observe
+	// them; store + flush each, one fence for all.
+	for _, pb := range plan {
+		off := c.lay.blockOff(pb.nb)
+		c.mem.Store(off, pb.data)
+		if c.opts.Fault != FaultSkipDataFlush {
+			c.mem.CLFlush(off, BlockSize)
+		}
+	}
+	c.mem.SFence()
+	if c.obs != nil {
+		ts = c.obs.phase(c.obs.data, sealID, spanData, ts, g)
+	}
+
+	// Phase B — entries, log role, under each block's shard lock; one
+	// fence for all. Identical to runBatch phase B.
+	for _, pb := range plan {
+		func() {
+			sh := c.shardOf(pb.no)
+			sh.mu.Lock()
+			defer sh.mu.Unlock()
+			if !pb.hit {
+				if j, ok := sh.slot(pb.no); ok {
+					// A concurrent read fill raced in since the plan phase;
+					// the commit's version supersedes the clean filled copy.
+					c.dropFilledLocked(sh, pb.no, j)
+				}
+				c.pushFrontLocked(sh, pb.slot)
+				sh.pinned[pb.slot] = true
+			}
+			c.beginSlotMutate(pb.slot)
+			c.storeEntry(pb.slot, entry{valid: true, role: RoleLog, modified: true, disk: pb.no, prev: pb.prev, cur: pb.nb})
+			c.endSlotMutate(pb.slot)
+			if !pb.hit {
+				sh.mapStore(pb.no, pb.slot)
+			}
+			c.dirtied[pb.slot] = true
+		}()
+	}
+	c.mem.SFence()
+	if c.obs != nil {
+		ts = c.obs.phase(c.obs.entries, sealID, spanEntries, ts, g)
+	}
+
+	// Phase C — ring records: each participating ring's blocks into its
+	// own consecutive slots as {block no, generation} 16B records (one
+	// atomic Store16 + flush each), ONE fence for all rings, then ONE Head
+	// persist per ring.
+	var byRing [shardCount][]*planBlock
+	for _, pb := range plan {
+		r := c.ringOf(pb.no)
+		byRing[r] = append(byRing[r], pb)
+	}
+	for _, r := range ringIDs {
+		rs := &c.rings[r]
+		for k, pb := range byRing[r] {
+			off := c.lay.mrSlotOff(r, rs.head+uint64(k))
+			var rec [16]byte
+			binary.LittleEndian.PutUint64(rec[0:], pb.no)
+			binary.LittleEndian.PutUint64(rec[8:], gen)
+			c.mem.Store16(off, rec)
+			c.mem.CLFlush(off, mrSlotSize)
+		}
+	}
+	c.mem.SFence()
+	for _, r := range ringIDs {
+		rs := &c.rings[r]
+		rs.head += uint64(len(byRing[r]))
+		c.mem.Persist8(c.lay.ringHeadSlotOff(r, rs.head), rs.head)
+	}
+	if c.obs != nil {
+		ts = c.obs.phase(c.obs.ring, sealID, spanRing, ts, g)
+	}
+
+	// Phase D — role switches, freeing the previous versions; one fence.
+	for _, pb := range plan {
+		func() {
+			sh := c.shardOf(pb.no)
+			sh.mu.Lock()
+			defer sh.mu.Unlock()
+			e := c.readEntry(pb.slot)
+			e.role = RoleBuffer
+			e.prev = Fresh
+			c.beginSlotMutate(pb.slot)
+			c.storeEntry(pb.slot, e)
+			c.endSlotMutate(pb.slot)
+		}()
+		if pb.prev != Fresh {
+			c.freeDataBlock(pb.prev)
+		}
+	}
+	c.mem.SFence()
+
+	// Write-through without a destager propagates synchronously, before
+	// the commit point, exactly as runBatch does.
+	if c.opts.WriteThrough && c.destageCh == nil {
+		buf := bufpool.Get()
+		for _, pb := range plan {
+			c.writeBack(c.shardOf(pb.no), pb.no, pb.slot, buf)
+		}
+		bufpool.Put(buf)
+		c.mem.SFence()
+	}
+	if c.obs != nil {
+		ts = c.obs.phase(c.obs.roleSw, sealID, spanSwitch, ts, g)
+	}
+
+	// Phase E — the commit point: one Tail persist per participating
+	// ring, in index order. The commit event (flight record + SealHook)
+	// fires only after the LAST flip — a crash between flips leaves the
+	// seal unacknowledged, and recovery rolls it forward (roll-forward is
+	// the only legal resolution once phase D freed the previous
+	// versions; see the file comment).
+	last := ringIDs[len(ringIDs)-1]
+	for _, r := range ringIDs {
+		rs := &c.rings[r]
+		rs.tail = rs.head
+		c.mem.Persist8(c.lay.ringTailSlotOff(r, rs.tail), rs.tail)
+	}
+	c.flEmit(flight.EvSealPersist, uint16(last), gen, c.rings[last].head, uint64(len(plan)))
+	if c.opts.SealHook != nil {
+		c.opts.SealHook(gen)
+	}
+	if c.obs != nil {
+		ts = c.obs.phase(c.obs.tail, sealID, spanTail, ts, g)
+	}
+
+	// Volatile epilogue: unpin, touch LRU, hand off to the destager, book
+	// the counters — runBatch's epilogue plus the per-ring seal counters.
+	for _, pb := range plan {
+		sh := c.shardOf(pb.no)
+		sh.mu.Lock()
+		delete(sh.pinned, pb.slot)
+		c.touchLocked(sh, pb.slot)
+		sh.mu.Unlock()
+	}
+	if c.destageCh != nil {
+		for _, pb := range plan {
+			c.destageEnqueue(pb.no, pb.slot)
+		}
+	}
+	for _, pb := range plan {
+		if pb.hit {
+			c.rec.Inc(metrics.CacheWriteHit)
+			c.rec.Inc(metrics.TxnCOWBlocks)
+		} else {
+			c.rec.Inc(metrics.CacheWriteMiss)
+		}
+	}
+	for _, q := range batch {
+		q.err = nil
+		c.rec.Inc(metrics.TxnCommit)
+		c.rec.Add(metrics.TxnBlocks, int64(len(q.t.order)))
+	}
+	c.rec.Inc(metrics.TxnGroupSeals)
+	c.rec.Add(metrics.TxnGroupSize, int64(len(batch)))
+	c.rec.Add(metrics.TxnAbsorbed, int64(absorbed))
+	for _, r := range ringIDs {
+		c.rings[r].seals.Add(1)
+	}
+	c.flEmit(flight.EvSealComplete, uint16(last), gen, c.rings[last].head, uint64(len(batch)))
+	if c.obs != nil {
+		c.obs.phase(c.obs.seal, sealID, spanSeal, tSeal, g)
+		c.obs.phase(c.obs.ringSeal, sealID, spanRingSeal, tSeal, g)
+	}
+	return nil
+}
+
+// maybeCheckpointRings is the multi-ring checkpoint trigger: like
+// maybeCheckpoint, but the quiescence it needs is every ring's seal lock
+// (no seal in flight ⇒ no log-role entry) instead of c.mu. Callers must
+// hold NO ring lock — the trigger acquires all of them in index order.
+func (c *Cache) maybeCheckpointRings() {
+	k := c.ckpt
+	if k == nil {
+		return
+	}
+	now := int64(c.mem.Clock().Now())
+	k.mu.Lock()
+	due := now-k.lastNS >= k.interval
+	k.mu.Unlock()
+	if !due {
+		return
+	}
+	for r := range c.rings {
+		c.rings[r].mu.Lock()
+	}
+	defer func() {
+		for r := range c.rings {
+			c.rings[r].mu.Unlock()
+		}
+	}()
+	// Re-check under the ring locks: a racing committer may have written
+	// the checkpoint while this one waited.
+	now = int64(c.mem.Clock().Now())
+	k.mu.Lock()
+	due = now-k.lastNS >= k.interval
+	k.mu.Unlock()
+	if !due {
+		return
+	}
+	c.lockAllShards()
+	defer c.unlockAllShards()
+	c.writeCheckpointLocked(now)
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 	"sync"
 
 	"tinca/internal/flight"
@@ -141,17 +142,39 @@ func (c *Cache) recover() error {
 	}
 	c.flEmit(flight.EvRecoverBegin, 0, 0, 0, 0)
 
-	c.head = c.loadPointer(c.lay.HeadOff)
-	c.tail = c.loadPointer(c.lay.TailOff)
-	if c.head < c.tail {
-		return c.recoverFail(recFailHeadBehindTail, c.tail,
-			fmt.Errorf("core: recovery found Head %d behind Tail %d", c.head, c.tail))
+	if len(c.rings) > 0 {
+		// Multi-ring layout: each ring's pointer pair recovers independently
+		// (max over its own rotation slots); RingSpan sums the pending
+		// windows. The global head/tail stay zero — nothing reads them.
+		span := uint64(0)
+		for r := range c.rings {
+			rst := &c.rings[r]
+			rst.head = c.loadPointer(c.lay.ringHeadOff(r))
+			rst.tail = c.loadPointer(c.lay.ringTailOff(r))
+			if rst.head < rst.tail {
+				return c.recoverFail(recFailHeadBehindTail, rst.tail,
+					fmt.Errorf("core: recovery found ring %d Head %d behind Tail %d", r, rst.head, rst.tail))
+			}
+			if rst.head-rst.tail > uint64(c.lay.RingSlots) {
+				return c.recoverFail(recFailRingSpan, rst.head-rst.tail,
+					fmt.Errorf("core: recovery found ring %d span %d beyond capacity %d", r, rst.head-rst.tail, c.lay.RingSlots))
+			}
+			span += rst.head - rst.tail
+		}
+		rs.RingSpan = int64(span)
+	} else {
+		c.head = c.loadPointer(c.lay.HeadOff)
+		c.tail = c.loadPointer(c.lay.TailOff)
+		if c.head < c.tail {
+			return c.recoverFail(recFailHeadBehindTail, c.tail,
+				fmt.Errorf("core: recovery found Head %d behind Tail %d", c.head, c.tail))
+		}
+		if c.head-c.tail > uint64(c.lay.RingSlots) {
+			return c.recoverFail(recFailRingSpan, c.head-c.tail,
+				fmt.Errorf("core: recovery found ring span %d beyond capacity %d", c.head-c.tail, c.lay.RingSlots))
+		}
+		rs.RingSpan = int64(c.head - c.tail)
 	}
-	if c.head-c.tail > uint64(c.lay.RingSlots) {
-		return c.recoverFail(recFailRingSpan, c.head-c.tail,
-			fmt.Errorf("core: recovery found ring span %d beyond capacity %d", c.head-c.tail, c.lay.RingSlots))
-	}
-	rs.RingSpan = int64(c.head - c.tail)
 
 	// Bring the entry table into DRAM: bulk-striped from NVM, or from the
 	// newest checkpoint frame plus the delta journal.
@@ -206,7 +229,11 @@ func (c *Cache) recover() error {
 	}
 	c.flEmit(flight.EvRecoverScan, 0, 0, 0, uint64(rs.EntriesScanned))
 
-	if c.head != c.tail {
+	if len(c.rings) > 0 {
+		if err := c.recoverMultiRing(mirror, &byDisk, rs); err != nil {
+			return err
+		}
+	} else if c.head != c.tail {
 		// Collect the interrupted transaction's entries.
 		slots := make([]int32, 0, c.head-c.tail)
 		redo := false
@@ -302,6 +329,127 @@ func (c *Cache) recover() error {
 	return nil
 }
 
+// recoverMultiRing replays the per-ring pending windows of a multi-ring
+// layout (CommitRings > 1) — the k-way generation merge of DESIGN.md §15.
+//
+// Structure of the pending state: a ring's Head advances only in seal
+// phase C and its Tail only in phase E, both under the ring's seal lock,
+// so the pending window [Tail, Head) of any single ring covers AT MOST
+// ONE interrupted seal. A cross-ring seal stamps the same generation in
+// every participating ring, so pending records group by generation into
+// the interrupted seals, and because a block's ring is a pure function of
+// its number, two different pending generations always name disjoint
+// blocks — their redos and undos commute. Processing generations in
+// ascending order is therefore not needed for correctness, but it IS the
+// global commit order (generations are drawn under all participating
+// ring locks), which makes the replay deterministic and equal to the
+// serial history the oracle checks.
+//
+// Per generation the single-ring redo/undo rule applies unchanged: any
+// named entry already in the buffer role means every block's data and
+// record are durable (role switches start only after all rings' records
+// and Head persists are fenced), so recovery completes the remaining
+// switches and Tail flips — this is also how a seal torn BETWEEN two
+// rings' Tail flips resolves: roll forward, never revoke, because the
+// switch phase freed the previous versions and the commit event is only
+// emitted after the last flip, so the transaction was never acknowledged
+// and either outcome is legal. If no entry switched, the whole
+// transaction is revoked: the participating Tails are persisted over the
+// pending records FIRST (same re-crash argument as the single-ring undo
+// — a half-revoked range must not be misread as a half-switched commit
+// by a recovery re-run), then each entry rolls back. Records that never
+// made it into any pending window (a crash before that ring's Head
+// persist) leave stray log-role entries for the sweep that follows.
+func (c *Cache) recoverMultiRing(mirror []byte, byDisk *[shardCount]map[uint64]int32, rs *RecoveryStats) error {
+	type pendingSeal struct {
+		gen   uint64
+		slots []int32
+		rings []int // participating rings, ascending by construction
+	}
+	var seals []*pendingSeal
+	byGen := make(map[uint64]*pendingSeal)
+	maxGen := uint64(0)
+	for r := range c.rings {
+		rst := &c.rings[r]
+		for p := rst.tail; p < rst.head; p++ {
+			v := c.mem.Load16(c.lay.mrSlotOff(r, p))
+			no := binary.LittleEndian.Uint64(v[0:8])
+			gen := binary.LittleEndian.Uint64(v[8:16])
+			i, ok := byDisk[shardIdx(no)][no]
+			if !ok {
+				// Entries persist (phase B, fenced) before ring records
+				// (phase C), so a recorded block always has an entry.
+				return c.recoverFail(recFailUnmappedBlock, no,
+					fmt.Errorf("core: ring %d names disk block %d with no cache entry", r, no))
+			}
+			ps := byGen[gen]
+			if ps == nil {
+				ps = &pendingSeal{gen: gen}
+				byGen[gen] = ps
+				seals = append(seals, ps)
+			}
+			ps.slots = append(ps.slots, i)
+			if n := len(ps.rings); n == 0 || ps.rings[n-1] != r {
+				ps.rings = append(ps.rings, r)
+			}
+			if gen > maxGen {
+				maxGen = gen
+			}
+		}
+	}
+	sort.Slice(seals, func(a, b int) bool { return seals[a].gen < seals[b].gen })
+
+	for _, ps := range seals {
+		redo := false
+		for _, i := range ps.slots {
+			if mirrorEntry(mirror, i).role == RoleBuffer {
+				redo = true
+				break
+			}
+		}
+		if redo {
+			rs.Redo = true
+			for _, i := range ps.slots {
+				if e := mirrorEntry(mirror, i); e.role == RoleLog {
+					c.recoverSwitch(mirror, i, e)
+					rs.EntriesRedone++
+				}
+			}
+			for _, r := range ps.rings {
+				rst := &c.rings[r]
+				rst.tail = rst.head
+				c.mem.Persist8(c.lay.ringTailSlotOff(r, rst.tail), rst.tail)
+			}
+		} else {
+			// Undo: every participating Tail first, then the revocations.
+			for _, r := range ps.rings {
+				rst := &c.rings[r]
+				rst.tail = rst.head
+				c.mem.Persist8(c.lay.ringTailSlotOff(r, rst.tail), rst.tail)
+			}
+			for _, i := range ps.slots {
+				if e := mirrorEntry(mirror, i); e.role == RoleLog {
+					c.recoverRevoke(mirror, i, e, byDisk)
+					rs.EntriesUndone++
+				}
+			}
+		}
+	}
+
+	// Resume the generation counter past everything the crash left behind.
+	// A checkpointed restart restored the counter from the frame header
+	// (every generation sealed before the checkpoint is ≤ that value);
+	// pending generations postdate it and are folded in here. Without a
+	// checkpoint the counter restarts above the pending window only — the
+	// same "reset unless checkpointed" semantics the single-ring seal
+	// sequence has always had, and safe because recovery and the oracles
+	// only ever compare generations within one crash epoch.
+	if maxGen > c.gen.Load() {
+		c.gen.Store(maxGen)
+	}
+	return nil
+}
+
 // loadMirrorCheckpoint reconstructs the entry table image from the newest
 // valid checkpoint frame plus the delta journal (DESIGN.md §14): frame
 // records give every entry as of the checkpoint, journaled slots are
@@ -350,13 +498,24 @@ func (c *Cache) loadMirrorCheckpoint(mirror []byte, rs *RecoveryStats, now int64
 	}
 
 	// Striped bulk load of the frame payload, checksum-verified in DRAM.
-	payload := make([]byte, count*ckptRecSize)
+	// On the multi-ring layout the payload opens with the per-ring
+	// {head, tail} vector (diagnostic — the pointers themselves recover
+	// from their rotation slots); it is loaded serially, then the records
+	// stripe exactly as on the single-ring layout.
+	vecBytes := 0
+	if len(c.rings) > 0 {
+		vecBytes = lay.ckptVecBytes()
+	}
+	payload := make([]byte, vecBytes+count*ckptRecSize)
 	base := lay.ckptFrameOff(best) + ckptFrameHdr
+	if vecBytes > 0 {
+		c.mem.Load(base, payload[:vecBytes])
+	}
 	c.recoveryFanout(func(w int) {
 		lo := count * w / recoveryWorkers
 		hi := count * (w + 1) / recoveryWorkers
 		if lo < hi {
-			c.mem.Load(base+lo*ckptRecSize, payload[lo*ckptRecSize:hi*ckptRecSize])
+			c.mem.Load(base+vecBytes+lo*ckptRecSize, payload[vecBytes+lo*ckptRecSize:vecBytes+hi*ckptRecSize])
 		}
 	})
 	if ckptSum(payload) != binary.LittleEndian.Uint64(bestH[48:]) {
@@ -364,7 +523,7 @@ func (c *Cache) loadMirrorCheckpoint(mirror []byte, rs *RecoveryStats, now int64
 			fmt.Errorf("core: checkpoint frame %d payload checksum mismatch", best))
 	}
 	for r := 0; r < count; r++ {
-		rec := payload[r*ckptRecSize : (r+1)*ckptRecSize]
+		rec := payload[vecBytes+r*ckptRecSize : vecBytes+(r+1)*ckptRecSize]
 		slot := int(binary.LittleEndian.Uint32(rec))
 		if slot >= lay.Capacity {
 			return c.recoverFail(recFailBadCheckpoint, uint64(slot),
@@ -418,8 +577,14 @@ func (c *Cache) loadMirrorCheckpoint(mirror []byte, rs *RecoveryStats, now int64
 		}
 	}
 	// Seal numbering resumes from the checkpoint so SealHook sequences
-	// stay monotonic across a checkpointed restart.
-	c.sealSeq = binary.LittleEndian.Uint64(bestH[32:])
+	// stay monotonic across a checkpointed restart. On the multi-ring
+	// layout the header's seq field carries the generation counter
+	// instead (writeCheckpointLocked stores whichever the layout uses).
+	if len(c.rings) > 0 {
+		c.gen.Store(binary.LittleEndian.Uint64(bestH[32:]))
+	} else {
+		c.sealSeq = binary.LittleEndian.Uint64(bestH[32:])
+	}
 
 	rs.FromCheckpoint = true
 	rs.CkptEpoch = bestEpoch

@@ -59,6 +59,16 @@ type CacheStats struct {
 	GroupedTxns    int64 // transactions absorbed into those seals
 	AbsorbedBlocks int64 // duplicate blocks absorbed within seals
 
+	// Multi-ring commit (CommitRings > 1; nil/zero otherwise).
+	// RingSeals[r] counts seals ring r participated in (a cross-shard
+	// seal counts once per participating ring); RingQueueDepth[r] is the
+	// live per-ring commit-queue gauge. RingSealConflicts counts ring
+	// locks a cross-shard committer found contended.
+	RingSeals         []int64
+	RingQueueDepth    []int64
+	CrossShardTxns    int64
+	RingSealConflicts int64
+
 	// Destage.
 	DestageDone    int64 // blocks written back by the destager
 	DestageDropped int64 // opportunistic cleanings skipped (queue full)
@@ -190,6 +200,16 @@ func (c *Cache) Stats() CacheStats {
 	for s := range c.shards {
 		if idx := c.shards[s].idx; idx != nil {
 			st.IndexGrows += idx.Grows()
+		}
+	}
+	if len(c.rings) > 0 {
+		st.CrossShardTxns = r.Get(metrics.TxnCrossShard)
+		st.RingSealConflicts = r.Get(metrics.TxnRingSealConflicts)
+		st.RingSeals = make([]int64, len(c.rings))
+		st.RingQueueDepth = make([]int64, len(c.rings))
+		for i := range c.rings {
+			st.RingSeals[i] = c.rings[i].seals.Load()
+			st.RingQueueDepth[i] = c.rings[i].depth.Load()
 		}
 	}
 	if c.obs != nil {

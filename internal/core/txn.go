@@ -109,6 +109,11 @@ func (t *Txn) Commit() error {
 		t.done = true
 		return nil
 	}
+	if len(c.rings) > 0 {
+		// Multi-ring commit (CommitRings > 1): per-ring capacity checks and
+		// routing live in commitMultiRing — RingSlots is per ring there.
+		return c.commitMultiRing(t)
+	}
 	if len(t.order) > c.lay.RingSlots {
 		return ErrTxnTooLarge
 	}

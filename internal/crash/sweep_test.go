@@ -72,6 +72,68 @@ func TestSweepCheckpointed(t *testing.T) {
 		res.Boundaries, plain.BoundarySpace, res.Runs)
 }
 
+// TestSweepMultiRing runs the exhaustive serial sweep on the CommitRings=16
+// layout: every persist of the per-ring seal protocol — the 16B
+// generation-stamped records, the per-ring Head persists, and the
+// multi-ring Tail-flip window of cross-shard seals — becomes a crash
+// boundary, and the generation-merged recovery must hold the oracle at
+// each one. The multi-ring boundary space must also be strictly wider
+// than the single-ring one: the split adds per-ring pointer persists, and
+// if it doesn't, the sweep silently stopped covering the new protocol.
+func TestSweepMultiRing(t *testing.T) {
+	res, err := Sweep(SweepConfig{Kind: stack.Tinca, Seed: 11, Ops: 15, Rings: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failures) != 0 {
+		f := res.Failures[0]
+		t.Fatalf("%d failures; first at boundary %d evictP %v: %v",
+			len(res.Failures), f.Boundary, f.EvictP, f.Err)
+	}
+	if res.Crashes != res.Runs {
+		t.Fatalf("only %d/%d trials crashed; boundary space over-counted", res.Crashes, res.Runs)
+	}
+	plain, err := Sweep(SweepConfig{Kind: stack.Tinca, Seed: 11, Ops: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BoundarySpace <= plain.BoundarySpace {
+		t.Fatalf("multi-ring seals added no persist boundaries: %d vs %d",
+			res.BoundarySpace, plain.BoundarySpace)
+	}
+	t.Logf("rings=16: %d boundaries (single-ring %d), %d trials, all consistent",
+		res.Boundaries, plain.BoundarySpace, res.Runs)
+}
+
+// TestSweepMultiRingGroup crashes the concurrency matrix on the
+// multi-ring layout: namespaced FS workers plus raw committers whose
+// four-consecutive-block transactions span four rings, so every trial
+// exercises the cross-ring seal (ring locks in index order, one
+// generation, Tails flipped ring by ring).
+func TestSweepMultiRingGroup(t *testing.T) {
+	res, err := Sweep(SweepConfig{
+		Kind:          stack.Tinca,
+		Seed:          23,
+		Ops:           10,
+		MaxBoundaries: 50,
+		Rings:         16,
+		Group:         GroupConfig{Blocks: 4, FSWorkers: 4, RawCommitters: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failures) != 0 {
+		f := res.Failures[0]
+		t.Fatalf("%d failures; first at boundary %d evictP %v: %v",
+			len(res.Failures), f.Boundary, f.EvictP, f.Err)
+	}
+	if res.Crashes == 0 {
+		t.Fatal("no multi-ring group trial crashed; sweep is vacuous")
+	}
+	t.Logf("rings=16 group: %d trials (%d crashed) over %d-op boundary space, all consistent",
+		res.Runs, res.Crashes, res.BoundarySpace)
+}
+
 // TestSweepGroupCommit runs the group-commit-aware oracle: concurrent
 // namespaced FS workers plus raw core.Txn committers under
 // GroupCommitBlocks > 0, crashed across the boundary space. Verifies

@@ -38,6 +38,7 @@ var Registry = map[string]Runner{
 	"indexscale":        IndexScale,
 	"recoverybreakdown": RecoveryBreakdown,
 	"recoveryscale":     RecoveryScale,
+	"writerscaling":     WriterScaling,
 }
 
 // Names lists the registered experiments in a stable order.
@@ -101,6 +102,8 @@ func expOrder(n string) string {
 		return "987"
 	case "recoveryscale":
 		return "988"
+	case "writerscaling":
+		return "989"
 	default:
 		return "99" + n
 	}

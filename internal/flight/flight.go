@@ -261,9 +261,9 @@ func (r *Ring) Slots() int { return r.slots }
 func (r *Ring) Emit(t EventType, shard uint16, gen, block, arg uint64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.seq++
+	seq := r.seq + 1
 	rec := Record{
-		Seq:    r.seq,
+		Seq:    seq,
 		TimeNS: int64(r.clock.Now()),
 		Gen:    gen,
 		Block:  block,
@@ -271,8 +271,16 @@ func (r *Ring) Emit(t EventType, shard uint16, gen, block, arg uint64) {
 		Type:   t,
 		Shard:  shard,
 	}
-	slot := int((r.seq - 1) % uint64(r.slots))
+	slot := int((seq - 1) % uint64(r.slots))
 	r.dev.PersistLineSilent(r.off+slot*RecordSize, encode(rec))
+	// The sequence number is consumed only after the record is fully
+	// persisted: a crash panic inside the persist unwinds with r.seq
+	// unchanged, so the next emitter — a concurrent seal on another ring
+	// draining after the injected crash — reuses the number and the slot.
+	// Otherwise the dead emitter's skipped number would read back as an
+	// interior hole in the surviving window, which CheckWindow (rightly)
+	// rejects as corruption.
+	r.seq = seq
 }
 
 // Seq returns the last sequence number written.
@@ -313,6 +321,13 @@ type Blackbox struct {
 	LastSealedHead uint64   // ring Head that commit recorded
 	InFlight       []uint64 // seal gens with a begin but no persist/commit/abort in the window
 
+	// Per-ring heads on multi-ring layouts (CommitRings > 1): the largest
+	// Block a durable commit record booked per ring, keyed by the
+	// record's Shard field (the ring id on seal events). Nil when the
+	// window holds no commit records; on single-ring layouts it has one
+	// key (0) equal to LastSealedHead.
+	LastSealedHeads map[uint16]uint64
+
 	// Recovery failure digest: set when the window holds an EvRecoverFail
 	// record (the restart gave up with a structural error).
 	RecoverFailed   bool
@@ -338,6 +353,12 @@ func Analyze(slots int, recs []Record) *Blackbox {
 			if r.Gen >= b.LastSealedGen {
 				b.LastSealedGen = r.Gen
 				b.LastSealedHead = r.Block
+			}
+			if b.LastSealedHeads == nil {
+				b.LastSealedHeads = map[uint16]uint64{}
+			}
+			if r.Block > b.LastSealedHeads[r.Shard] {
+				b.LastSealedHeads[r.Shard] = r.Block
 			}
 		case EvSealAbort:
 			delete(open, r.Gen)

@@ -74,6 +74,11 @@ const (
 	TxnGroupSeals   = "txn.group_seals"     // coalesced ring-buffer seals
 	TxnGroupSize    = "txn.group_size"      // transactions absorbed into seals (sum)
 	TxnAbsorbed     = "txn.absorbed_blocks" // duplicate blocks absorbed within a seal
+	// Multi-ring commit counters (internal/core/multiring.go). Per-ring
+	// counters use RingSealName/RingQueueDepthName; RingQueueDepth* is a
+	// ±gauge (enqueue/dequeue deltas), like DestageQueueDepth.
+	TxnCrossShard        = "txn.cross_shard"         // commits spanning more than one ring
+	TxnRingSealConflicts = "txn.ring_seal_conflicts" // ring locks a cross-ring seal found contended
 	JournalCommit   = "jbd.commit"          // journal transactions committed
 	JournalBlocks   = "jbd.log_blocks"      // log (data) blocks written to journal
 	JournalMeta     = "jbd.meta_blocks"     // descriptor/commit/revoke blocks
@@ -101,6 +106,15 @@ const (
 	NetMessages = "net.messages"
 )
 
+// RingSealName returns the per-ring seal counter name for ring r
+// ("txn.ring_seal.<r>"): one increment per seal that stamped ring r.
+func RingSealName(r int) string { return fmt.Sprintf("txn.ring_seal.%d", r) }
+
+// RingQueueDepthName returns the per-ring commit-queue depth gauge name for
+// ring r ("ring.queue_depth.<r>"): +1 on enqueue, -1 when the seal claims
+// the request.
+func RingQueueDepthName(r int) string { return fmt.Sprintf("ring.queue_depth.%d", r) }
+
 // Canonical histogram names. Values are simulated nanoseconds unless the
 // name says otherwise. Commit-phase histograms are charged by
 // internal/core's group-commit pipeline (one sample per seal per phase);
@@ -116,6 +130,9 @@ const (
 	HistCommitTail    = "commit.tail_ns"    // Tail flip + fence (phase E)
 	HistCommitSeal    = "commit.seal_ns"    // whole seal (phases 0–E)
 	HistCommitTotal   = "commit.total_ns"   // per-txn Commit latency (enqueue→ack)
+	// Multi-ring seals (internal/core/multiring.go): one sample per seal,
+	// whole per-ring (or cross-ring) seal duration.
+	HistCommitRingSeal = "commit.ring_seal_ns"
 
 	// Destager, evictor and recovery (internal/core).
 	HistDestageWrite = "destage.write_ns" // one queued block written back
@@ -181,6 +198,11 @@ func (r *Recorder) counter(name string) *atomic.Int64 {
 
 // Add increments the named counter by delta.
 func (r *Recorder) Add(name string, delta int64) { r.counter(name).Add(delta) }
+
+// Counter returns the named counter's cell, creating it on first use. Hot
+// paths (per-ring seal counters) call this once and hold the pointer, like
+// Hist; Add/Load on the result never touch the registry map.
+func (r *Recorder) Counter(name string) *atomic.Int64 { return r.counter(name) }
 
 // Inc increments the named counter by one.
 func (r *Recorder) Inc(name string) { r.counter(name).Add(1) }

@@ -65,6 +65,22 @@ type Profile struct {
 	// stock profile uses it, so existing figures and crash sweeps are
 	// unchanged.
 	Parallel int
+	// PersistParallel is the DIMM's internal write-bank parallelism: the
+	// persist-side analogue of Parallel (see Banks). When k goroutines
+	// concurrently issue persistence-relevant operations — stores, flushes,
+	// fences — each charges serviceNS/min(k, PersistParallel), so commit
+	// paths that genuinely overlap their persists (e.g. independent
+	// per-shard ring seals) advance simulated time by roughly one seal's
+	// worth per bank. A path that serializes its persists (a single seal
+	// leader, everything under one mutex) keeps inflight at 1 and pays
+	// full price — exactly the structure the writer-scaling figure
+	// measures. Only the charged service time is discounted: data
+	// movement, crash-boundary counting (persistOps), wear and every
+	// counter are untouched, so crash images and boundary spaces are
+	// identical with or without banks. 0 or 1 disables the overlap; every
+	// stock profile leaves it off, so existing deterministic figures are
+	// unchanged.
+	PersistParallel int
 }
 
 // Base costs of the DRAM path itself: what a cache-line read from DIMM, a
@@ -100,6 +116,20 @@ func Channels(p Profile, depth int) Profile {
 	}
 	p.Parallel = depth
 	p.Name = fmt.Sprintf("%s+ch%d", p.Name, depth)
+	return p
+}
+
+// Banks derives a profile whose persistence-relevant operations (stores,
+// flushes, fences) overlap up to depth concurrent issuers — the
+// write-bank parallelism of a real DIMM, the persist-side analogue of
+// Channels. Per-operation costs are unchanged; only the overlap granted
+// to concurrently issued persists.
+func Banks(p Profile, depth int) Profile {
+	if depth < 1 {
+		depth = 1
+	}
+	p.PersistParallel = depth
+	p.Name = fmt.Sprintf("%s+bk%d", p.Name, depth)
 	return p
 }
 
@@ -144,6 +174,11 @@ type Device struct {
 	// the Profile.Parallel overlap model. Untouched (always 0 vs 1
 	// transitions with no charging effect) on stock profiles.
 	inflightLoads atomic.Int64
+
+	// inflightPersists counts persistence-relevant operations currently
+	// issued, for the Profile.PersistParallel overlap model. Never touched
+	// on stock profiles (PersistParallel <= 1 skips even the increment).
+	inflightPersists atomic.Int64
 
 	// atomic16 marks the start words of 16B ranges last written by
 	// Store16: on a torn crash those two words persist together (the
@@ -240,18 +275,57 @@ func (d *Device) maybeCrash(op string) {
 	}
 }
 
+// admitPersist enters a persistence-relevant operation into the in-flight
+// window for bank-capable profiles (PersistParallel > 1), mirroring
+// admitLoad: the yield lets every other goroutine about to persist run
+// its own admitPersist before this one reads the window in chargePersist,
+// so logically concurrent persists count each other even when the host
+// runs goroutines one at a time. Issuers serialized by a host mutex stay
+// blocked on that mutex, not runnable, so inflight stays at 1 and they
+// pay full price. Stock profiles skip everything, including the atomic.
+func (d *Device) admitPersist() {
+	if d.prof.PersistParallel > 1 {
+		d.inflightPersists.Add(1)
+		runtime.Gosched()
+	}
+}
+
+func (d *Device) releasePersist() {
+	if d.prof.PersistParallel > 1 {
+		d.inflightPersists.Add(-1)
+	}
+}
+
+// chargePersist advances the simulated clock by one persist operation's
+// service time, discounted by the overlap the profile's bank depth grants
+// to the persists currently in flight (see chargeLoad for the additive-
+// clock argument). Equal to a plain AdvanceNS on stock profiles.
+func (d *Device) chargePersist(ns int64) {
+	if q := int64(d.prof.PersistParallel); q > 1 {
+		if k := d.inflightPersists.Load(); k > 1 {
+			if k > q {
+				k = q
+			}
+			ns /= k
+		}
+	}
+	d.clock.AdvanceNS(ns)
+}
+
 // Store copies p into the device at off. The write is volatile: it is not
 // durable until the covering lines are flushed (or happen to be evicted at
 // crash time).
 func (d *Device) Store(off int, p []byte) {
 	d.check(off, len(p))
+	d.admitPersist()
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	defer d.releasePersist()
 	d.maybeCrash("store")
 	copy(d.volatile[off:off+len(p)], p)
 	d.clearAtomic16(off, len(p))
 	d.markDirty(off, len(p))
-	d.clock.AdvanceNS(int64(coveringLines(off, len(p))) * d.prof.LineStoreNS)
+	d.chargePersist(int64(coveringLines(off, len(p))) * d.prof.LineStoreNS)
 	d.rec.Add(metrics.NVMBytesWrite, int64(len(p)))
 }
 
@@ -262,13 +336,15 @@ func (d *Device) Store8(off int, v uint64) {
 		panic("pmem: Store8 misaligned")
 	}
 	d.check(off, 8)
+	d.admitPersist()
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	defer d.releasePersist()
 	d.maybeCrash("store8")
 	binary.LittleEndian.PutUint64(d.volatile[off:off+8], v)
 	d.clearAtomic16(off, 8)
 	d.markDirty(off, 8)
-	d.clock.AdvanceNS(d.prof.LineStoreNS)
+	d.chargePersist(d.prof.LineStoreNS)
 	d.rec.Inc(metrics.NVMAtomic8)
 	d.rec.Add(metrics.NVMBytesWrite, 8)
 }
@@ -280,14 +356,16 @@ func (d *Device) Store16(off int, v [16]byte) {
 		panic("pmem: Store16 misaligned")
 	}
 	d.check(off, 16)
+	d.admitPersist()
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	defer d.releasePersist()
 	d.maybeCrash("store16")
 	copy(d.volatile[off:off+16], v[:])
 	d.atomic16[off/8] = true
 	d.atomic16[off/8+1] = false
 	d.markDirty(off, 16)
-	d.clock.AdvanceNS(d.prof.LineStoreNS)
+	d.chargePersist(d.prof.LineStoreNS)
 	d.rec.Inc(metrics.NVMAtomic16)
 	d.rec.Add(metrics.NVMBytesWrite, 16)
 }
@@ -401,8 +479,10 @@ func (d *Device) Load16(off int) (v [16]byte) {
 // persistence domain, charging one clflush per line.
 func (d *Device) CLFlush(off, n int) {
 	d.check(off, n)
+	d.admitPersist()
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	defer d.releasePersist()
 	d.maybeCrash("clflush")
 	first := off / LineSize
 	last := (off + n - 1) / LineSize
@@ -417,7 +497,7 @@ func (d *Device) CLFlush(off, n int) {
 	}
 	lines := int64(last - first + 1)
 	d.rec.Add(metrics.NVMCLFlush, lines)
-	d.clock.AdvanceNS(lines * d.prof.LineFlushNS)
+	d.chargePersist(lines * d.prof.LineFlushNS)
 	if d.observe {
 		d.obsFlush.Record(lines)
 	}
@@ -428,11 +508,13 @@ func (d *Device) CLFlush(off, n int) {
 // and counts; the ordering guarantee it provides in hardware is what makes
 // the persist-then-continue sequencing of callers valid.
 func (d *Device) SFence() {
+	d.admitPersist()
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	defer d.releasePersist()
 	d.maybeCrash("sfence")
 	d.rec.Inc(metrics.NVMSFence)
-	d.clock.AdvanceNS(d.prof.FenceNS)
+	d.chargePersist(d.prof.FenceNS)
 	if d.observe {
 		now := int64(d.clock.Now())
 		d.obsFence.Record(now - d.lastFenceNS)

@@ -167,6 +167,9 @@ func (c Config) Validate() error {
 	if c.Kind != Tinca && (c.Checkpoint || c.CheckpointIntervalNS != 0 || c.SerialRecovery) {
 		return fmt.Errorf("stack: Checkpoint/CheckpointIntervalNS/SerialRecovery apply only to the Tinca kind, not %v", c.Kind)
 	}
+	if c.Kind != Tinca && c.CommitRings != 0 {
+		return fmt.Errorf("stack: CommitRings applies only to the Tinca kind, not %v", c.Kind)
+	}
 	if c.JournalMode < DataJournal || c.JournalMode > Ordered {
 		return fmt.Errorf("stack: unknown journal mode %d", int(c.JournalMode))
 	}

@@ -182,6 +182,13 @@ var (
 // instruction in place of clflush (Section 2.1 of the paper).
 var CLWBVariant = pmem.CLWBVariant
 
+// Banks derives a profile whose persistence-relevant operations overlap
+// up to depth concurrent issuers (DIMM write-bank parallelism) — the
+// persist-side analogue of the channel parallelism concurrent reads get.
+// Pair it with CacheOptions.CommitRings to let independent per-shard ring
+// seals overlap their persists.
+var Banks = pmem.Banks
+
 // NewNVM creates an NVM device charging the given clock and recorder.
 func NewNVM(size int, prof NVMProfile, clock *Clock, rec *Recorder) *NVM {
 	return pmem.New(size, prof, clock, rec)
