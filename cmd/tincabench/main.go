@@ -42,9 +42,10 @@ func main() {
 	maxAllocs := flag.Float64("max-allocs-per-op", -1, "fail (exit 1) if any experiment reports an *_allocs_per_op metric above this value; <0 disables")
 	maxRecoveryGrowth := flag.Float64("max-recovery-growth", -1, "fail (exit 1) if recoveryscale reports recovery_scale_on_growth above this ratio (checkpointed restart must stay flat); <0 disables")
 	minWriterSpeedup := flag.Float64("min-writer-speedup", -1, "fail (exit 1) if writerscaling reports writer_speedup_8 below this factor (multi-ring commit at 8 disjoint committers); <0 disables")
+	minPrefetchSpeedup := flag.Float64("min-prefetch-speedup", -1, "fail (exit 1) if coldstart reports prefetch_speedup_x below this factor (read-ahead on a cold sequential scan from the object tier); <0 disables")
 	flag.Parse()
 	outputCSV = *format == "csv"
-	defer finish(*benchJSON, *maxDirectEvict, *minFastHit, *maxAllocs, *maxRecoveryGrowth, *minWriterSpeedup)
+	defer finish(*benchJSON, *maxDirectEvict, *minFastHit, *maxAllocs, *maxRecoveryGrowth, *minWriterSpeedup, *minPrefetchSpeedup)
 
 	var tracer *metrics.Tracer
 	if *traceOut != "" {
@@ -87,9 +88,10 @@ var outputCSV bool
 var benchMetrics = make(map[string]map[string]float64)
 
 // finish writes the accumulated metrics and enforces the direct-eviction,
-// fast-hit, allocation, recovery-flatness and writer-scaling gates. Runs
-// deferred from main so both -fig and -all paths share it.
-func finish(benchJSON string, maxDirectEvict, minFastHit, maxAllocs, maxRecoveryGrowth, minWriterSpeedup float64) {
+// fast-hit, allocation, recovery-flatness, writer-scaling and tiering
+// prefetch gates. Runs deferred from main so both -fig and -all paths
+// share it.
+func finish(benchJSON string, maxDirectEvict, minFastHit, maxAllocs, maxRecoveryGrowth, minWriterSpeedup, minPrefetchSpeedup float64) {
 	if benchJSON != "" {
 		data, err := json.MarshalIndent(benchMetrics, "", "  ")
 		if err == nil {
@@ -138,6 +140,16 @@ func finish(benchJSON string, maxDirectEvict, minFastHit, maxAllocs, maxRecovery
 				fmt.Fprintf(os.Stderr,
 					"tincabench: %s: multi-ring speedup at 8 disjoint committers was %.2fx (min required %.2fx) — per-shard rings are not overlapping seals\n",
 					name, s, minWriterSpeedup)
+				os.Exit(1)
+			}
+		}
+	}
+	if minPrefetchSpeedup >= 0 {
+		for name, m := range benchMetrics {
+			if s, ok := m["prefetch_speedup_x"]; ok && s < minPrefetchSpeedup {
+				fmt.Fprintf(os.Stderr,
+					"tincabench: %s: cold-scan prefetch speedup was %.2fx (min required %.2fx) — read-ahead is not overlapping object fetches\n",
+					name, s, minPrefetchSpeedup)
 				os.Exit(1)
 			}
 		}

@@ -23,6 +23,24 @@ import (
 // size (4KB, the paper's default).
 const BlockSize = 4096
 
+// Store is the block-store contract the caches write behind. A raw
+// *Device satisfies it, and so does a tiered device (objstore.Tier, a
+// small block device fronting an object store): the cache layer above
+// neither knows nor cares whether a block lives on one medium or is
+// tiered across several. Writes are durable when WriteBlock returns —
+// every implementation must preserve that property, because the layers
+// above clear their own dirty state on return.
+type Store interface {
+	// Blocks returns the store's capacity (its addressable span) in
+	// BlockSize blocks.
+	Blocks() uint64
+	// ReadBlock copies block no into p (len BlockSize). Unwritten blocks
+	// read as zeroes.
+	ReadBlock(no uint64, p []byte)
+	// WriteBlock stores p (len BlockSize) as block no, durably.
+	WriteBlock(no uint64, p []byte)
+}
+
 // Profile describes a disk medium's per-block service times.
 type Profile struct {
 	Name    string
@@ -79,8 +97,42 @@ type Device struct {
 	rec    *metrics.Recorder
 
 	// inflight counts requests currently inside ReadBlock/WriteBlock,
-	// for the Profile.Parallel overlap model.
+	// for the Profile.Parallel overlap model. It doubles as the queue-depth
+	// gauge IOStats and the shared Recorder expose.
 	inflight atomic.Int64
+
+	// Per-device I/O counters. The shared Recorder aggregates the same
+	// quantities across every device charging it; these stay per device so
+	// multi-device stacks (a tiered L2 behind a cache, a cluster of nodes)
+	// can be read one medium at a time.
+	blocksRead    atomic.Int64
+	blocksWritten atomic.Int64
+	bytesRead     atomic.Int64
+	bytesWritten  atomic.Int64
+}
+
+// IOStats is a typed per-device counter snapshot, cumulative since New.
+// QueueDepth is the instantaneous in-flight request count (a gauge, not a
+// cumulative counter).
+type IOStats struct {
+	Name          string
+	BlocksRead    int64
+	BlocksWritten int64
+	BytesRead     int64
+	BytesWritten  int64
+	QueueDepth    int64
+}
+
+// Stats returns the device's typed I/O counters.
+func (d *Device) Stats() IOStats {
+	return IOStats{
+		Name:          d.prof.Name,
+		BlocksRead:    d.blocksRead.Load(),
+		BlocksWritten: d.blocksWritten.Load(),
+		BytesRead:     d.bytesRead.Load(),
+		BytesWritten:  d.bytesWritten.Load(),
+		QueueDepth:    d.inflight.Load(),
+	}
 }
 
 // New creates a device with capacity nblocks blocks of BlockSize bytes.
@@ -151,9 +203,17 @@ func (d *Device) charge(ns int64) {
 // (Parallel <= 1) skip the yield entirely.
 func (d *Device) admit() {
 	d.inflight.Add(1)
+	d.rec.Inc(metrics.DiskQueueDepth)
 	if d.prof.Parallel > 1 {
 		runtime.Gosched()
 	}
+}
+
+// release exits a request from the in-flight window, keeping the shared
+// queue-depth gauge in step with the per-device counter.
+func (d *Device) release() {
+	d.inflight.Add(-1)
+	d.rec.Add(metrics.DiskQueueDepth, -1)
 }
 
 // ReadBlock copies block no into p (which must be BlockSize long).
@@ -164,7 +224,7 @@ func (d *Device) ReadBlock(no uint64, p []byte) {
 	}
 	d.check(no)
 	d.admit()
-	defer d.inflight.Add(-1)
+	defer d.release()
 	d.mu.Lock()
 	b, ok := d.blocks[no]
 	if ok {
@@ -175,7 +235,10 @@ func (d *Device) ReadBlock(no uint64, p []byte) {
 		}
 	}
 	d.mu.Unlock()
+	d.blocksRead.Add(1)
+	d.bytesRead.Add(BlockSize)
 	d.rec.Inc(metrics.DiskBlocksRead)
+	d.rec.Add(metrics.DiskBytesRead, BlockSize)
 	d.charge(d.prof.ReadNS)
 }
 
@@ -189,7 +252,7 @@ func (d *Device) WriteBlock(no uint64, p []byte) {
 	}
 	d.check(no)
 	d.admit()
-	defer d.inflight.Add(-1)
+	defer d.release()
 	d.mu.Lock()
 	b, ok := d.blocks[no]
 	if !ok {
@@ -198,7 +261,10 @@ func (d *Device) WriteBlock(no uint64, p []byte) {
 	}
 	copy(b, p)
 	d.mu.Unlock()
+	d.blocksWritten.Add(1)
+	d.bytesWritten.Add(BlockSize)
 	d.rec.Inc(metrics.DiskBlocksWrite)
+	d.rec.Add(metrics.DiskBytesWrite, BlockSize)
 	d.charge(d.prof.WriteNS)
 }
 

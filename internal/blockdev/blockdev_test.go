@@ -94,6 +94,51 @@ func TestShortBufferPanics(t *testing.T) {
 	}
 }
 
+func TestIOStatsCounters(t *testing.T) {
+	d, rec, _ := newDev(t, 100, SSD)
+	buf := make([]byte, BlockSize)
+	for i := uint64(0); i < 5; i++ {
+		d.WriteBlock(i, buf)
+	}
+	for i := uint64(0); i < 3; i++ {
+		d.ReadBlock(i, buf)
+	}
+	st := d.Stats()
+	if st.Name != "SSD" {
+		t.Fatalf("stats name = %q", st.Name)
+	}
+	if st.BlocksWritten != 5 || st.BlocksRead != 3 {
+		t.Fatalf("block counters: %+v", st)
+	}
+	if st.BytesWritten != 5*BlockSize || st.BytesRead != 3*BlockSize {
+		t.Fatalf("byte counters: %+v", st)
+	}
+	// The per-device counters and the shared recorder must agree.
+	if rec.Get(metrics.DiskBytesWrite) != st.BytesWritten ||
+		rec.Get(metrics.DiskBytesRead) != st.BytesRead {
+		t.Fatalf("recorder disagrees with device stats: %+v", st)
+	}
+}
+
+func TestQueueDepthGauge(t *testing.T) {
+	d, rec, _ := newDev(t, 10, Null)
+	// Idle device: gauge at zero both per-device and in the recorder.
+	if q := d.Stats().QueueDepth; q != 0 {
+		t.Fatalf("idle queue depth = %d", q)
+	}
+	buf := make([]byte, BlockSize)
+	d.WriteBlock(0, buf)
+	d.ReadBlock(0, buf)
+	// Gauge returns to zero after requests complete (it is instantaneous,
+	// not cumulative), and the shared recorder gauge tracks it.
+	if q := d.Stats().QueueDepth; q != 0 {
+		t.Fatalf("queue depth after quiesce = %d", q)
+	}
+	if q := rec.Get(metrics.DiskQueueDepth); q != 0 {
+		t.Fatalf("recorder queue depth after quiesce = %d", q)
+	}
+}
+
 func TestWrittenBlocksSparse(t *testing.T) {
 	d, _, _ := newDev(t, 1<<30, Null) // huge device, sparse storage
 	d.WriteBlock(1<<29, make([]byte, BlockSize))

@@ -1,0 +1,254 @@
+package cluster_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"tinca/internal/cluster"
+	"tinca/internal/errs"
+	"tinca/internal/fs"
+	"tinca/internal/stack"
+)
+
+// TestHDFSErrorsIsConformance pins the error identity contract of the
+// HDFS substrate: callers dispatch on the fs sentinels with errors.Is,
+// so every failure path must surface (or wrap) the right sentinel even
+// after the error crosses the NameNode and replication layers.
+func TestHDFSErrorsIsConformance(t *testing.T) {
+	c := newCluster(t, stack.Tinca, 2)
+	h := cluster.NewHDFS(c, cluster.HDFSOptions{ChunkBytes: 16 << 10})
+
+	if err := h.Append("/nope", []byte("x")); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("append missing: %v, want fs.ErrNotExist", err)
+	}
+	if _, err := h.ReadAt("/nope", 0, make([]byte, 4)); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("read missing: %v, want fs.ErrNotExist", err)
+	}
+	if _, err := h.Stat("/nope"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("stat missing: %v, want fs.ErrNotExist", err)
+	}
+	if err := h.Remove("/nope"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("remove missing: %v, want fs.ErrNotExist", err)
+	}
+	if err := h.Fsync("/nope"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("fsync missing: %v, want fs.ErrNotExist", err)
+	}
+	if err := h.WriteAt("/nope", 0, []byte("x")); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("writeat missing: %v, want fs.ErrNotExist", err)
+	}
+
+	if err := h.Create("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Create("/f"); !errors.Is(err, fs.ErrExist) {
+		t.Fatalf("duplicate create: %v, want fs.ErrExist", err)
+	}
+	if err := h.Mkdir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Mkdir("/d"); !errors.Is(err, fs.ErrExist) {
+		t.Fatalf("duplicate mkdir: %v, want fs.ErrExist", err)
+	}
+
+	// Read past EOF surfaces the fs range sentinel, which in turn wraps
+	// the cross-layer errs.ErrOutOfRange — both identities must hold.
+	if err := h.Append("/f", []byte("ab")); err != nil {
+		t.Fatal(err)
+	}
+	_, err := h.ReadAt("/f", 100, make([]byte, 4))
+	if !errors.Is(err, fs.ErrReadRange) {
+		t.Fatalf("read past EOF: %v, want fs.ErrReadRange", err)
+	}
+	if !errors.Is(err, errs.ErrOutOfRange) {
+		t.Fatalf("read past EOF: %v, want cross-layer errs.ErrOutOfRange", err)
+	}
+}
+
+// TestVolumeErrorsIsConformance does the same for the GlusterFS-like
+// volume, where the error comes straight from a brick's local fs.
+func TestVolumeErrorsIsConformance(t *testing.T) {
+	c := newCluster(t, stack.Tinca, 2)
+	v := cluster.NewVolume(c)
+
+	if _, err := v.ReadAt("/nope", 0, make([]byte, 4)); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("read missing: %v, want fs.ErrNotExist", err)
+	}
+	if _, err := v.Stat("/nope"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("stat missing: %v, want fs.ErrNotExist", err)
+	}
+	if err := v.Remove("/nope"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("remove missing: %v, want fs.ErrNotExist", err)
+	}
+	if err := v.Create("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Create("/f"); !errors.Is(err, fs.ErrExist) {
+		t.Fatalf("duplicate create: %v, want fs.ErrExist", err)
+	}
+	if err := v.Append("/f", []byte("ab")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.ReadAt("/f", 100, make([]byte, 4)); !errors.Is(err, errs.ErrOutOfRange) {
+		t.Fatalf("read past EOF: %v, want errs.ErrOutOfRange", err)
+	}
+}
+
+// TestNodeDownErrorsIs pins ErrNodeDown as an errors.Is-matchable
+// sentinel on every path that can hit a failed replica set.
+func TestNodeDownErrorsIs(t *testing.T) {
+	c := newCluster(t, stack.Tinca, 2)
+	v := cluster.NewVolume(c)
+	if err := v.Create("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.WriteAt("/f", 0, bytes.Repeat([]byte{3}, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	for i := range c.Nodes {
+		if err := c.SetNodeDown(i, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := v.WriteAt("/f", 0, make([]byte, 4096)); !errors.Is(err, cluster.ErrNodeDown) {
+		t.Fatalf("write, all down: %v, want ErrNodeDown", err)
+	}
+	if _, err := v.ReadAt("/f", 0, make([]byte, 4096)); !errors.Is(err, cluster.ErrNodeDown) {
+		t.Fatalf("read, all down: %v, want ErrNodeDown", err)
+	}
+	if _, err := v.Stat("/f"); !errors.Is(err, cluster.ErrNodeDown) {
+		t.Fatalf("stat, all down: %v, want ErrNodeDown", err)
+	}
+
+	// HDFS reads over a fully-failed replica set report the same sentinel.
+	c2 := newCluster(t, stack.Tinca, 2)
+	h := cluster.NewHDFS(c2, cluster.HDFSOptions{ChunkBytes: 16 << 10})
+	if err := h.Create("/r"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Append("/r", bytes.Repeat([]byte{4}, 8192)); err != nil {
+		t.Fatal(err)
+	}
+	for i := range c2.Nodes {
+		if err := c2.SetNodeDown(i, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := h.ReadAt("/r", 0, make([]byte, 8192)); !errors.Is(err, cluster.ErrNodeDown) {
+		t.Fatalf("hdfs read, all down: %v, want ErrNodeDown", err)
+	}
+	if err := h.Append("/r", []byte("x")); !errors.Is(err, cluster.ErrNodeDown) {
+		t.Fatalf("hdfs append, all down: %v, want ErrNodeDown", err)
+	}
+}
+
+// TestConcurrentHDFSClients hammers the NameNode from many goroutines
+// (run under -race): each client creates, appends, rewrites and reads
+// its own file while sharing chunk allocation, the wall clock and the
+// network recorder with everyone else.
+func TestConcurrentHDFSClients(t *testing.T) {
+	c := newCluster(t, stack.Tinca, 2)
+	h := cluster.NewHDFS(c, cluster.HDFSOptions{ChunkBytes: 16 << 10})
+	const clients = 8
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			path := fmt.Sprintf("/c%d", id)
+			payload := bytes.Repeat([]byte{byte(id + 1)}, 40<<10) // 3 chunks
+			if err := h.Create(path); err != nil {
+				errCh <- err
+				return
+			}
+			if err := h.Append(path, payload); err != nil {
+				errCh <- err
+				return
+			}
+			if err := h.WriteAt(path, 16<<10-100, bytes.Repeat([]byte{byte(id + 1)}, 200)); err != nil {
+				errCh <- err
+				return
+			}
+			got := make([]byte, len(payload))
+			if _, err := h.ReadAt(path, 0, got); err != nil {
+				errCh <- err
+				return
+			}
+			if !bytes.Equal(got, payload) {
+				errCh <- fmt.Errorf("client %d: read-back mismatch", id)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	for i, n := range c.Nodes {
+		if err := n.Stack.FS.Check(); err != nil {
+			t.Fatalf("node %d after concurrent clients: %v", i, err)
+		}
+	}
+}
+
+// TestConcurrentVolumeClients runs concurrent writers and readers over
+// disjoint files on the replicated volume (run under -race): the bricks'
+// local stacks, the shared wall clock and the network counters all see
+// simultaneous traffic.
+func TestConcurrentVolumeClients(t *testing.T) {
+	c := newCluster(t, stack.Tinca, 2)
+	v := cluster.NewVolume(c)
+	const clients = 8
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			path := fmt.Sprintf("/v%d", id)
+			payload := bytes.Repeat([]byte{byte(id + 1)}, 12<<10)
+			if err := v.Create(path); err != nil {
+				errCh <- err
+				return
+			}
+			if err := v.WriteAt(path, 0, payload); err != nil {
+				errCh <- err
+				return
+			}
+			got := make([]byte, len(payload))
+			if _, err := v.ReadAt(path, 0, got); err != nil {
+				errCh <- err
+				return
+			}
+			if !bytes.Equal(got, payload) {
+				errCh <- fmt.Errorf("client %d: volume read-back mismatch", id)
+			}
+			if err := v.Fsync(path); err != nil {
+				errCh <- err
+			}
+		}(i)
+	}
+	// Aggregate stats concurrently with the traffic: Snapshot and Stats
+	// walk every node's recorders while they are being written.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			_ = c.Snapshot()
+			_ = c.Stats()
+		}
+	}()
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	for i, n := range c.Nodes {
+		if err := n.Stack.FS.Check(); err != nil {
+			t.Fatalf("brick %d after concurrent clients: %v", i, err)
+		}
+	}
+}

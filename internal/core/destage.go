@@ -48,7 +48,7 @@ func (c *Cache) destageEnqueue(no uint64, slot int32) {
 	case c.destageCh <- item:
 	default:
 		c.rec.Add(metrics.DestageQueueDepth, -1)
-		c.rec.Inc(metrics.DestageDrop)
+		c.rec.Inc(metrics.DestageDropped)
 		c.destageWakeMu.Lock()
 		c.destagePending.Add(-1)
 		c.destageWake.Broadcast()

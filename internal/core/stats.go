@@ -181,7 +181,7 @@ func (c *Cache) Stats() CacheStats {
 		GroupedTxns:           r.Get(metrics.TxnGroupSize),
 		AbsorbedBlocks:        r.Get(metrics.TxnAbsorbed),
 		DestageDone:           r.Get(metrics.DestageDone),
-		DestageDropped:        r.Get(metrics.DestageDrop),
+		DestageDropped:        r.Get(metrics.DestageDropped),
 		DestageQueue:          r.Get(metrics.DestageQueueDepth),
 		Checkpoints:           r.Get(metrics.CkptWrites),
 		CheckpointEntries:     r.Get(metrics.CkptEntries),

@@ -89,6 +89,14 @@ type SweepConfig struct {
 	// Tail-persist window of cross-shard seals — and the flight oracle
 	// goes per ring.
 	Rings int
+	// L3 runs every Tinca trial on the tiered stack (DESIGN.md §16): a
+	// small L2 disk plus object store behind the cache, with the upload
+	// and prefetch pipelines live. The tier adds no NVM persists (its
+	// durability lives on the L2 slot map and in the store), so the
+	// boundary space is unchanged — what the sweep adds is the oracle
+	// checking that recovery through tier re-attach loses nothing at
+	// any NVM persist boundary.
+	L3    bool
 	Group GroupConfig
 	// Progress, when non-nil, is called after every trial with completed
 	// and total trial counts and failures so far. Called under a lock;
@@ -152,11 +160,14 @@ func Sweep(cfg SweepConfig) (*SweepResult, error) {
 	if cfg.Rings > 1 && cfg.Kind != stack.Tinca {
 		return nil, errors.New("crash: multi-ring sweeps require the Tinca stack")
 	}
+	if cfg.L3 && cfg.Kind != stack.Tinca {
+		return nil, errors.New("crash: L3 tiering sweeps require the Tinca stack")
+	}
 	if cfg.Group.RawCommitters*rawBlocksPerTxn > sweepJournalBlocks {
 		return nil, fmt.Errorf("crash: %d raw committers exceed the spare disk region", cfg.Group.RawCommitters)
 	}
 
-	base := trialSpec{kind: cfg.Kind, fault: cfg.Fault, ckpt: cfg.Checkpoint, rings: cfg.Rings, group: cfg.Group}
+	base := trialSpec{kind: cfg.Kind, fault: cfg.Fault, ckpt: cfg.Checkpoint, rings: cfg.Rings, l3: cfg.L3, group: cfg.Group}
 	if cfg.Group.Blocks > 0 {
 		if cfg.Group.FSWorkers <= 0 {
 			base.group.FSWorkers = 4
@@ -263,6 +274,7 @@ func (cfg SweepConfig) ReplayLine(f Failure) string {
 		EvictP:   f.EvictP,
 		Fault:    cfg.Fault,
 		Ckpt:     cfg.Checkpoint,
+		L3:       cfg.L3,
 		Seed:     cfg.Seed,
 		Trace:    GenTrace(cfg.Seed, ops),
 	}.String()
@@ -282,6 +294,7 @@ type trialSpec struct {
 	fault     core.Fault
 	ckpt      bool // checkpoint writer on, firing at every commit point
 	rings     int  // CommitRings (multi-ring layout) when > 1
+	l3        bool // L3 object tier behind a small L2 disk
 	group     GroupConfig
 }
 
@@ -323,6 +336,18 @@ func (sp trialSpec) stackConfig(hook func(uint64)) stack.Config {
 		}
 		if sp.rings > 1 {
 			cfg.CommitRings = sp.rings
+		}
+		if sp.l3 {
+			// An L2 far smaller than the FS span, tiny objects and a
+			// low dirty bound: every trial churns real destage, upload,
+			// eviction and backpressure traffic through the tier before
+			// the crash lands.
+			cfg.L3 = true
+			cfg.L3L2Blocks = 512
+			cfg.L3ObjectBlocks = 8
+			cfg.L3Prefetch = 2
+			cfg.L3UploadWorkers = 2
+			cfg.L3MaxDirty = 128
 		}
 	}
 	return cfg

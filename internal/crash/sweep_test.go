@@ -105,6 +105,29 @@ func TestSweepMultiRing(t *testing.T) {
 		res.Boundaries, plain.BoundarySpace, res.Runs)
 }
 
+// TestSweepL3Tiered re-runs the exhaustive serial sweep on the tiered
+// stack (DESIGN.md §16): a 512-slot L2 disk plus object store behind
+// the cache, with the upload and prefetch pipelines live and a low
+// dirty bound forcing destage/upload/backpressure churn. The tier adds
+// no NVM persists, so the boundary space matches the plain sweep; the
+// point is the oracle verifying that recovery through the tier's slot
+// map re-attach loses nothing at any NVM persist boundary.
+func TestSweepL3Tiered(t *testing.T) {
+	res, err := Sweep(SweepConfig{Kind: stack.Tinca, Seed: 11, Ops: 15, L3: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failures) != 0 {
+		f := res.Failures[0]
+		t.Fatalf("%d failures; first at boundary %d evictP %v: %v",
+			len(res.Failures), f.Boundary, f.EvictP, f.Err)
+	}
+	if res.Crashes != res.Runs {
+		t.Fatalf("only %d/%d trials crashed; boundary space over-counted", res.Crashes, res.Runs)
+	}
+	t.Logf("l3: %d boundaries x evictPs = %d trials, all consistent", res.Boundaries, res.Runs)
+}
+
 // TestSweepMultiRingGroup crashes the concurrency matrix on the
 // multi-ring layout: namespaced FS workers plus raw committers whose
 // four-consecutive-block transactions span four rings, so every trial
@@ -283,6 +306,16 @@ func TestReplaySpecRoundTrip(t *testing.T) {
 	}
 	if !reflect.DeepEqual(spec, back) {
 		t.Fatalf("ckpt spec does not round-trip:\n  %s\n  %s", spec.String(), back.String())
+	}
+	// Same for tiered reproducers: without l3=1 the replay would mount
+	// a flat disk where the failure needed the tier.
+	spec.L3 = true
+	back, err = ParseReplaySpec(spec.String())
+	if err != nil {
+		t.Fatalf("%v\n%s", err, spec.String())
+	}
+	if !reflect.DeepEqual(spec, back) {
+		t.Fatalf("l3 spec does not round-trip:\n  %s\n  %s", spec.String(), back.String())
 	}
 	if _, err := ParseReplaySpec("kind=tinca boundary=1"); err == nil {
 		t.Fatal("traceless spec accepted")

@@ -232,6 +232,7 @@ type ReplaySpec struct {
 	EvictP   float64
 	Fault    core.Fault
 	Ckpt     bool  // checkpoint writer on at every commit point
+	L3       bool  // L3 object tier behind a small L2 disk
 	Seed     int64 // sweep seed; combined with Boundary/EvictP for the crash image
 	Trace    []Op
 }
@@ -298,6 +299,9 @@ func (r ReplaySpec) String() string {
 	if r.Ckpt {
 		ck = " ckpt=1"
 	}
+	if r.L3 {
+		ck += " l3=1"
+	}
 	return fmt.Sprintf("kind=%s boundary=%d evictp=%s fault=%s%s seed=%d trace=%s",
 		kindName(r.Kind), r.Boundary,
 		strconv.FormatFloat(r.EvictP, 'g', -1, 64),
@@ -325,6 +329,8 @@ func ParseReplaySpec(s string) (ReplaySpec, error) {
 			r.Fault, err = ParseFault(val)
 		case "ckpt":
 			r.Ckpt = val == "1" || val == "true"
+		case "l3":
+			r.L3 = val == "1" || val == "true"
 		case "seed":
 			r.Seed, err = strconv.ParseInt(val, 10, 64)
 		case "trace":
@@ -353,6 +359,7 @@ func Replay(r ReplaySpec) (Result, error) {
 		evictP:    r.EvictP,
 		fault:     r.Fault,
 		ckpt:      r.Ckpt,
+		l3:        r.L3,
 		imageSeed: imageSeed(r.Seed, r.Boundary, r.EvictP),
 	})
 	res := Result{Crashed: out.crashed, OpsAcked: out.acked}

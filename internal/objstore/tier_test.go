@@ -1,0 +1,327 @@
+package objstore
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"tinca/internal/blockdev"
+	"tinca/internal/metrics"
+	"tinca/internal/sim"
+)
+
+type tierRig struct {
+	clock *sim.Clock
+	rec   *metrics.Recorder
+	dev   *blockdev.Device
+	store *Store
+	tier  *Tier
+}
+
+func newTierRig(t *testing.T, span, devBlocks uint64, sprof Profile, opts TierOptions) *tierRig {
+	t.Helper()
+	r := &tierRig{clock: sim.NewClock(), rec: metrics.NewRecorder()}
+	r.dev = blockdev.New(devBlocks, blockdev.Null, r.clock, r.rec)
+	r.store = NewStore(sprof, r.clock, r.rec)
+	var err error
+	r.tier, err = NewTier(span, r.dev, r.store, r.rec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// reattach simulates recovery: a fresh Tier over the surviving dev+store.
+func (r *tierRig) reattach(t *testing.T, span uint64, opts TierOptions) {
+	t.Helper()
+	var err error
+	r.tier, err = NewTier(span, r.dev, r.store, r.rec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func blockPattern(no uint64, gen byte) []byte {
+	p := make([]byte, BlockSize)
+	for i := range p {
+		p[i] = byte(no)*3 + byte(i) + gen
+	}
+	return p
+}
+
+func TestTierWriteReadL2(t *testing.T) {
+	r := newTierRig(t, 1024, 128, NullStore, TierOptions{ObjectBlocks: 4})
+	defer r.tier.Close()
+	for no := uint64(0); no < 20; no++ {
+		r.tier.WriteBlock(no, blockPattern(no, 0))
+	}
+	got := make([]byte, BlockSize)
+	for no := uint64(0); no < 20; no++ {
+		r.tier.ReadBlock(no, got)
+		if !bytes.Equal(got, blockPattern(no, 0)) {
+			t.Fatalf("block %d corrupted", no)
+		}
+	}
+	if st := r.tier.Stats(); st.L2Hits != 20 {
+		t.Fatalf("L2Hits = %d, want 20", st.L2Hits)
+	}
+}
+
+func TestTierNeverWrittenReadsZero(t *testing.T) {
+	r := newTierRig(t, 1024, 128, NullStore, TierOptions{ObjectBlocks: 4})
+	defer r.tier.Close()
+	got := make([]byte, BlockSize)
+	r.tier.ReadBlock(999, got)
+	for i := range got {
+		if got[i] != 0 {
+			t.Fatal("unwritten block not zero")
+		}
+	}
+}
+
+func TestTierUploadThenEvictReadsFromStore(t *testing.T) {
+	r := newTierRig(t, 4096, 68, NullStore, TierOptions{ObjectBlocks: 4, MaxDirty: 16})
+	// 68 dev blocks -> 64 data slots. Write 48 blocks, drain uploads,
+	// then write 64 more to force eviction of the first set's slots.
+	for no := uint64(0); no < 48; no++ {
+		r.tier.WriteBlock(no, blockPattern(no, 1))
+	}
+	r.tier.Drain()
+	if st := r.tier.Stats(); st.DirtySlots != 0 || st.Uploads == 0 {
+		t.Fatalf("after drain: dirty=%d uploads=%d", st.DirtySlots, st.Uploads)
+	}
+	for no := uint64(1000); no < 1064; no++ {
+		r.tier.WriteBlock(no, blockPattern(no, 2))
+	}
+	r.tier.Drain()
+	st := r.tier.Stats()
+	if st.L2Evicts == 0 {
+		t.Fatalf("no L2 evictions despite overflow: %+v", st)
+	}
+	got := make([]byte, BlockSize)
+	for no := uint64(0); no < 48; no++ {
+		r.tier.ReadBlock(no, got)
+		if !bytes.Equal(got, blockPattern(no, 1)) {
+			t.Fatalf("block %d lost after eviction", no)
+		}
+	}
+	if st := r.tier.Stats(); st.L3Fetches == 0 {
+		t.Fatal("expected L3 fetches for evicted blocks")
+	}
+	r.tier.Close()
+}
+
+func TestTierOverwriteCoherent(t *testing.T) {
+	r := newTierRig(t, 1024, 68, NullStore, TierOptions{ObjectBlocks: 4})
+	defer r.tier.Close()
+	for gen := byte(0); gen < 5; gen++ {
+		r.tier.WriteBlock(7, blockPattern(7, gen))
+		r.tier.Drain()
+		got := make([]byte, BlockSize)
+		r.tier.ReadBlock(7, got)
+		if !bytes.Equal(got, blockPattern(7, gen)) {
+			t.Fatalf("gen %d: stale read", gen)
+		}
+	}
+	// The store must also hold the final generation for the object.
+	obj := make([]byte, 4*BlockSize)
+	if !r.store.Get(7/4, obj) {
+		t.Fatal("object missing from store after drain")
+	}
+	if !bytes.Equal(obj[(7%4)*BlockSize:(7%4+1)*BlockSize], blockPattern(7, 4)) {
+		t.Fatal("store holds stale generation")
+	}
+}
+
+// Crash with dirty blocks not yet uploaded: the L2 slot map must bring
+// them back, and the uploader must push them to the store afterwards.
+func TestTierCrashRecoversDirty(t *testing.T) {
+	opts := TierOptions{ObjectBlocks: 4, MaxDirty: 64}
+	r := newTierRig(t, 4096, 68, NullStore, opts)
+	r.tier.Pause(true) // hold uploads so dirty state survives the crash
+	for no := uint64(0); no < 32; no++ {
+		r.tier.WriteBlock(no, blockPattern(no, 9))
+	}
+	r.tier.Crash()
+
+	r.reattach(t, 4096, opts)
+	if st := r.tier.Stats(); st.DirtySlots != 32 {
+		t.Fatalf("recovered %d dirty slots, want 32", st.DirtySlots)
+	}
+	got := make([]byte, BlockSize)
+	for no := uint64(0); no < 32; no++ {
+		r.tier.ReadBlock(no, got)
+		if !bytes.Equal(got, blockPattern(no, 9)) {
+			t.Fatalf("block %d wrong after recovery", no)
+		}
+	}
+	// Recovered-dirty slots lost their DRAM payloads; the uploader must
+	// still drain them (re-reading L2) and the store must end current.
+	r.tier.Drain()
+	if st := r.tier.Stats(); st.DirtySlots != 0 {
+		t.Fatalf("drain after recovery left %d dirty", st.DirtySlots)
+	}
+	obj := make([]byte, 4*BlockSize)
+	if !r.store.Get(0, obj) {
+		t.Fatal("object 0 missing after recovery drain")
+	}
+	if !bytes.Equal(obj[:BlockSize], blockPattern(0, 9)) {
+		t.Fatal("store stale after recovery drain")
+	}
+	r.tier.Close()
+}
+
+// Crash after uploads completed and slots were evicted/reused: recovery
+// must not resurrect stale mappings (ordering 3) and every generation
+// of every block must read back current.
+func TestTierCrashAfterEvictionKeepsLatest(t *testing.T) {
+	opts := TierOptions{ObjectBlocks: 4, MaxDirty: 16}
+	r := newTierRig(t, 4096, 20, NullStore, opts) // 19 data slots: constant churn
+	for gen := byte(0); gen < 3; gen++ {
+		for no := uint64(0); no < 64; no++ {
+			r.tier.WriteBlock(no, blockPattern(no, gen))
+		}
+	}
+	r.tier.Crash()
+	r.reattach(t, 4096, opts)
+	got := make([]byte, BlockSize)
+	for no := uint64(0); no < 64; no++ {
+		r.tier.ReadBlock(no, got)
+		if !bytes.Equal(got, blockPattern(no, 2)) {
+			t.Fatalf("block %d not at latest generation after churn+crash", no)
+		}
+	}
+	r.tier.Close()
+}
+
+func TestTierAdmitClean(t *testing.T) {
+	r := newTierRig(t, 4096, 20, NullStore, TierOptions{ObjectBlocks: 4})
+	defer r.tier.Close()
+	data := blockPattern(50, 3)
+	if !r.tier.AdmitClean(50, data) {
+		t.Fatal("admit with free slots failed")
+	}
+	got := make([]byte, BlockSize)
+	r.tier.ReadBlock(50, got)
+	if !bytes.Equal(got, data) {
+		t.Fatal("admitted block corrupted")
+	}
+	st := r.tier.Stats()
+	if st.Admits != 1 || st.L2Hits != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	// Re-admitting a resident block is a cheap yes.
+	if !r.tier.AdmitClean(50, data) {
+		t.Fatal("re-admit refused")
+	}
+}
+
+func TestTierBackpressureBoundsDirty(t *testing.T) {
+	// A slow store throttles uploads; MaxDirty must bound dirty slots
+	// while writes keep completing (no deadlock).
+	prof := Profile{Name: "slow", RequestNS: 10_000_000, Parallel: 1, MaxInflight: 4}
+	r := newTierRig(t, 4096, 68, prof, TierOptions{ObjectBlocks: 4, MaxDirty: 8, UploadWorkers: 1})
+	for no := uint64(0); no < 64; no++ {
+		r.tier.WriteBlock(no, blockPattern(no, 4))
+	}
+	st := r.tier.Stats()
+	if st.Backpressure == 0 {
+		t.Fatalf("expected backpressure stalls: %+v", st)
+	}
+	r.tier.Drain()
+	r.tier.Close()
+}
+
+// A sequential cold scan with prefetching must beat the same scan
+// without it by overlapping object fetches — the tentpole's headline.
+func TestTierPrefetchSpeedsUpColdScan(t *testing.T) {
+	const objBlocks = 8
+	const span = 8192
+	const scan = 1024 // blocks = 128 objects
+	prof := Profile{Name: "t", RequestNS: 4_000_000, NSPerMB: 10_000_000,
+		Parallel: 16, MaxInflight: 32}
+	run := func(pfWorkers int) (int64, TierStats) {
+		r := newTierRig(t, span, 36, prof, TierOptions{
+			ObjectBlocks: objBlocks, PrefetchWorkers: pfWorkers, StagingObjects: 48})
+		defer r.tier.Close()
+		obj := make([]byte, objBlocks*BlockSize)
+		for k := uint64(0); k < scan/objBlocks; k++ {
+			for b := 0; b < objBlocks; b++ {
+				copy(obj[b*BlockSize:], blockPattern(k*objBlocks+uint64(b), 6))
+			}
+			r.store.Put(k, obj)
+		}
+		start := int64(r.clock.Now())
+		got := make([]byte, BlockSize)
+		for no := uint64(0); no < scan; no++ {
+			r.tier.ReadBlock(no, got)
+			if !bytes.Equal(got, blockPattern(no, 6)) {
+				t.Fatalf("scan read wrong at %d", no)
+			}
+		}
+		return int64(r.clock.Now()) - start, r.tier.Stats()
+	}
+	coldNS, _ := run(0)
+	warmNS, st := run(6)
+	if st.Prefetches == 0 || st.PrefetchHits == 0 {
+		t.Fatalf("prefetcher idle: %+v", st)
+	}
+	speedup := float64(coldNS) / float64(warmNS)
+	if speedup < 2 {
+		t.Fatalf("prefetch speedup %.2fx < 2x (cold %dns, warm %dns)", speedup, coldNS, warmNS)
+	}
+}
+
+// Strided (not just sequential) miss patterns must also trigger
+// read-ahead.
+func TestTierPrefetchStrided(t *testing.T) {
+	const objBlocks = 4
+	prof := Profile{Name: "t", RequestNS: 1_000_000, Parallel: 8, MaxInflight: 16}
+	r := newTierRig(t, 65536, 20, prof, TierOptions{
+		ObjectBlocks: objBlocks, PrefetchWorkers: 4, StagingObjects: 64})
+	defer r.tier.Close()
+	got := make([]byte, BlockSize)
+	// Object stride 3: blocks 0, 12, 24, 36...
+	for i := uint64(0); i < 64; i++ {
+		r.tier.ReadBlock(i*3*objBlocks, got)
+	}
+	if st := r.tier.Stats(); st.Prefetches == 0 {
+		t.Fatalf("strided pattern produced no prefetches: %+v", st)
+	}
+}
+
+func TestTierRejectsTinyDevice(t *testing.T) {
+	clock := sim.NewClock()
+	rec := metrics.NewRecorder()
+	dev := blockdev.New(4, blockdev.Null, clock, rec)
+	store := NewStore(NullStore, clock, rec)
+	if _, err := NewTier(1024, dev, store, rec, TierOptions{ObjectBlocks: 16}); err == nil {
+		t.Fatal("tiny device accepted")
+	}
+}
+
+func TestMapBlocksGeometry(t *testing.T) {
+	for _, tc := range []struct{ dev, want uint64 }{
+		{1, 1}, {513, 1}, {514, 2}, {1026, 2}, {1027, 3},
+	} {
+		if got := MapBlocks(tc.dev); got != tc.want {
+			t.Fatalf("MapBlocks(%d) = %d, want %d", tc.dev, got, tc.want)
+		}
+	}
+	// The map must always cover every data slot.
+	for dev := uint64(1); dev < 5000; dev += 37 {
+		mb := MapBlocks(dev)
+		if mb*recsPerMapBlock < dev-mb {
+			t.Fatalf("dev %d: %d map blocks cover %d slots, need %d",
+				dev, mb, mb*recsPerMapBlock, dev-mb)
+		}
+	}
+}
+
+func TestTierStatsString(t *testing.T) {
+	r := newTierRig(t, 1024, 68, NullStore, TierOptions{ObjectBlocks: 4})
+	defer r.tier.Close()
+	r.tier.WriteBlock(1, blockPattern(1, 0))
+	r.tier.Drain()
+	_ = fmt.Sprintf("%+v %s", r.tier.Stats(), r.store.String())
+}

@@ -22,6 +22,7 @@ import (
 	"tinca/internal/fs"
 	"tinca/internal/jbd"
 	"tinca/internal/metrics"
+	"tinca/internal/objstore"
 	"tinca/internal/pmem"
 	"tinca/internal/sim"
 )
@@ -101,6 +102,21 @@ type Config struct {
 	// once. See core.Options for each field's documentation.
 	core.Options
 
+	// Tiering knobs (Tinca kind only; DESIGN.md §16). L3 mounts a
+	// simulated object store as a capacity tier behind a small L2 block
+	// device: destaged-dirty blocks land in L2 and are asynchronously
+	// batched into multi-block objects by the upload pipeline, while a
+	// read-ahead prefetcher overlaps object fetches on sequential and
+	// strided miss streams. With L3 set, DiskProfile describes the L2
+	// device (sized by L3L2Blocks) rather than a full-span disk.
+	L3              bool
+	L3Profile       objstore.Profile // object store service model (default objstore.S3)
+	L3L2Blocks      uint64           // L2 data capacity in blocks (default 4096 = 16MB)
+	L3ObjectBlocks  int              // blocks per object (default 16 = 64KB)
+	L3Prefetch      int              // prefetch workers; 0 = default 4, negative disables
+	L3MaxDirty      int              // dirty-slot backpressure bound (default 3/4 of L2)
+	L3UploadWorkers int              // concurrent object PUT lanes (default 8)
+
 	// Classic knobs.
 	JournalMode       JournalMode // DataJournal (paper default) or Ordered
 	JournalBlocks     uint64      // journal area length (default 4096 = 16MB)
@@ -170,6 +186,16 @@ func (c Config) Validate() error {
 	if c.Kind != Tinca && c.CommitRings != 0 {
 		return fmt.Errorf("stack: CommitRings applies only to the Tinca kind, not %v", c.Kind)
 	}
+	if c.Kind != Tinca && c.L3 {
+		return fmt.Errorf("stack: L3 tiering applies only to the Tinca kind, not %v", c.Kind)
+	}
+	if !c.L3 && (c.L3Profile.Name != "" || c.L3L2Blocks != 0 || c.L3ObjectBlocks != 0 ||
+		c.L3Prefetch != 0 || c.L3MaxDirty != 0 || c.L3UploadWorkers != 0) {
+		return fmt.Errorf("stack: L3Profile/L3L2Blocks/L3ObjectBlocks/L3Prefetch/L3MaxDirty/L3UploadWorkers require L3")
+	}
+	if c.L3 && c.L3ObjectBlocks < 0 {
+		return fmt.Errorf("stack: L3ObjectBlocks %d is negative", c.L3ObjectBlocks)
+	}
 	if c.JournalMode < DataJournal || c.JournalMode > Ordered {
 		return fmt.Errorf("stack: unknown journal mode %d", int(c.JournalMode))
 	}
@@ -212,6 +238,22 @@ func (c Config) withDefaults() Config {
 	} else if c.FSOpCostNS < 0 {
 		c.FSOpCostNS = 0
 	}
+	if c.L3 {
+		if c.L3Profile.Name == "" {
+			c.L3Profile = objstore.S3
+		}
+		if c.L3L2Blocks == 0 {
+			c.L3L2Blocks = 4096
+		}
+		if c.L3ObjectBlocks == 0 {
+			c.L3ObjectBlocks = 16
+		}
+		if c.L3Prefetch == 0 {
+			c.L3Prefetch = 4
+		} else if c.L3Prefetch < 0 {
+			c.L3Prefetch = 0
+		}
+	}
 	return c
 }
 
@@ -227,6 +269,13 @@ type Stack struct {
 	CCache  *classic.Cache // non-nil for Classic*
 	Journal *jbd.Journal   // non-nil for Classic
 	FS      *fs.FS
+
+	// L3 tiering (Cfg.L3 only). Store is the simulated object store; it
+	// survives Crash (object durability is the point). Tier is the live
+	// tier over Disk (the L2 device) and Store; Remount re-attaches it
+	// from the persistent slot map.
+	Store *objstore.Store
+	Tier  *objstore.Tier
 
 	// Tracer is the span ring when Cfg.TraceEvents/Cfg.Tracer asked for
 	// one; nil otherwise. It survives Crash/Remount (spans are DRAM-side
@@ -257,8 +306,16 @@ func New(cfg Config) (*Stack, error) {
 		Tracer: cfg.Tracer,
 	}
 	s.Mem = pmem.New(cfg.NVMBytes, cfg.NVMProfile, s.Clock, s.Rec)
-	diskBlocks := cfg.FSBlocks + cfg.JournalBlocks
-	s.Disk = blockdev.New(diskBlocks, cfg.DiskProfile, s.Clock, s.Rec)
+	if cfg.L3 {
+		// Tiered geometry: the block device is the small L2 (data slots
+		// plus the persistent slot map); the object store provides the
+		// full span's capacity behind it.
+		s.Disk = blockdev.New(objstore.DevBlocksFor(cfg.L3L2Blocks), cfg.DiskProfile, s.Clock, s.Rec)
+		s.Store = objstore.NewStore(cfg.L3Profile, s.Clock, s.Rec)
+	} else {
+		diskBlocks := cfg.FSBlocks + cfg.JournalBlocks
+		s.Disk = blockdev.New(diskBlocks, cfg.DiskProfile, s.Clock, s.Rec)
+	}
 	return s, s.bringUp(true)
 }
 
@@ -281,7 +338,22 @@ func (s *Stack) bringUp(format bool) error {
 	case Tinca:
 		copts := cfg.Options
 		copts.Tracer = s.Tracer
-		c, err := core.Open(s.Mem, s.Disk, copts)
+		var disk blockdev.Store = s.Disk
+		if cfg.L3 {
+			tier, err := objstore.NewTier(cfg.FSBlocks+cfg.JournalBlocks, s.Disk, s.Store, s.Rec,
+				objstore.TierOptions{
+					ObjectBlocks:    cfg.L3ObjectBlocks,
+					UploadWorkers:   cfg.L3UploadWorkers,
+					MaxDirty:        cfg.L3MaxDirty,
+					PrefetchWorkers: cfg.L3Prefetch,
+				})
+			if err != nil {
+				return err
+			}
+			s.Tier = tier
+			disk = tier
+		}
+		c, err := core.Open(s.Mem, disk, copts)
 		if err != nil {
 			return err
 		}
@@ -340,10 +412,18 @@ func (s *Stack) bringUp(format bool) error {
 }
 
 // Close flushes every layer down to the disk and stops the metrics
-// endpoint if one is serving.
+// endpoint if one is serving. With L3 tiering the upload pipeline is
+// drained (every dirty L2 block durably uploaded) before it stops, so a
+// cleanly closed stack leaves the object store current.
 func (s *Stack) Close() error {
 	s.CloseMetrics()
-	return s.FS.Close()
+	err := s.FS.Close()
+	if s.Tier != nil {
+		s.Tier.Drain()
+		s.Tier.Close()
+		s.Tier = nil
+	}
+	return err
 }
 
 // Stats is a typed snapshot across the stack's layers. Cache is populated
@@ -355,6 +435,11 @@ type Stats struct {
 	Cache  core.CacheStats // zero value for Classic kinds
 	FS     fs.FSStats
 	Device DeviceStats
+	// Tier and Obj are the L3 tiering counters (zero value unless
+	// Cfg.L3): the tier's pipelines and the object store's traffic and
+	// accumulated price.
+	Tier objstore.TierStats
+	Obj  objstore.StoreStats
 	// SimulatedNS is the simulated clock reading, the denominator for
 	// throughput computations.
 	SimulatedNS int64
@@ -370,6 +455,8 @@ type DeviceStats struct {
 	NVMBytesRead    int64
 	DiskBlocksWrite int64
 	DiskBlocksRead  int64
+	DiskBytesWrite  int64
+	DiskBytesRead   int64
 }
 
 // Sub returns the counter deltas d-prev, for metering an interval between
@@ -382,6 +469,8 @@ func (d DeviceStats) Sub(prev DeviceStats) DeviceStats {
 		NVMBytesRead:    d.NVMBytesRead - prev.NVMBytesRead,
 		DiskBlocksWrite: d.DiskBlocksWrite - prev.DiskBlocksWrite,
 		DiskBlocksRead:  d.DiskBlocksRead - prev.DiskBlocksRead,
+		DiskBytesWrite:  d.DiskBytesWrite - prev.DiskBytesWrite,
+		DiskBytesRead:   d.DiskBytesRead - prev.DiskBytesRead,
 	}
 }
 
@@ -395,6 +484,8 @@ func (d DeviceStats) Add(o DeviceStats) DeviceStats {
 		NVMBytesRead:    d.NVMBytesRead + o.NVMBytesRead,
 		DiskBlocksWrite: d.DiskBlocksWrite + o.DiskBlocksWrite,
 		DiskBlocksRead:  d.DiskBlocksRead + o.DiskBlocksRead,
+		DiskBytesWrite:  d.DiskBytesWrite + o.DiskBytesWrite,
+		DiskBytesRead:   d.DiskBytesRead + o.DiskBytesRead,
 	}
 }
 
@@ -416,14 +507,29 @@ func (s *Stack) Stats() Stats {
 		NVMBytesRead:    s.Rec.Get(metrics.NVMBytesRead),
 		DiskBlocksWrite: s.Rec.Get(metrics.DiskBlocksWrite),
 		DiskBlocksRead:  s.Rec.Get(metrics.DiskBlocksRead),
+		DiskBytesWrite:  s.Rec.Get(metrics.DiskBytesWrite),
+		DiskBytesRead:   s.Rec.Get(metrics.DiskBytesRead),
+	}
+	if s.Tier != nil {
+		st.Tier = s.Tier.Stats()
+	}
+	if s.Store != nil {
+		st.Obj = s.Store.Stats()
 	}
 	return st
 }
 
 // Crash simulates a power failure: everything un-flushed in NVM is lost
 // (modulo random cache-line evictions drawn from r) and all DRAM state
-// disappears.
+// disappears. The tier's pipelines stop un-drained — an upload that had
+// finished is durable in the object store, one that had not leaves its
+// blocks dirty in L2 under the persistent slot map; Remount re-attaches
+// the tier from that map and queues the survivors for upload again.
 func (s *Stack) Crash(r *rand.Rand, evictP float64) {
+	if s.Tier != nil {
+		s.Tier.Crash()
+		s.Tier = nil
+	}
 	s.Mem.Crash(r, evictP)
 	s.TCache, s.CCache, s.Journal, s.FS = nil, nil, nil, nil
 }
